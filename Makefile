@@ -1,0 +1,32 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce compare examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every table and figure of the paper (plus extensions).
+reproduce:
+	$(PYTHON) -m repro.cli all
+
+# Same, with paper-vs-measured columns where reference data exists.
+compare:
+	$(PYTHON) -m repro.cli all --compare
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,18 @@
+"""Shared settings for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper at a reduced
+scale (the ``repro`` CLI runs the same drivers at any scale).  Key
+reproduced numbers are attached to ``benchmark.extra_info`` so they
+appear in pytest-benchmark's report next to the timings.
+"""
+
+#: Image scale for benchmark runs (paper-size images are scale 1.0).
+BENCH_SCALE = 0.1
+
+#: Input images: one high-, one mid-, one low-entropy (spans Table 8).
+BENCH_IMAGES = ("Muppet1", "chroms", "fractal")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""Ablation: the commutative double-compare of section 2.2.
+
+Multiplication tables compare operands in both orders; this measures
+how many hits that second comparator actually contributes.
+"""
+
+from _config import BENCH_SCALE, run_once
+
+from repro.analysis.tables import format_ratio, format_table
+from repro.core.bank import MemoTableBank
+from repro.core.config import MemoTableConfig
+from repro.core.memo_table import MemoTable
+from repro.core.operations import Operation
+from repro.core.unit import MemoizedUnit
+from repro.experiments.common import record_mm_trace
+from repro.isa.opcodes import Opcode
+
+APPS = ("vdiff", "vgef", "vwarp")
+IMAGES = ("Muppet1", "chroms")
+
+
+def _fmul_hit_ratio(trace, commutative: bool) -> tuple:
+    table = MemoTable(MemoTableConfig(commutative=commutative))
+    unit = MemoizedUnit(Operation.FP_MUL, table=table)
+    for event in trace:
+        if event.opcode is Opcode.FMUL:
+            unit.execute(event.a, event.b)
+    return unit.hit_ratio, table.stats.commutative_hits
+
+
+def test_commutative_compare_ablation(benchmark):
+    def sweep():
+        rows = []
+        for app in APPS:
+            for image in IMAGES:
+                trace = record_mm_trace(app, image, scale=BENCH_SCALE)
+                with_cc, reversed_hits = _fmul_hit_ratio(trace, True)
+                without_cc, _ = _fmul_hit_ratio(trace, False)
+                rows.append((app, image, with_cc, without_cc, reversed_hits))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            ["app", "input", "both orders", "one order", "reversed hits"],
+            [
+                [app, image, format_ratio(w), format_ratio(wo), rev]
+                for app, image, w, wo, rev in rows
+            ],
+            title="Ablation: commutative double-compare (fmul, 32/4)",
+        )
+    )
+    total_gain = sum(w - wo for _, _, w, wo, _ in rows)
+    benchmark.extra_info["mean_gain"] = total_gain / len(rows)
+    # Checking both orders can only help.
+    for app, image, with_cc, without_cc, _ in rows:
+        assert with_cc >= without_cc - 1e-9, (app, image)

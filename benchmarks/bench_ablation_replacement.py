@@ -1,0 +1,59 @@
+"""Ablation: replacement policy (LRU vs FIFO vs random).
+
+The paper assumes cache-like most-recently-used retention (section 2.1);
+this ablation quantifies what cheaper victim selection would cost.
+"""
+
+from _config import BENCH_SCALE, run_once
+
+from repro.analysis.tables import format_ratio, format_table
+from repro.core.config import MemoTableConfig, ReplacementKind
+from repro.core.operations import Operation
+from repro.experiments.common import record_mm_trace, replay
+
+APPS = ("vgauss", "vspatial", "vkmeans")
+IMAGES = ("Muppet1", "chroms")
+
+
+def test_replacement_policy_ablation(benchmark):
+    def sweep():
+        traces = [
+            record_mm_trace(app, image, scale=BENCH_SCALE)
+            for app in APPS
+            for image in IMAGES
+        ]
+        results = {}
+        for kind in ReplacementKind:
+            config = MemoTableConfig(replacement=kind, seed=17)
+            fmul = []
+            fdiv = []
+            for trace in traces:
+                report = replay(trace, config)
+                fmul.append(report.hit_ratio(Operation.FP_MUL))
+                fdiv.append(report.hit_ratio(Operation.FP_DIV))
+            results[kind] = (
+                sum(fmul) / len(fmul),
+                sum(fdiv) / len(fdiv),
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            ["policy", "fmul", "fdiv"],
+            [
+                [kind.value, format_ratio(fm), format_ratio(fd)]
+                for kind, (fm, fd) in results.items()
+            ],
+            title="Ablation: replacement policy (32/4 table)",
+        )
+    )
+    lru = results[ReplacementKind.LRU]
+    for kind, values in results.items():
+        benchmark.extra_info[f"{kind.value}_fmul"] = values[0]
+    # LRU must be competitive: no alternative policy may beat it by a
+    # wide margin on temporally local MM streams.
+    for kind in (ReplacementKind.FIFO, ReplacementKind.RANDOM):
+        assert results[kind][0] <= lru[0] + 0.10
+        assert results[kind][1] <= lru[1] + 0.10

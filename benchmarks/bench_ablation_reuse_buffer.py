@@ -1,0 +1,79 @@
+"""Ablation: MEMO-TABLE vs Sodani & Sohi Reuse Buffer (section 1.1).
+
+The paper claims two advantages over PC-indexed Dynamic Instruction
+Reuse: dedicated per-unit tables are not bumped by single-cycle
+instructions, and value-keying survives loop unrolling.  This bench
+measures both on the same recorded traces.
+"""
+
+from _config import BENCH_SCALE, run_once
+
+from repro.analysis.tables import format_ratio, format_table
+from repro.core.config import MemoTableConfig
+from repro.core.memo_table import MemoTable
+from repro.core.operations import Operation
+from repro.core.reuse_buffer import ReuseBuffer, run_reuse_buffer
+from repro.images import generate
+from repro.isa.opcodes import Opcode
+from repro.workloads.khoros import run_kernel
+from repro.workloads.recorder import OperationRecorder
+
+APPS = ("vgauss", "vslope")
+IMAGE = "chroms"
+
+
+def _memo_ratio(trace, opcode, operation):
+    table = MemoTable(
+        MemoTableConfig(commutative=operation.commutative)
+    )
+    compute = (lambda x, y: x * y) if operation.commutative else (lambda x, y: x / y)
+    for event in trace:
+        if event.opcode is opcode:
+            table.access(event.a, event.b, compute)
+    return table.stats.hit_ratio
+
+
+def test_memo_table_vs_reuse_buffer(benchmark):
+    def sweep():
+        rows = []
+        for app in APPS:
+            recorder = OperationRecorder(record_sites=True)
+            run_kernel(app, recorder, generate(IMAGE, scale=BENCH_SCALE))
+            trace = recorder.trace
+            # A unified RB with 32x the memo-table capacity, shared by
+            # every instruction class.
+            _, rb_report = run_reuse_buffer(
+                trace, ReuseBuffer(entries=1024, associativity=4)
+            )
+            rows.append(
+                (
+                    app,
+                    _memo_ratio(trace, Opcode.FMUL, Operation.FP_MUL),
+                    rb_report.hit_ratio(Opcode.FMUL),
+                    _memo_ratio(trace, Opcode.FDIV, Operation.FP_DIV),
+                    rb_report.hit_ratio(Opcode.FDIV),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            ["app", "fmul memo.32", "fmul RB.1024", "fdiv memo.32", "fdiv RB.1024"],
+            [
+                [app] + [format_ratio(v) for v in values]
+                for app, *values in rows
+            ],
+            title="Ablation: 32-entry MEMO-TABLEs vs a 1024-entry Reuse Buffer",
+        )
+    )
+    for app, fmul_memo, fmul_rb, fdiv_memo, fdiv_rb in rows:
+        benchmark.extra_info[f"{app}_fdiv_memo_minus_rb"] = fdiv_memo - fdiv_rb
+    # The RB's PC+operand keying can only match a value-keyed table's
+    # reuse when the same site sees the same operands; across these
+    # kernels the tiny dedicated tables must at least stay competitive
+    # on the multi-cycle classes despite 32x less storage.
+    mean_memo = sum(r[3] for r in rows) / len(rows)
+    mean_rb = sum(r[4] for r in rows) / len(rows)
+    assert mean_memo >= mean_rb - 0.10

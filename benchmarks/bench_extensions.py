@@ -1,0 +1,51 @@
+"""Benchmarks for the extension experiments (beyond-the-paper studies)."""
+
+from _config import run_once
+
+from repro.experiments import ext_dual_issue, ext_future_ops, ext_reuse_buffer
+
+
+def test_ext_dual_issue(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: ext_dual_issue.run(scale=0.1, images=("Muppet1", "fractal")),
+    )
+    print()
+    print(result.render())
+    benchmark.extra_info["avg_second_slot"] = result.extras["average_second_slot"]
+    benchmark.extra_info["avg_speedup"] = result.extras["average_speedup"]
+    # A table port can only add issue bandwidth, never cost it.
+    assert result.extras["average_speedup"] >= 1.0
+    for app, values in result.extras["per_app"].items():
+        assert values["speedup"] >= 1.0, app
+
+
+def test_ext_future_ops(benchmark):
+    result = run_once(benchmark, lambda: ext_future_ops.run(scale=0.1))
+    print()
+    print(result.render())
+    per = result.extras["per_workload"]
+    benchmark.extra_info["fractal_log_hits"] = per["log_compress(fractal)"][
+        "ratios"
+    ]["flog"]
+    # Section 4's premise: the same value locality extends to the
+    # long-latency transcendental units.
+    assert per["log_compress(fractal)"]["ratios"]["flog"] > 0.5
+    assert per["texture_rotation(fractal)"]["ratios"]["fsin"] > 0.5
+    # And the entropy gradient carries over.
+    assert (
+        per["log_compress(fractal)"]["ratios"]["flog"]
+        > per["log_compress(Muppet1)"]["ratios"]["flog"]
+    )
+
+
+def test_ext_reuse_buffer(benchmark):
+    result = run_once(benchmark, lambda: ext_reuse_buffer.run(scale=0.1))
+    print()
+    print(result.render())
+    benchmark.extra_info["mean_memo_minus_rb"] = result.extras[
+        "mean_memo_minus_rb"
+    ]
+    # 32-entry value-keyed tables at least match a 32x larger unified
+    # PC-keyed buffer on the multi-cycle classes.
+    assert result.extras["mean_memo_minus_rb"] >= -0.05

@@ -1,0 +1,26 @@
+"""Figure 3: hit ratio vs MEMO-TABLE size (8 to 8192 entries, 4-way)."""
+
+from _config import run_once
+
+from repro.experiments import figure3
+
+
+def test_figure3_size_sweep(benchmark):
+    result = run_once(benchmark, lambda: figure3.run(scale=0.1))
+    print()
+    print(result.render())
+    series = result.extras["series"]
+    sizes = sorted(series)
+    fmul_curve = [series[s]["fmul"][0] for s in sizes]
+    fdiv_curve = [series[s]["fdiv"][0] for s in sizes]
+    benchmark.extra_info["fmul_at_32"] = series[32]["fmul"][0]
+    benchmark.extra_info["fmul_at_8192"] = series[8192]["fmul"][0]
+    # Paper shape: hit ratio grows with size and the curve flattens out
+    # (most of the gain arrives by ~1024 entries).
+    for earlier, later in zip(fmul_curve, fmul_curve[1:]):
+        assert later >= earlier - 1e-9
+    for earlier, later in zip(fdiv_curve, fdiv_curve[1:]):
+        assert later >= earlier - 1e-9
+    early_gain = series[1024]["fmul"][0] - series[8]["fmul"][0]
+    late_gain = series[8192]["fmul"][0] - series[1024]["fmul"][0]
+    assert late_gain <= early_gain + 1e-9  # flattening

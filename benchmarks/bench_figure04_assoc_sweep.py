@@ -1,0 +1,22 @@
+"""Figure 4: hit ratio vs associativity (32-entry table, 1 to 8 ways)."""
+
+from _config import run_once
+
+from repro.experiments import figure4
+
+
+def test_figure4_associativity_sweep(benchmark):
+    result = run_once(benchmark, lambda: figure4.run(scale=0.1))
+    print()
+    print(result.render())
+    series = result.extras["series"]
+    benchmark.extra_info["fdiv_direct_mapped"] = series[1]["fdiv"][0]
+    benchmark.extra_info["fdiv_4way"] = series[4]["fdiv"][0]
+    # Paper: conflict misses hurt the direct-mapped table; a set size of
+    # 2 avoids the alternating-conflict pathology, and beyond 4 ways
+    # there is little left to gain.
+    assert series[2]["fdiv"][0] >= series[1]["fdiv"][0] - 0.02
+    assert series[4]["fmul"][0] >= series[1]["fmul"][0] - 0.02
+    gain_2_to_4 = series[4]["fdiv"][0] - series[2]["fdiv"][0]
+    gain_4_to_8 = series[8]["fdiv"][0] - series[4]["fdiv"][0]
+    assert gain_4_to_8 <= gain_2_to_4 + 0.05

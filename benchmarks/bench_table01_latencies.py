@@ -1,0 +1,16 @@
+"""Table 1: processor multiply/divide latencies (static data)."""
+
+from _config import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_latencies(benchmark):
+    result = run_once(benchmark, table1.run)
+    print()
+    print(result.render())
+    ratios = result.extras["div_to_mul_ratio"]
+    benchmark.extra_info["max_div_mul_ratio"] = max(ratios.values())
+    # The motivation for memoing division: it is many times slower than
+    # multiplication on every listed processor.
+    assert min(ratios.values()) > 4

@@ -1,0 +1,20 @@
+"""Table 6: SPEC CFP95 hit ratios, 32/4 vs infinite MEMO-TABLES."""
+
+from _config import run_once
+
+from repro.experiments import table6
+
+
+def test_table6_speccfp(benchmark):
+    result = run_once(benchmark, lambda: table6.run(scale=0.8))
+    print()
+    print(result.render())
+    imul32, fmul32, fdiv32, imul_inf, fmul_inf, fdiv_inf = result.extras["averages"]
+    benchmark.extra_info["fmul_32_avg"] = fmul32
+    benchmark.extra_info["fdiv_32_avg"] = fdiv32
+    # Paper shape (.20/.17 at 32 entries, .52/.59 infinite): low small-
+    # table ratios, large total reuse, hydro2d the high outlier.
+    assert fmul32 < 0.45
+    assert fmul_inf > fmul32
+    hydro = result.extras["ratios"]["hydro2d"]
+    assert hydro[1] is not None and hydro[1] > 0.3  # fmul.32 outlier

@@ -1,0 +1,25 @@
+"""Table 8: the image catalogue -- entropies and per-image hit ratios."""
+
+from _config import run_once
+
+from repro.experiments import table8
+
+
+def test_table8_images(benchmark):
+    result = run_once(
+        benchmark, lambda: table8.run(scale=0.1, kernels=("vgauss", "vslope"))
+    )
+    print()
+    print(result.render())
+    profiles = result.extras["profiles"]
+    benchmark.extra_info["fractal_fdiv"] = profiles["fractal"]["ratios"][2]
+    benchmark.extra_info["mandrill_fdiv"] = profiles["mandrill"]["ratios"][2]
+    # Low-entropy inputs must hit more (the Table 8 gradient).
+    assert (
+        profiles["fractal"]["ratios"][2] > profiles["mandrill"]["ratios"][2]
+    )
+    # Window entropies sit below full-image entropies on byte images.
+    for name, profile in profiles.items():
+        full, e16, e8 = profile["entropy"]
+        if full is not None:
+            assert e8 <= full + 1e-9, name

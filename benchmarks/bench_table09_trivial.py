@@ -1,0 +1,27 @@
+"""Table 9: trivial-operation policies (all / non-trivial / integrated)."""
+
+from _config import BENCH_IMAGES, BENCH_SCALE, run_once
+
+from repro.experiments import table9
+
+
+def test_table9_trivial_policies(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: table9.run(
+            scale=BENCH_SCALE,
+            images=BENCH_IMAGES,
+            apps=("vdiff", "vcost", "vgauss", "vspatial"),
+        ),
+    )
+    print()
+    print(result.render())
+    averages = result.extras["averages"]
+    # Columns per op: trv, all, non, intgr.  The paper's conclusion:
+    # integrating the trivial detector gives the highest hit ratios.
+    for op_index, op_name in enumerate(("imul", "fmul", "fdiv")):
+        trv, _all, non, intgr = averages[op_index * 4 : op_index * 4 + 4]
+        if non is None or intgr is None:
+            continue
+        benchmark.extra_info[f"{op_name}_intgr_minus_non"] = intgr - non
+        assert intgr >= non - 1e-9, op_name

@@ -1,0 +1,23 @@
+"""Table 10: mantissa-only vs full floating point tags."""
+
+from _config import BENCH_IMAGES, BENCH_SCALE, run_once
+
+from repro.experiments import table10
+
+
+def test_table10_mantissa_tags(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: table10.run(scale=BENCH_SCALE, images=BENCH_IMAGES),
+    )
+    print()
+    print(result.render())
+    for suite, values in result.extras["averages"].items():
+        fmul_full, fmul_mant, fdiv_full, fdiv_mant = values
+        if fmul_full is not None:
+            benchmark.extra_info[f"{suite}_fmul_gain"] = fmul_mant - fmul_full
+            # Paper: mantissa-only tags raise hit ratios, "albeit not by
+            # much" -- never lower them.
+            assert fmul_mant >= fmul_full - 1e-9, suite
+        if fdiv_full is not None:
+            assert fdiv_mant >= fdiv_full - 1e-9, suite

@@ -1,0 +1,36 @@
+"""Table 12: application speedup with fp multiplication memoized (3/5 cycles)."""
+
+from _config import BENCH_IMAGES, BENCH_SCALE, run_once
+
+from repro.experiments import table11, table12
+
+
+def test_table12_multiplication_speedup(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: table12.run(scale=BENCH_SCALE, images=BENCH_IMAGES),
+    )
+    print()
+    print(result.render())
+    fast = result.extras["averages"]["fast-fp"]
+    slow = result.extras["averages"]["slow-fp"]
+    benchmark.extra_info["avg_speedup_3cyc"] = fast["speedup"]
+    benchmark.extra_info["avg_speedup_5cyc"] = slow["speedup"]
+    assert fast["speedup"] >= 1.0
+    assert slow["speedup"] >= fast["speedup"] - 1e-9
+
+
+def test_division_memoing_beats_multiplication_memoing(benchmark):
+    """Paper section 3.3: long division latencies make fdiv memoing the
+    bigger win, motivating sqrt/log/trig as future targets."""
+
+    def both():
+        kwargs = dict(scale=BENCH_SCALE, images=BENCH_IMAGES)
+        return table11.run(**kwargs), table12.run(**kwargs)
+
+    div_result, mul_result = run_once(benchmark, both)
+    div_gain = div_result.extras["averages"]["slow-fp"]["speedup"] - 1
+    mul_gain = mul_result.extras["averages"]["slow-fp"]["speedup"] - 1
+    benchmark.extra_info["div_gain"] = div_gain
+    benchmark.extra_info["mul_gain"] = mul_gain
+    assert div_gain >= mul_gain

@@ -1,0 +1,26 @@
+"""Table 13: speedup with both fmul and fdiv memoized (the headline result)."""
+
+from _config import BENCH_IMAGES, BENCH_SCALE, run_once
+
+from repro.experiments import table13
+
+
+def test_table13_combined_speedup(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: table13.run(scale=BENCH_SCALE, images=BENCH_IMAGES),
+    )
+    print()
+    print(result.render())
+    fast = result.extras["averages"]["fast-fp"]
+    slow = result.extras["averages"]["slow-fp"]
+    benchmark.extra_info["avg_speedup_fast"] = fast["speedup"]
+    benchmark.extra_info["avg_speedup_slow"] = slow["speedup"]
+    benchmark.extra_info["measured_speedup_slow"] = slow["measured_speedup"]
+    # Paper: average speedup between 8% (3/13 machine) and 22% (5/39).
+    # The reproduction's shape requirements: both machines gain, the
+    # slow-FP machine gains more, and Amdahl agrees with the directly
+    # measured cycle ratio.
+    assert fast["speedup"] > 1.0
+    assert slow["speedup"] > fast["speedup"]
+    assert abs(slow["speedup"] - slow["measured_speedup"]) < 0.15

@@ -1,0 +1,72 @@
+"""Running a real (toy) binary: the Shade-style measurement loop.
+
+The paper instrumented SPARC binaries with Shade.  This example does
+the equivalent end to end on the library's SPARC-flavoured machine:
+
+1. assemble a vector-normalisation kernel;
+2. execute it, emitting an instruction trace with true PCs and register
+   dataflow;
+3. feed the trace to the memo-table simulator, the hazard-aware
+   pipeline, and the Reuse Buffer comparison.
+
+Run:  python examples/assembly_program.py
+"""
+
+import numpy as np
+
+from repro import Operation
+from repro.arch.latency import by_name
+from repro.core.bank import MemoTableBank
+from repro.core.reuse_buffer import run_reuse_buffer
+from repro.isa import PROGRAMS, Machine, assemble
+from repro.isa.opcodes import Opcode
+from repro.simulator import HazardModel, ShadeSimulator
+
+
+def main() -> None:
+    # An 8-bit-quantised signal: the multimedia regime.
+    rng = np.random.default_rng(3)
+    signal = np.floor(rng.random(96) * 16.0) + 1.0
+
+    machine = Machine(assemble(PROGRAMS["vector_normalize"]))
+    machine.int_regs[1] = len(signal)
+    machine.write_doubles(0x1000, signal)
+    steps = machine.run()
+    out = machine.read_doubles(0x1000, len(signal))
+    norm = float(np.sqrt((signal**2).sum()))
+    assert np.allclose(out, signal / norm)
+    print(f"executed {steps} instructions; output verified against numpy")
+
+    trace = machine.trace
+    counts = trace.breakdown()
+    print("\ninstruction breakdown:")
+    for opcode, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        print(f"  {opcode.value:7s} {count:6d}")
+
+    # Memo-table statistics: every fdiv shares the same divisor (the
+    # norm), so the division working set is the signal's value set.
+    report = ShadeSimulator(MemoTableBank.paper_baseline()).run(trace)
+    print(f"\nfdiv hit ratio (32/4 table): {report.hit_ratio(Operation.FP_DIV):.2f}")
+    print(f"fmul hit ratio (32/4 table): {report.hit_ratio(Operation.FP_MUL):.2f}")
+
+    # Hazard-aware timing on a Pentium Pro, with and without the table.
+    machine_model = by_name("Pentium Pro")
+    baseline = HazardModel(machine_model).run(trace)
+    bank = MemoTableBank.paper_baseline(latencies=machine_model.latencies())
+    memoized = HazardModel(machine_model, bank=bank).run(trace)
+    print(f"\nhazard-aware cycles: {baseline.total_cycles} -> "
+          f"{memoized.total_cycles} "
+          f"(speedup {baseline.total_cycles / memoized.total_cycles:.2f})")
+    print(f"RAW stalls {baseline.raw_stall_cycles} -> {memoized.raw_stall_cycles}; "
+          f"structural {baseline.structural_stall_cycles} -> "
+          f"{memoized.structural_stall_cycles}")
+
+    # Reuse Buffer comparison: real PCs from the binary.
+    _, rb_report = run_reuse_buffer(trace)
+    print(f"\nReuse Buffer (1024 entries) fdiv hit ratio: "
+          f"{rb_report.hit_ratio(Opcode.FDIV):.2f} "
+          "(PC-keyed; one static divide site)")
+
+
+if __name__ == "__main__":
+    main()

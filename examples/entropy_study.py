@@ -1,0 +1,60 @@
+"""Entropy vs memoization: reproduce Figure 2's insight on custom data.
+
+Generates a family of images that differ only in entropy (same size,
+same generator, different quantisation), runs one kernel over each, and
+fits the hit-ratio-per-bit line with the same Levenberg-Marquardt
+machinery the paper used.
+
+Run:  python examples/entropy_study.py
+"""
+
+import os
+
+from repro import Operation
+from repro.analysis.fitting import fit_line_lm, pearson_r
+from repro.images import histogram_entropy
+from repro.images.synthetic import equalize_to_levels, smooth_field
+from repro.experiments.common import replay
+from repro.workloads.khoros import run_kernel
+from repro.workloads.recorder import OperationRecorder
+
+
+SIDE = int(40 * float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.2")) / 0.2)
+
+
+def make_image(levels: int, seed: int = 5):
+    """Same texture, quantised to `levels` grey values (entropy dial)."""
+    field = smooth_field((SIDE, SIDE), correlation=4, seed=seed)
+    quantized = equalize_to_levels(field, levels)
+    return (quantized * (255 // max(levels - 1, 1))).astype(int)
+
+
+def main() -> None:
+    entropies, mul_hits, div_hits = [], [], []
+    print("levels  entropy  fmul.32  fdiv.32")
+    print("-" * 36)
+    for levels in (2, 4, 8, 16, 32, 64, 128, 256):
+        image = make_image(levels)
+        entropy = histogram_entropy(image)
+        recorder = OperationRecorder()
+        run_kernel("vgauss", recorder, image)
+        report = replay(recorder.trace, None)
+        fmul = report.hit_ratio(Operation.FP_MUL)
+        fdiv = report.hit_ratio(Operation.FP_DIV)
+        entropies.append(entropy)
+        mul_hits.append(fmul)
+        div_hits.append(fdiv)
+        print(f"{levels:6d}  {entropy:7.2f}  {fmul:7.2f}  {fdiv:7.2f}")
+
+    print()
+    for name, ys in (("fmul", mul_hits), ("fdiv", div_hits)):
+        fit = fit_line_lm(entropies, ys)
+        print(
+            f"{name}: {fit.percent_per_bit:+.1f}% hit ratio per bit of entropy "
+            f"(r = {pearson_r(entropies, ys):+.2f})"
+        )
+    print("\n(paper, Figure 2: roughly -5% per bit on the Khoros suite)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""The paper in one sitting: a guided tour of the reproduction.
+
+Walks the argument of the paper section by section at miniature scale,
+printing the evidence at each step.  Takes a minute or two; pass a
+bigger REPRO_EXAMPLE_SCALE for numbers closer to the defaults.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+import os
+
+from repro.arch.latency import TABLE1_PROCESSORS
+from repro.experiments import run_experiment
+from repro.experiments.reference import PAPER_TABLE7, compare_to_paper
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.1"))
+IMAGES = ("Muppet1", "chroms", "fractal")
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main() -> None:
+    banner("1. The problem (Table 1): division is an order of magnitude "
+           "slower than multiplication, and nobody pipelines it")
+    for model in TABLE1_PROCESSORS:
+        print(f"  {model.name:14s} fmul {model.fp_mul:2d} cyc   "
+              f"fdiv {model.fp_div:2d} cyc   ({model.fp_div / model.fp_mul:.0f}x)")
+
+    banner("2. The bet (sections 2.1-2.2): a 32-entry table next to the "
+           "divider turns repeats into single cycles")
+    from repro import MemoizedUnit, Operation
+    unit = MemoizedUnit(Operation.FP_DIV, latency=39)
+    for a, b in [(355.0, 113.0), (355.0, 113.0), (22.0, 7.0), (355.0, 113.0)]:
+        outcome = unit.execute(a, b)
+        print(f"  {a:6.1f}/{b:6.1f} -> {outcome.cycles:2d} cycles "
+              f"({'hit' if outcome.hit else 'miss'})")
+
+    banner("3. Why multimedia (section 3.2): low-entropy data means "
+           "repeating operand pairs (Table 7 vs Tables 5/6)")
+    mm = run_experiment("table7", scale=SCALE, images=IMAGES)
+    perfect = run_experiment("table5", scale=0.6)
+    print(f"  MM suite      fmul {mm.extras['averages'][1]:.2f}   "
+          f"fdiv {mm.extras['averages'][2]:.2f}   (paper: "
+          f"{PAPER_TABLE7['average'][1]:.2f} / {PAPER_TABLE7['average'][2]:.2f})")
+    print(f"  Perfect suite fmul {perfect.extras['averages'][1]:.2f}   "
+          f"fdiv {perfect.extras['averages'][2] or 0:.2f}   "
+          "(scientific codes barely repeat)")
+
+    banner("4. The entropy law (Figure 2): every bit of entropy costs "
+           "hit ratio")
+    figure = run_experiment("figure2", scale=SCALE, kernels=("vgauss", "vslope"))
+    for row in figure.rows:
+        print("  " + "  ".join(str(cell) for cell in row))
+
+    banner("5. The payoff (Table 13): memoizing fmul+fdiv speeds whole "
+           "applications up")
+    speedup = run_experiment("table13", scale=SCALE, images=IMAGES)
+    for machine, values in speedup.extras["averages"].items():
+        print(f"  {machine:8s} average speedup {values['speedup']:.2f} "
+              f"(measured cycle ratio {values['measured_speedup']:.2f})")
+
+    banner("6. Scorecard: paper vs this run (Table 7, 32-entry columns)")
+    comparison = compare_to_paper(mm)
+    print(comparison.render())
+
+    print()
+    print("Full-size runs: `repro all --compare` (see EXPERIMENTS.md).")
+
+
+if __name__ == "__main__":
+    main()

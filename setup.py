@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Keeps ``pip install -e .`` working on minimal environments where the
+``wheel`` package is unavailable (pip falls back to the legacy editable
+path through this file).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

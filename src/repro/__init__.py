@@ -1,0 +1,93 @@
+"""repro -- reproduction of "Accelerating Multi-Media Processing by
+Implementing Memoing in Multiplication and Division Units" (Citron,
+Feitelson & Rudolph, ASPLOS 1998).
+
+Quickstart::
+
+    from repro import MemoizedUnit, Operation
+
+    fdiv = MemoizedUnit(Operation.FP_DIV, latency=13)
+    first = fdiv.execute(355.0, 113.0)   # miss: 13 cycles
+    again = fdiv.execute(355.0, 113.0)   # hit:  1 cycle
+    assert again.value == first.value and again.cycles == 1
+
+See :mod:`repro.experiments` for the drivers that regenerate every table
+and figure of the paper's evaluation.
+"""
+
+from .core import (
+    DEFAULT_LATENCIES,
+    PAPER_BASELINE,
+    Execution,
+    InfiniteMemoTable,
+    LookupResult,
+    MemoStats,
+    MemoTable,
+    MemoTableBank,
+    MemoTableConfig,
+    MemoizedUnit,
+    Operation,
+    OperandKind,
+    PlainUnit,
+    ReplacementKind,
+    TagMode,
+    TrivialPolicy,
+    UnitStats,
+    compute,
+)
+from .errors import (
+    ConfigurationError,
+    ExperimentError,
+    ReproError,
+    TraceFormatError,
+    WorkloadError,
+)
+from .isa import Opcode, Trace, TraceEvent
+from .simulator import (
+    Cache,
+    CycleModel,
+    MemoizedCPU,
+    MemoryHierarchy,
+    ShadeSimulator,
+    SimulationReport,
+)
+from .workloads import OperationRecorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_LATENCIES",
+    "PAPER_BASELINE",
+    "Execution",
+    "InfiniteMemoTable",
+    "LookupResult",
+    "MemoStats",
+    "MemoTable",
+    "MemoTableBank",
+    "MemoTableConfig",
+    "MemoizedUnit",
+    "Operation",
+    "OperandKind",
+    "PlainUnit",
+    "ReplacementKind",
+    "TagMode",
+    "TrivialPolicy",
+    "UnitStats",
+    "compute",
+    "ConfigurationError",
+    "ExperimentError",
+    "ReproError",
+    "TraceFormatError",
+    "WorkloadError",
+    "Opcode",
+    "Trace",
+    "TraceEvent",
+    "Cache",
+    "CycleModel",
+    "MemoizedCPU",
+    "MemoryHierarchy",
+    "ShadeSimulator",
+    "SimulationReport",
+    "OperationRecorder",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Analysis substrate: Amdahl model, curve fitting, reuse analysis, reports."""
+
+from .amdahl import AmdahlPoint, amdahl_speedup, new_execution_time, speedup_enhanced
+from .fitting import LineFit, fit_line_lm, pearson_r
+from .reuse import (
+    RegisterInstanceStats,
+    ReuseProfile,
+    hit_ratio_for_capacity,
+    register_instance_stats,
+    reuse_profile,
+)
+from .tables import format_ratio, format_table
+
+__all__ = [
+    "AmdahlPoint",
+    "amdahl_speedup",
+    "new_execution_time",
+    "speedup_enhanced",
+    "LineFit",
+    "fit_line_lm",
+    "pearson_r",
+    "RegisterInstanceStats",
+    "ReuseProfile",
+    "hit_ratio_for_capacity",
+    "register_instance_stats",
+    "reuse_profile",
+    "format_ratio",
+    "format_table",
+]

@@ -1,0 +1,81 @@
+"""Amdahl's-law speedup model (section 3.3).
+
+The paper computes application speedup from two quantities:
+
+* **Fraction Enhanced (FE)** -- the fraction of baseline execution
+  cycles spent in the memoized instruction class;
+* **Speedup Enhanced (SE)** -- how much faster that class alone becomes,
+  which for a unit of latency ``dc`` and a table hit ratio ``hr`` is::
+
+      SE = dc / ((1 - hr) * dc + hr)
+
+  (a hit costs one cycle, a miss still costs ``dc``).
+
+The new execution time is ``T_old * ((1 - FE) + FE / SE)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "speedup_enhanced",
+    "amdahl_speedup",
+    "new_execution_time",
+    "AmdahlPoint",
+]
+
+
+def speedup_enhanced(latency: int, hit_ratio: float) -> float:
+    """SE for one operation class: ``dc / ((1-hr)*dc + hr)``.
+
+    ``latency`` is the multi-cycle operation's latency ``dc`` (>= 1);
+    ``hit_ratio`` in [0, 1].  A zero hit ratio yields 1.0 (no change); a
+    perfect hit ratio yields ``dc`` (every operation in one cycle).
+    """
+    if latency < 1:
+        raise ValueError(f"latency must be >= 1, got {latency}")
+    if not 0.0 <= hit_ratio <= 1.0:
+        raise ValueError(f"hit ratio must be in [0, 1], got {hit_ratio}")
+    return latency / ((1.0 - hit_ratio) * latency + hit_ratio)
+
+
+def new_execution_time(t_old: float, fe: float, se: float) -> float:
+    """``T_new = T_old * ((1 - FE) + FE / SE)``."""
+    _check_fe_se(fe, se)
+    return t_old * ((1.0 - fe) + fe / se)
+
+
+def amdahl_speedup(fe: float, se: float) -> float:
+    """Overall speedup ``T_old / T_new`` for fraction ``fe`` sped up by ``se``."""
+    _check_fe_se(fe, se)
+    return 1.0 / ((1.0 - fe) + fe / se)
+
+
+def _check_fe_se(fe: float, se: float) -> None:
+    if not 0.0 <= fe <= 1.0:
+        raise ValueError(f"FE must be in [0, 1], got {fe}")
+    if se < 1.0:
+        raise ValueError(f"SE must be >= 1, got {se}")
+
+
+@dataclass(frozen=True)
+class AmdahlPoint:
+    """One (hit ratio, latency, FE) combination and its derived numbers.
+
+    Mirrors one cell group of Tables 11/12: given the measured hit ratio,
+    the unit latency assumption and the measured FE, compute SE and the
+    application speedup.
+    """
+
+    hit_ratio: float
+    latency: int
+    fraction_enhanced: float
+
+    @property
+    def speedup_enhanced(self) -> float:
+        return speedup_enhanced(self.latency, self.hit_ratio)
+
+    @property
+    def speedup(self) -> float:
+        return amdahl_speedup(self.fraction_enhanced, self.speedup_enhanced)

@@ -1,0 +1,171 @@
+"""Terminal plotting for the figure experiments.
+
+The paper's figures are line/scatter charts; the CLI renders them as
+Unicode plots so ``repro figure3 --plot`` shows the curve shape without
+any plotting dependency.  Pure text in, pure text out -- easy to test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["line_plot", "scatter_plot", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sketch of a series (8 vertical levels)."""
+    points = [v for v in values if v is not None]
+    if not points:
+        return ""
+    low = min(points)
+    high = max(points)
+    span = (high - low) or 1.0
+    out = []
+    for value in values:
+        if value is None:
+            out.append(" ")
+            continue
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def _scale(value, low, high, steps):
+    if high == low:
+        return 0
+    return round((value - low) / (high - low) * steps)
+
+
+def _axis_labels(low: float, high: float) -> Tuple[str, str]:
+    return f"{low:.2f}", f"{high:.2f}"
+
+
+def line_plot(
+    xs: Sequence[float],
+    series: Sequence[Tuple[str, Sequence[Optional[float]]]],
+    width: int = 60,
+    height: int = 14,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Multi-series line chart on a character grid.
+
+    ``series`` is ``[(name, ys), ...]``; each series gets a marker from
+    ``*+ox#``.  Missing points (None) are skipped.
+    """
+    if not xs or not series:
+        raise ValueError("need x values and at least one series")
+    markers = "*+ox#@"
+    all_y = [
+        y for _, ys in series for y in ys if y is not None
+    ]
+    if not all_y:
+        raise ValueError("no data points to plot")
+    y_low, y_high = min(all_y), max(all_y)
+    if y_low == y_high:
+        y_low -= 0.5
+        y_high += 0.5
+    x_low, x_high = min(xs), max(xs)
+
+    grid: List[List[str]] = [[" "] * (width + 1) for _ in range(height + 1)]
+    for index, (name, ys) in enumerate(series):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            if y is None:
+                continue
+            column = _scale(x, x_low, x_high, width)
+            row = height - _scale(y, y_low, y_high, height)
+            grid[row][column] = marker
+
+    top_label, bottom_label = f"{y_high:.2f}", f"{y_low:.2f}"
+    gutter = max(len(top_label), len(bottom_label))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(gutter)
+        elif row_index == height:
+            label = bottom_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}")
+    x_left, x_right = _axis_labels(x_low, x_high)
+    axis = " " * gutter + " +" + "-" * (width + 1)
+    lines.append(axis)
+    footer = (
+        " " * gutter + "  " + x_left + " " * max(1, width - len(x_left) - len(x_right) + 2) + x_right
+    )
+    lines.append(footer)
+    if x_label:
+        lines.append(" " * gutter + "  " + x_label)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, (name, _) in enumerate(series)
+    )
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 14,
+    title: str = "",
+    fit: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Scatter chart, optionally overlaying a fitted line (slope, intercept)."""
+    if not points:
+        raise ValueError("no points to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if fit is not None:
+        slope, intercept = fit
+        for x in (x_low, x_high):
+            y = slope * x + intercept
+            y_low = min(y_low, y)
+            y_high = max(y_high, y)
+    if y_low == y_high:
+        y_low -= 0.5
+        y_high += 0.5
+    if x_low == x_high:
+        x_low -= 0.5
+        x_high += 0.5
+
+    grid: List[List[str]] = [[" "] * (width + 1) for _ in range(height + 1)]
+    if fit is not None:
+        slope, intercept = fit
+        for column in range(width + 1):
+            x = x_low + (x_high - x_low) * column / width
+            y = slope * x + intercept
+            if y_low <= y <= y_high:
+                row = height - _scale(y, y_low, y_high, height)
+                grid[row][column] = "."
+    for x, y in points:
+        column = _scale(x, x_low, x_high, width)
+        row = height - _scale(y, y_low, y_high, height)
+        grid[row][column] = "*"
+
+    top_label, bottom_label = f"{y_high:.2f}", f"{y_low:.2f}"
+    gutter = max(len(top_label), len(bottom_label))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(gutter)
+        elif row_index == height:
+            label = bottom_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * (width + 1))
+    x_left, x_right = _axis_labels(x_low, x_high)
+    lines.append(
+        " " * gutter + "  " + x_left
+        + " " * max(1, width - len(x_left) - len(x_right) + 2) + x_right
+    )
+    return "\n".join(lines)

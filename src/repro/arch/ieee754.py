@@ -1,0 +1,187 @@
+"""Bit-level IEEE-754 helpers.
+
+The MEMO-TABLE of the paper operates on the *bit patterns* of operands:
+
+* the set index for floating point operands is formed by XOR-ing the *n*
+  most significant bits of the two mantissas (paper section 3.1);
+* the "mantissa-only" tag variant (Table 10) compares just the 52-bit
+  mantissa fields.
+
+This module provides the bit manipulation substrate for both float64 and
+float32, independent of the host's float formatting.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "FLOAT64_MANTISSA_BITS",
+    "FLOAT64_EXPONENT_BITS",
+    "FLOAT32_MANTISSA_BITS",
+    "FLOAT32_EXPONENT_BITS",
+    "Float64Parts",
+    "Float32Parts",
+    "float64_to_bits",
+    "bits_to_float64",
+    "float32_to_bits",
+    "bits_to_float32",
+    "decompose64",
+    "decompose32",
+    "compose64",
+    "compose32",
+    "mantissa64",
+    "mantissa32",
+    "mantissa_msbs64",
+    "exponent64",
+    "sign64",
+    "is_finite_bits64",
+]
+
+FLOAT64_MANTISSA_BITS = 52
+FLOAT64_EXPONENT_BITS = 11
+FLOAT32_MANTISSA_BITS = 23
+FLOAT32_EXPONENT_BITS = 8
+
+_EXP64_MASK = (1 << FLOAT64_EXPONENT_BITS) - 1
+_MANT64_MASK = (1 << FLOAT64_MANTISSA_BITS) - 1
+_EXP32_MASK = (1 << FLOAT32_EXPONENT_BITS) - 1
+_MANT32_MASK = (1 << FLOAT32_MANTISSA_BITS) - 1
+
+
+@dataclass(frozen=True)
+class Float64Parts:
+    """Raw IEEE-754 double precision fields (unbiased decoding left to callers)."""
+
+    sign: int
+    exponent: int  # biased, 11 bits
+    mantissa: int  # 52 bits, without the implicit leading one
+
+
+@dataclass(frozen=True)
+class Float32Parts:
+    """Raw IEEE-754 single precision fields."""
+
+    sign: int
+    exponent: int  # biased, 8 bits
+    mantissa: int  # 23 bits
+
+
+def float64_to_bits(value: float) -> int:
+    """Return the 64-bit pattern of ``value`` as an unsigned integer."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float64(bits: int) -> float:
+    """Return the float whose 64-bit pattern is ``bits``."""
+    return struct.unpack("<d", struct.pack("<Q", bits & 0xFFFFFFFFFFFFFFFF))[0]
+
+
+def float32_to_bits(value: float) -> int:
+    """Return the 32-bit pattern of ``value`` (rounded to single precision)."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_float32(bits: int) -> float:
+    """Return the float whose 32-bit single precision pattern is ``bits``."""
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+def decompose64(value: float) -> Float64Parts:
+    """Split ``value`` into raw (sign, biased exponent, mantissa) fields."""
+    bits = float64_to_bits(value)
+    return Float64Parts(
+        sign=bits >> 63,
+        exponent=(bits >> FLOAT64_MANTISSA_BITS) & _EXP64_MASK,
+        mantissa=bits & _MANT64_MASK,
+    )
+
+
+def decompose32(value: float) -> Float32Parts:
+    """Split ``value`` into raw single-precision fields."""
+    bits = float32_to_bits(value)
+    return Float32Parts(
+        sign=bits >> 31,
+        exponent=(bits >> FLOAT32_MANTISSA_BITS) & _EXP32_MASK,
+        mantissa=bits & _MANT32_MASK,
+    )
+
+
+def compose64(parts: Float64Parts) -> float:
+    """Rebuild a float from raw double-precision fields."""
+    bits = (
+        ((parts.sign & 1) << 63)
+        | ((parts.exponent & _EXP64_MASK) << FLOAT64_MANTISSA_BITS)
+        | (parts.mantissa & _MANT64_MASK)
+    )
+    return bits_to_float64(bits)
+
+
+def compose32(parts: Float32Parts) -> float:
+    """Rebuild a float from raw single-precision fields."""
+    bits = (
+        ((parts.sign & 1) << 31)
+        | ((parts.exponent & _EXP32_MASK) << FLOAT32_MANTISSA_BITS)
+        | (parts.mantissa & _MANT32_MASK)
+    )
+    return bits_to_float32(bits)
+
+
+def mantissa64(value: float) -> int:
+    """Return the raw 52-bit mantissa field of ``value``."""
+    return float64_to_bits(value) & _MANT64_MASK
+
+
+def mantissa32(value: float) -> int:
+    """Return the raw 23-bit mantissa field of ``value``."""
+    return float32_to_bits(value) & _MANT32_MASK
+
+
+def mantissa_msbs64(value: float, n: int) -> int:
+    """Return the ``n`` most significant bits of the 52-bit mantissa field.
+
+    This is the quantity the paper XORs across the two operands to index
+    the floating point MEMO-TABLE.  ``n`` of zero returns zero.
+    """
+    if n < 0:
+        raise ValueError(f"bit count must be non-negative, got {n}")
+    if n == 0:
+        return 0
+    if n >= FLOAT64_MANTISSA_BITS:
+        return mantissa64(value)
+    return mantissa64(value) >> (FLOAT64_MANTISSA_BITS - n)
+
+
+def exponent64(value: float) -> int:
+    """Return the raw (biased) 11-bit exponent field of ``value``."""
+    return (float64_to_bits(value) >> FLOAT64_MANTISSA_BITS) & _EXP64_MASK
+
+
+def sign64(value: float) -> int:
+    """Return the sign bit of ``value`` (1 for negative, including -0.0)."""
+    return float64_to_bits(value) >> 63
+
+
+def is_finite_bits64(bits: int) -> bool:
+    """True when the 64-bit pattern encodes a finite number (not inf/NaN)."""
+    return ((bits >> FLOAT64_MANTISSA_BITS) & _EXP64_MASK) != _EXP64_MASK
+
+
+def ulp_distance64(a: float, b: float) -> int:
+    """Distance between two finite floats in units-in-the-last-place.
+
+    Useful for tests that assert a memoized pipeline produced the exact
+    same result as direct computation.
+    """
+    if not (math.isfinite(a) and math.isfinite(b)):
+        raise ValueError("ulp distance is defined for finite values only")
+
+    def ordered(x: float) -> int:
+        bits = float64_to_bits(x)
+        if bits >> 63:
+            return -(bits & 0x7FFFFFFFFFFFFFFF)
+        return bits & 0x7FFFFFFFFFFFFFFF
+
+    return abs(ordered(a) - ordered(b))

@@ -1,0 +1,94 @@
+"""Processor latency models (Table 1 of the paper).
+
+Table 1 lists floating point multiplication and division latencies for
+six mid-1990s microprocessors; the speedup analysis (Tables 11-13) uses
+two synthetic design points derived from them (3/13 "fast" and 5/39
+"slow").  All of those live here, plus a generic :class:`ProcessorModel`
+users can instantiate for their own machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from ..core.operations import Operation
+
+__all__ = [
+    "ProcessorModel",
+    "TABLE1_PROCESSORS",
+    "FAST_DESIGN",
+    "SLOW_DESIGN",
+    "paper_design_points",
+]
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """Instruction latencies of one machine, in cycles.
+
+    Only the latencies the memoing analysis needs are required; anything
+    missing falls back to ``default_latency``.
+    """
+
+    name: str
+    fp_mul: int
+    fp_div: int
+    int_mul: int = 5
+    int_div: int = 20
+    fp_sqrt: int = 20
+    fp_transcendental: int = 40  # log/sin/cos (software or CORDIC)
+    default_latency: int = 1
+    notes: str = ""
+
+    def latency(self, op: Operation) -> int:
+        """Latency of ``op`` on this machine."""
+        table = {
+            Operation.FP_MUL: self.fp_mul,
+            Operation.FP_DIV: self.fp_div,
+            Operation.INT_MUL: self.int_mul,
+            Operation.INT_DIV: self.int_div,
+            Operation.FP_SQRT: self.fp_sqrt,
+            Operation.FP_RECIP: self.fp_div,
+            Operation.FP_LOG: self.fp_transcendental,
+            Operation.FP_SIN: self.fp_transcendental,
+            Operation.FP_COS: self.fp_transcendental,
+        }
+        return table.get(op, self.default_latency)
+
+    def latencies(self) -> Dict[Operation, int]:
+        """Latency map for all memoizable operations."""
+        return {op: self.latency(op) for op in Operation}
+
+
+#: Table 1 verbatim: FP multiplication and division latencies.
+TABLE1_PROCESSORS: Tuple[ProcessorModel, ...] = (
+    ProcessorModel("Pentium Pro", fp_mul=3, fp_div=39),
+    ProcessorModel("Alpha 21164", fp_mul=4, fp_div=31),
+    ProcessorModel("MIPS R10000", fp_mul=2, fp_div=40),
+    ProcessorModel("PPC 604e", fp_mul=5, fp_div=31),
+    ProcessorModel("UltraSparc-II", fp_mul=3, fp_div=22),
+    ProcessorModel("PA 8000", fp_mul=5, fp_div=31),
+)
+
+#: The two design points of the speedup tables: a machine with very fast
+#: FP units (3-cycle multiply, 13-cycle divide) and a slower one (5/39).
+FAST_DESIGN = ProcessorModel(
+    "fast-fp", fp_mul=3, fp_div=13, notes="Tables 11-13, fast column"
+)
+SLOW_DESIGN = ProcessorModel(
+    "slow-fp", fp_mul=5, fp_div=39, notes="Tables 11-13, slow column"
+)
+
+
+def paper_design_points() -> Tuple[ProcessorModel, ProcessorModel]:
+    """The (fast, slow) pair used by every speedup table."""
+    return FAST_DESIGN, SLOW_DESIGN
+
+
+def by_name(name: str) -> ProcessorModel:
+    """Look up a Table 1 processor (or design point) by name."""
+    for model in TABLE1_PROCESSORS + (FAST_DESIGN, SLOW_DESIGN):
+        if model.name.lower() == name.lower():
+            return model
+    raise KeyError(f"unknown processor model: {name!r}")

@@ -1,0 +1,106 @@
+"""Command line interface: ``repro <experiment> [--scale S]``.
+
+Regenerates any table or figure of the paper on the terminal::
+
+    repro table7 --scale 0.2
+    repro figure3
+    repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import experiment_names, run_experiment
+from .experiments.plots import render_plot
+from .experiments.reference import compare_to_paper
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables/figures of 'Accelerating Multi-Media "
+            "Processing by Implementing Memoing in Multiplication and "
+            "Division Units' (ASPLOS 1998)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=list(experiment_names()) + ["all", "list"],
+        help="experiment id, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale factor (bigger = slower, closer to paper sizes)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write results as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render figure experiments as terminal charts",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="print paper-vs-measured comparison where reference data exists",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in experiment_names():
+            print(name)
+        return 0
+    names = list(experiment_names()) if args.experiment == "all" else [args.experiment]
+    documents = []
+    for name in names:
+        kwargs = {}
+        if args.scale is not None and name != "table1":
+            kwargs["scale"] = args.scale
+        started = time.time()
+        result = run_experiment(name, **kwargs)
+        print(result.render())
+        if args.plot:
+            chart = render_plot(result)
+            if chart is not None:
+                print()
+                print(chart)
+        if args.compare:
+            comparison = compare_to_paper(result)
+            if comparison is not None:
+                print()
+                print(comparison.render())
+        print(f"[{name} in {time.time() - started:.1f}s]")
+        print()
+        documents.append(result.to_dict())
+    if args.json is not None:
+        payload = json.dumps(
+            documents[0] if len(documents) == 1 else documents, indent=2
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(payload + "\n")
+            print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

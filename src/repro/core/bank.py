@@ -1,0 +1,91 @@
+"""A bank of memoized units, one per operation class.
+
+The simulated system of section 3.1 places MEMO-TABLES next to the
+integer multiplier, FP multiplier, and FP divider; a
+:class:`MemoTableBank` bundles those three (optionally more, for the
+future-work operations) behind one dispatch interface, which is what the
+trace-driven simulator talks to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from .config import MemoTableConfig, TrivialPolicy
+from .memo_table import InfiniteMemoTable
+from .operations import Operation
+from .stats import UnitStats
+from .unit import DEFAULT_LATENCIES, Execution, MemoizedUnit
+
+__all__ = ["MemoTableBank"]
+
+#: The operation classes instrumented in the paper's simulations.
+PAPER_OPERATIONS = (Operation.INT_MUL, Operation.FP_MUL, Operation.FP_DIV)
+
+
+class MemoTableBank:
+    """Per-operation memoized units behind a single ``execute`` call."""
+
+    def __init__(self, units: Mapping[Operation, MemoizedUnit]) -> None:
+        self.units: Dict[Operation, MemoizedUnit] = dict(units)
+
+    @classmethod
+    def paper_baseline(
+        cls,
+        config: Optional[MemoTableConfig] = None,
+        operations: Iterable[Operation] = PAPER_OPERATIONS,
+        trivial_policy: TrivialPolicy = TrivialPolicy.EXCLUDE,
+        latencies: Optional[Mapping[Operation, int]] = None,
+    ) -> "MemoTableBank":
+        """Build the paper's simulated system.
+
+        One 32-entry 4-way table per unit by default; ``config`` overrides
+        the geometry for every unit (operand kind and commutativity are
+        always corrected per operation).
+        """
+        latencies = dict(latencies or DEFAULT_LATENCIES)
+        units = {}
+        for op in operations:
+            units[op] = MemoizedUnit(
+                op,
+                config=config,
+                latency=latencies.get(op, DEFAULT_LATENCIES[op]),
+                trivial_policy=trivial_policy,
+            )
+        return cls(units)
+
+    @classmethod
+    def infinite(
+        cls,
+        operations: Iterable[Operation] = PAPER_OPERATIONS,
+        trivial_policy: TrivialPolicy = TrivialPolicy.EXCLUDE,
+    ) -> "MemoTableBank":
+        """Build the "infinitely large fully associative" reference system."""
+        units = {}
+        for op in operations:
+            table = InfiniteMemoTable(
+                operand_kind=op.operand_kind, commutative=op.commutative
+            )
+            units[op] = MemoizedUnit(op, table=table, trivial_policy=trivial_policy)
+        return cls(units)
+
+    def execute(self, op: Operation, a: float, b: float = 0.0) -> Execution:
+        """Dispatch one operation to its unit."""
+        return self.units[op].execute(a, b)
+
+    def supports(self, op: Operation) -> bool:
+        return op in self.units
+
+    def hit_ratio(self, op: Operation) -> float:
+        return self.units[op].hit_ratio
+
+    def stats(self) -> Dict[Operation, UnitStats]:
+        return {op: unit.stats for op, unit in self.units.items()}
+
+    def reset_stats(self) -> None:
+        for unit in self.units.values():
+            unit.reset_stats()
+
+    def flush(self) -> None:
+        for unit in self.units.values():
+            unit.table.flush()

@@ -1,0 +1,178 @@
+"""Configuration objects for MEMO-TABLES.
+
+The paper's basic configuration is a 32-entry table arranged as 8 sets of
+4 ways (section 3.2), storing full floating point values, excluding
+trivial operations, with LRU-like replacement.  All of those choices are
+knobs here, because the evaluation sweeps them (Figures 3 and 4, Tables 9
+and 10).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "OperandKind",
+    "TagMode",
+    "ReplacementKind",
+    "TrivialPolicy",
+    "MemoTableConfig",
+    "PAPER_BASELINE",
+]
+
+
+class OperandKind(enum.Enum):
+    """What kind of operand bits the table indexes and tags."""
+
+    INT = "int"
+    FLOAT = "float"
+
+
+class TagMode(enum.Enum):
+    """How much of a floating point operand participates in the tag.
+
+    ``FULL`` stores the whole 64-bit pattern of each operand; ``MANTISSA``
+    stores only the 52-bit mantissa fields (Table 10), which raises hit
+    ratios slightly at the cost of needing an exponent adder next to the
+    table.  Integer tables always tag the full operand values.
+    """
+
+    FULL = "full"
+    MANTISSA = "mantissa"
+
+
+class ReplacementKind(enum.Enum):
+    """Victim selection policy within a set."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+class TrivialPolicy(enum.Enum):
+    """How trivial operations (x*0, x*1, x/1, 0/x) interact with the table.
+
+    Mirrors the three columns of Table 9:
+
+    * ``CACHE_ALL`` -- trivial operations are looked up and inserted like
+      any other operation (column "all").
+    * ``EXCLUDE`` -- trivial operations bypass the table entirely and are
+      not counted in the statistics (column "non"; this is the paper's
+      default for every headline number).
+    * ``INTEGRATED`` -- a trivial-operation detector sits in front of the
+      table; trivial operations are counted as hits but never stored
+      (column "intgr").
+    """
+
+    CACHE_ALL = "all"
+    EXCLUDE = "non-trivial"
+    INTEGRATED = "integrated"
+
+
+@dataclass(frozen=True)
+class MemoTableConfig:
+    """Geometry and behaviour of one MEMO-TABLE.
+
+    Parameters
+    ----------
+    entries:
+        Total number of entries in the table.  Must be a positive power of
+        two (the paper sweeps 8 to 8192).
+    associativity:
+        Ways per set.  Must divide ``entries``; the resulting number of
+        sets must also be a power of two so a bit-sliced XOR index can
+        address it.  ``associativity == entries`` yields a fully
+        associative table.
+    operand_kind:
+        Whether operands are indexed as integers (XOR of low bits) or
+        floats (XOR of mantissa high bits).
+    tag_mode:
+        Full-value or mantissa-only tags (floats only).
+    commutative:
+        When true, lookups compare operands in both orders (used for
+        multiplication units, section 2.2).
+    replacement:
+        Victim selection policy.
+    seed:
+        Seed used by the RANDOM replacement policy.
+    """
+
+    entries: int = 32
+    associativity: int = 4
+    operand_kind: OperandKind = OperandKind.FLOAT
+    tag_mode: TagMode = TagMode.FULL
+    commutative: bool = False
+    replacement: ReplacementKind = ReplacementKind.LRU
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.entries & (self.entries - 1):
+            raise ConfigurationError(
+                f"entries must be a positive power of two, got {self.entries}"
+            )
+        if self.associativity <= 0:
+            raise ConfigurationError(
+                f"associativity must be positive, got {self.associativity}"
+            )
+        if self.entries % self.associativity:
+            raise ConfigurationError(
+                f"associativity {self.associativity} does not divide "
+                f"entries {self.entries}"
+            )
+        sets = self.entries // self.associativity
+        if sets & (sets - 1):
+            raise ConfigurationError(
+                f"number of sets must be a power of two, got {sets}"
+            )
+        if self.tag_mode is TagMode.MANTISSA and self.operand_kind is OperandKind.INT:
+            raise ConfigurationError(
+                "mantissa-only tags are meaningful for float tables only"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets addressed by the index hash."""
+        return self.entries // self.associativity
+
+    @property
+    def index_bits(self) -> int:
+        """Number of operand bits consumed by the set index."""
+        return (self.n_sets - 1).bit_length()
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        return self.associativity == 1
+
+    @property
+    def is_fully_associative(self) -> bool:
+        return self.associativity == self.entries
+
+    def with_entries(self, entries: int) -> "MemoTableConfig":
+        """Return a copy with a different total size (used by size sweeps)."""
+        return replace(self, entries=entries)
+
+    def with_associativity(self, associativity: int) -> "MemoTableConfig":
+        """Return a copy with a different associativity (associativity sweeps)."""
+        return replace(self, associativity=associativity)
+
+    def storage_bits(self) -> int:
+        """Approximate storage cost in bits (tags + results), per section 2.4.
+
+        A full-value float entry holds two 64-bit operand tags plus one
+        64-bit result; a mantissa-only entry holds two 52-bit tags plus a
+        64-bit result.  Integer entries hold two 64-bit operands plus a
+        64-bit result.
+        """
+        if self.operand_kind is OperandKind.FLOAT and self.tag_mode is TagMode.MANTISSA:
+            tag_bits = 2 * 52
+        else:
+            tag_bits = 2 * 64
+        return self.entries * (tag_bits + 64)
+
+
+#: The configuration used for every headline result in the paper:
+#: 32 entries, 8 sets of 4 ways, full floating point tags.
+PAPER_BASELINE = MemoTableConfig(entries=32, associativity=4)

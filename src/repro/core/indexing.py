@@ -1,0 +1,54 @@
+"""Set-index hashing for MEMO-TABLES.
+
+Per section 3.1 of the paper:
+
+* *integer* operands are hashed by XOR-ing the ``n`` least significant
+  bits of the two operands, where ``2**n`` is the number of sets;
+* *floating point* operands are hashed by XOR-ing the ``n`` most
+  significant bits of the two mantissas.
+
+Both hashes are order-insensitive (XOR commutes), which means a
+commutative lookup of ``(b, a)`` lands in the same set as ``(a, b)`` --
+an essential property for the double-compare of section 2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..arch.ieee754 import mantissa_msbs64
+from .config import MemoTableConfig, OperandKind
+
+__all__ = [
+    "int_set_index",
+    "float_set_index",
+    "index_function",
+]
+
+
+def int_set_index(a: int, b: int, n_sets: int) -> int:
+    """Index for integer operands: XOR of the low ``log2(n_sets)`` bits."""
+    if n_sets == 1:
+        return 0
+    mask = n_sets - 1
+    return (a ^ b) & mask
+
+
+def float_set_index(a: float, b: float, n_sets: int) -> int:
+    """Index for float operands: XOR of the mantissas' high bits."""
+    if n_sets == 1:
+        return 0
+    bits = (n_sets - 1).bit_length()
+    return mantissa_msbs64(a, bits) ^ mantissa_msbs64(b, bits)
+
+
+def index_function(config: MemoTableConfig) -> Callable[[object, object], int]:
+    """Return a two-operand set-index function bound to ``config``.
+
+    The returned callable maps an operand pair to a set number in
+    ``range(config.n_sets)``.
+    """
+    n_sets = config.n_sets
+    if config.operand_kind is OperandKind.INT:
+        return lambda a, b: int_set_index(int(a), int(b), n_sets)
+    return lambda a, b: float_set_index(float(a), float(b), n_sets)

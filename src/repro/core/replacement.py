@@ -1,0 +1,71 @@
+"""Victim-selection (replacement) policies for set-associative MEMO-TABLES.
+
+The paper describes the table as "cache-like ... with the most recently
+used values present" (section 2.1), i.e. LRU.  FIFO and random policies
+are provided for the ablation benchmarks, since a hardware implementation
+might prefer their cheaper bookkeeping.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Sequence
+
+from .config import ReplacementKind
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "make_policy",
+]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Strategy object selecting which way of a full set to evict."""
+
+    @abc.abstractmethod
+    def victim(self, last_used: Sequence[int], inserted: Sequence[int]) -> int:
+        """Return the way index to evict.
+
+        ``last_used[i]`` and ``inserted[i]`` are monotonically increasing
+        timestamps for way ``i``; both sequences are non-empty and equal
+        length.
+        """
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least recently used way."""
+
+    def victim(self, last_used: Sequence[int], inserted: Sequence[int]) -> int:
+        return min(range(len(last_used)), key=last_used.__getitem__)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the oldest-inserted way, regardless of use."""
+
+    def victim(self, last_used: Sequence[int], inserted: Sequence[int]) -> int:
+        return min(range(len(inserted)), key=inserted.__getitem__)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random way (seeded, so runs are reproducible)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def victim(self, last_used: Sequence[int], inserted: Sequence[int]) -> int:
+        return self._rng.randrange(len(last_used))
+
+
+def make_policy(kind: ReplacementKind, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate the policy named by ``kind``."""
+    if kind is ReplacementKind.LRU:
+        return LRUPolicy()
+    if kind is ReplacementKind.FIFO:
+        return FIFOPolicy()
+    if kind is ReplacementKind.RANDOM:
+        return RandomPolicy(seed)
+    raise ValueError(f"unknown replacement kind: {kind!r}")

@@ -1,0 +1,140 @@
+"""Hit/miss statistics for MEMO-TABLES and memoized units.
+
+The paper's two success indicators are the *hit ratio* (fraction of
+multi-cycle operations avoided) and the derived *speedup*; every counter
+needed to reproduce its tables lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["MemoStats", "UnitStats"]
+
+
+@dataclass
+class MemoStats:
+    """Raw counters for a single MEMO-TABLE."""
+
+    lookups: int = 0
+    hits: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    commutative_hits: int = 0  # hits found only under reversed operand order
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups; 0.0 for an untouched table."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def merge(self, other: "MemoStats") -> None:
+        """Accumulate ``other``'s counters into this object."""
+        self.lookups += other.lookups
+        self.hits += other.hits
+        self.insertions += other.insertions
+        self.evictions += other.evictions
+        self.commutative_hits += other.commutative_hits
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.hits = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.commutative_hits = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "commutative_hits": self.commutative_hits,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+@dataclass
+class UnitStats:
+    """Counters for a memoized computation unit (table + trivial detector).
+
+    ``operations`` counts every operation presented to the unit,
+    including trivial ones; ``trivial`` counts operations the trivial
+    detector intercepted (or that bypassed the table under the EXCLUDE
+    policy).  ``table`` holds the underlying MEMO-TABLE counters.
+    ``cycles_base`` / ``cycles_memo`` accumulate execution cycles without
+    and with the table, so speedups can be read off directly.
+    """
+
+    operations: int = 0
+    trivial: int = 0
+    trivial_hits: int = 0  # trivial ops counted as hits (INTEGRATED policy)
+    cycles_base: int = 0
+    cycles_memo: int = 0
+    table: MemoStats = field(default_factory=MemoStats)
+
+    @property
+    def non_trivial(self) -> int:
+        return self.operations - self.trivial
+
+    @property
+    def trivial_fraction(self) -> float:
+        """The "trv %" column of Table 9."""
+        if not self.operations:
+            return 0.0
+        return self.trivial / self.operations
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hit ratio over everything that was eligible for the table.
+
+        Under EXCLUDE this equals the table hit ratio (trivial operations
+        are invisible); under INTEGRATED trivial operations count as
+        hits; under CACHE_ALL trivial operations flow through the table
+        so again this equals the table's own ratio.
+        """
+        eligible = self.table.lookups + self.trivial_hits
+        if not eligible:
+            return 0.0
+        return (self.table.hits + self.trivial_hits) / eligible
+
+    @property
+    def cycles_saved(self) -> int:
+        return self.cycles_base - self.cycles_memo
+
+    def merge(self, other: "UnitStats") -> None:
+        self.operations += other.operations
+        self.trivial += other.trivial
+        self.trivial_hits += other.trivial_hits
+        self.cycles_base += other.cycles_base
+        self.cycles_memo += other.cycles_memo
+        self.table.merge(other.table)
+
+    def reset(self) -> None:
+        self.operations = 0
+        self.trivial = 0
+        self.trivial_hits = 0
+        self.cycles_base = 0
+        self.cycles_memo = 0
+        self.table.reset()
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "operations": self.operations,
+            "trivial": self.trivial,
+            "trivial_hits": self.trivial_hits,
+            "trivial_fraction": self.trivial_fraction,
+            "hit_ratio": self.hit_ratio,
+            "cycles_base": self.cycles_base,
+            "cycles_memo": self.cycles_memo,
+            "cycles_saved": self.cycles_saved,
+        }
+        out.update({f"table_{k}": v for k, v in self.table.as_dict().items()})
+        return out

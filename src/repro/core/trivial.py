@@ -1,0 +1,77 @@
+"""Trivial-operation detection (section 3.2, Table 9).
+
+The paper distinguishes *trivial* operations -- multiplying by 0 or 1,
+dividing by 1, dividing 0 -- which hardware can complete in a cycle or
+two without the full iterative algorithm.  Its headline numbers exclude
+them; Table 9 compares caching them, excluding them, and integrating a
+trivial detector in front of the MEMO-TABLE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "is_trivial_mul",
+    "is_trivial_div",
+    "is_trivial_sqrt",
+    "trivial_mul_result",
+    "trivial_div_result",
+]
+
+
+def is_trivial_mul(a: float, b: float) -> bool:
+    """True when ``a * b`` needs no multiplier: either operand is 0 or ±1.
+
+    Comparisons are value comparisons, so ``-0.0`` counts as zero (the
+    hardware detector looks at the exponent/mantissa fields being zero,
+    which holds for both signed zeros).
+    """
+    return a == 0 or b == 0 or a == 1 or b == 1 or a == -1 or b == -1
+
+
+def is_trivial_div(a: float, b: float) -> bool:
+    """True when ``a / b`` needs no divider: dividing by ±1 or dividing 0.
+
+    ``0/0`` is *not* trivial -- it must reach the divider (or the memo
+    table) and raise/produce NaN exactly as real hardware would.
+    """
+    return b == 1 or b == -1 or (a == 0 and b != 0)
+
+
+def is_trivial_sqrt(a: float) -> bool:
+    """True when ``sqrt(a)`` is immediate: 0 or 1."""
+    return a == 0 or a == 1
+
+
+def trivial_mul_result(a: float, b: float) -> Optional[float]:
+    """Result of a trivial multiplication, or None if not trivial.
+
+    The detector forwards the surviving operand (possibly negated); this
+    mirrors the "detected ... and forward the result immediately"
+    behaviour of section 2.1.
+    """
+    if a == 0 or b == 0:
+        return a * b  # preserves signed-zero semantics
+    if a == 1:
+        return b
+    if b == 1:
+        return a
+    if a == -1:
+        return -b
+    if b == -1:
+        return -a
+    return None
+
+
+def trivial_div_result(a: float, b: float) -> Optional[float]:
+    """Result of a trivial division, or None if not trivial."""
+    if b == 1:
+        return a
+    if b == -1:
+        return -a
+    if a == 0 and b != 0:
+        return a / b  # 0/b keeps the correct signed zero
+    if a == 0 and b == 0:
+        return None  # 0/0 is NOT trivial: it must raise like the divider would
+    return None

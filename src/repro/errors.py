@@ -1,0 +1,28 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type to handle any
+library-level failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied (table geometry, policy...)."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or trace event stream is malformed."""
+
+
+class WorkloadError(ReproError):
+    """A workload was invoked with invalid inputs (bad image shape, seed...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was asked for something it cannot produce."""

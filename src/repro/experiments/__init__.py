@@ -1,0 +1,13 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Use :func:`run_experiment` (or the ``repro`` CLI) to regenerate any of
+them::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("table7", scale=0.2).render())
+"""
+
+from .base import ExperimentResult
+from .runner import REGISTRY, experiment_names, run_experiment
+
+__all__ = ["ExperimentResult", "REGISTRY", "experiment_names", "run_experiment"]

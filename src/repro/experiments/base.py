@@ -1,0 +1,93 @@
+"""Common result container for experiment drivers.
+
+Each driver in :mod:`repro.experiments` regenerates one table or figure
+of the paper and returns an :class:`ExperimentResult`: the same rows and
+columns the paper prints, plus free-form extras (fit parameters, raw
+series) for programmatic use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis.tables import format_ratio, format_table
+
+__all__ = ["ExperimentResult", "ratio_cell", "jsonable"]
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert experiment data to JSON-serializable types.
+
+    Handles the types experiment extras actually contain: dataclasses
+    (SpeedupRow, fits), enums (Operation/Opcode keys), numpy scalars,
+    tuples and nested containers.  Anything else falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.name
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {
+            (key.name if isinstance(key, enum.Enum) else str(key)): jsonable(v)
+            for key, v in value.items()
+        }
+    if isinstance(value, (list, tuple, set)):
+        return [jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        try:
+            return value.item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def ratio_cell(value: Optional[float], digits: int = 2) -> str:
+    """Paper-style ratio cell (``.39`` / ``-``)."""
+    return format_ratio(value, digits)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows/columns of one regenerated table or figure."""
+
+    experiment: str  # e.g. "table7"
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: str = ""
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Plain-text rendering in the paper's layout."""
+        text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + self.notes
+        return text
+
+    def row_by_label(self, label: str) -> List[Any]:
+        """Find a row by its first cell (application/image name)."""
+        for row in self.rows:
+            if row and str(row[0]) == label:
+                return row
+        raise KeyError(f"no row labelled {label!r} in {self.experiment}")
+
+    def column(self, header: str) -> List[Any]:
+        """All cells of one named column."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (rows, headers and sanitized extras)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": jsonable(self.rows),
+            "notes": self.notes,
+            "extras": jsonable(self.extras),
+        }

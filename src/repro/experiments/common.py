@@ -1,0 +1,144 @@
+"""Shared machinery for the experiment drivers.
+
+The pattern every hit-ratio experiment follows:
+
+1. record a trace per (application, input) with a fresh
+   :class:`OperationRecorder` (the paper runs each application on 8-14
+   inputs and averages);
+2. replay the same trace through however many MEMO-TABLE configurations
+   the experiment sweeps (finite/infinite, sizes, associativities,
+   policies) -- replaying one recorded trace is much cheaper than
+   re-running the kernel;
+3. average the per-input hit ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.bank import MemoTableBank, PAPER_OPERATIONS
+from ..core.config import MemoTableConfig, TrivialPolicy
+from ..core.operations import Operation
+from ..images import generate
+from ..isa.trace import Trace
+from ..simulator.shade import ShadeSimulator, SimulationReport
+from ..workloads.khoros import run_kernel
+from ..workloads.perfect import run_perfect
+from ..workloads.recorder import OperationRecorder
+from ..workloads.speccfp import run_speccfp
+
+__all__ = [
+    "DEFAULT_IMAGE_SET",
+    "SPEEDUP_IMAGE",
+    "record_mm_trace",
+    "record_perfect_trace",
+    "record_speccfp_trace",
+    "replay",
+    "hit_ratio_or_none",
+    "average_ratios",
+]
+
+#: Default inputs for MM experiments: five images spanning the paper's
+#: entropy range (7.3 bits down to 1.4).
+DEFAULT_IMAGE_SET: Tuple[str, ...] = (
+    "mandrill",
+    "Muppet1",
+    "chroms",
+    "lablabel",
+    "fractal",
+)
+
+#: Single representative input for the (expensive) cycle-level speedup
+#: experiments.
+SPEEDUP_IMAGE = "Muppet1"
+
+_trace_cache: Dict[Tuple, Trace] = {}
+
+
+def record_mm_trace(
+    kernel: str, image_name: str, scale: float = 0.15, cache: bool = True
+) -> Trace:
+    """Trace of one MM kernel on one catalogue image."""
+    key = ("mm", kernel, image_name, scale)
+    if cache and key in _trace_cache:
+        return _trace_cache[key]
+    recorder = OperationRecorder()
+    image = generate(image_name, scale=scale)
+    run_kernel(kernel, recorder, image)
+    trace = recorder.trace
+    if cache:
+        _trace_cache[key] = trace
+    return trace
+
+
+def record_perfect_trace(app: str, scale: float = 1.0, cache: bool = True) -> Trace:
+    key = ("perfect", app, scale)
+    if cache and key in _trace_cache:
+        return _trace_cache[key]
+    recorder = OperationRecorder()
+    run_perfect(app, recorder, scale=scale)
+    trace = recorder.trace
+    if cache:
+        _trace_cache[key] = trace
+    return trace
+
+
+def record_speccfp_trace(app: str, scale: float = 1.0, cache: bool = True) -> Trace:
+    key = ("spec", app, scale)
+    if cache and key in _trace_cache:
+        return _trace_cache[key]
+    recorder = OperationRecorder()
+    run_speccfp(app, recorder, scale=scale)
+    trace = recorder.trace
+    if cache:
+        _trace_cache[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    _trace_cache.clear()
+
+
+BankSpec = Union[str, MemoTableConfig, None]
+
+
+def _build_bank(spec: BankSpec, trivial_policy: TrivialPolicy) -> MemoTableBank:
+    if spec == "infinite":
+        return MemoTableBank.infinite(trivial_policy=trivial_policy)
+    if spec is None or isinstance(spec, MemoTableConfig):
+        return MemoTableBank.paper_baseline(
+            config=spec, trivial_policy=trivial_policy
+        )
+    raise ValueError(f"unknown bank spec {spec!r}")
+
+
+def replay(
+    trace: Trace,
+    spec: BankSpec = None,
+    trivial_policy: TrivialPolicy = TrivialPolicy.EXCLUDE,
+) -> SimulationReport:
+    """Run one recorded trace through a fresh bank built from ``spec``.
+
+    ``spec`` is ``None`` (paper 32/4 baseline), ``"infinite"`` or an
+    explicit :class:`MemoTableConfig`.
+    """
+    bank = _build_bank(spec, trivial_policy)
+    return ShadeSimulator(bank).run(trace)
+
+
+def hit_ratio_or_none(report: SimulationReport, op: Operation) -> Optional[float]:
+    """Hit ratio, or None when the operation never occurred (paper's '-')."""
+    stats = report.unit_stats.get(op)
+    if stats is None or (stats.table.lookups == 0 and stats.trivial == 0):
+        return None
+    return stats.hit_ratio
+
+
+def average_ratios(values: Iterable[Optional[float]]) -> Optional[float]:
+    """Mean of the non-None entries (None when all are absent)."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    return float(np.mean(present))

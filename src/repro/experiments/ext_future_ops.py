@@ -1,0 +1,84 @@
+"""Extension experiment: memoing sqrt, log and trigonometric units.
+
+Section 4: "Future work will be to extend the MEMO-TABLE technique to
+sqrt, log, trigonometric and other mathematical functions based on the
+success and promise of this work."  This experiment runs the
+transcendental DSP workloads with 32/4 MEMO-TABLES on those units and
+reports hit ratios plus the Amdahl potential (SE) at period latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.amdahl import speedup_enhanced
+from ..core.bank import MemoTableBank
+from ..core.operations import Operation
+from ..core.unit import DEFAULT_LATENCIES
+from ..images import generate
+from ..simulator.shade import ShadeSimulator
+from ..workloads.recorder import OperationRecorder
+from ..workloads.transcendental import (
+    log_compress,
+    sine_synthesis,
+    texture_rotation,
+)
+from .base import ExperimentResult, ratio_cell
+
+__all__ = ["run"]
+
+_UNITS = (Operation.FP_SQRT, Operation.FP_RECIP, Operation.FP_LOG,
+          Operation.FP_SIN, Operation.FP_COS)
+
+
+def _workloads(scale: float, images: Sequence[str]):
+    for image_name in images:
+        image = generate(image_name, scale=scale)
+        yield f"log_compress({image_name})", lambda r, img=image: log_compress(r, img)
+        yield f"texture_rotation({image_name})", (
+            lambda r, img=image: texture_rotation(r, img)
+        )
+    samples = max(128, int(2048 * scale))
+    yield "sine_synthesis", lambda r: sine_synthesis(r, samples=samples)
+
+
+def run(
+    scale: float = 0.15,
+    images: Sequence[str] = ("Muppet1", "fractal"),
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="ext-future-ops",
+        title="Extension: memoing sqrt/log/trig units (32/4 tables)",
+        headers=["workload"]
+        + [op.mnemonic for op in _UNITS]
+        + ["best SE"],
+        notes="(SE at the unit's period latency; '-' = unit unused)",
+    )
+    per_workload = {}
+    for name, body in _workloads(scale, images):
+        recorder = OperationRecorder()
+        body(recorder)
+        bank = MemoTableBank.paper_baseline(operations=_UNITS)
+        report = ShadeSimulator(bank).run(recorder.trace)
+        ratios = {}
+        best_se = 1.0
+        for op in _UNITS:
+            stats = report.unit_stats.get(op)
+            if stats is None or (stats.table.lookups == 0 and stats.trivial == 0):
+                ratios[op] = None
+                continue
+            ratios[op] = stats.hit_ratio
+            best_se = max(
+                best_se, speedup_enhanced(DEFAULT_LATENCIES[op], stats.hit_ratio)
+            )
+        per_workload[name] = {
+            "ratios": {op.mnemonic: v for op, v in ratios.items()},
+            "best_se": best_se,
+        }
+        result.rows.append(
+            [name]
+            + [ratio_cell(ratios[op]) for op in _UNITS]
+            + [f"{best_se:.2f}"]
+        )
+    result.extras["per_workload"] = per_workload
+    return result

@@ -1,0 +1,79 @@
+"""Extension experiment: the full kernel x image hit-ratio matrix.
+
+Tables 7 and 8 are both projections of the same underlying object --
+per-(application, input) hit ratios, averaged over inputs (Table 7) or
+over applications (Table 8).  This experiment materializes the matrix
+itself for one operation class, which is the dataset to mine when
+choosing per-unit table sizes for a specific product workload.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.operations import Operation
+from ..workloads.khoros import TABLE7_ORDER
+from .base import ExperimentResult, ratio_cell
+from .common import (
+    DEFAULT_IMAGE_SET,
+    hit_ratio_or_none,
+    record_mm_trace,
+    replay,
+)
+
+__all__ = ["run"]
+
+_OP_BY_NAME = {
+    "imul": Operation.INT_MUL,
+    "fmul": Operation.FP_MUL,
+    "fdiv": Operation.FP_DIV,
+}
+
+
+def run(
+    scale: float = 0.12,
+    images: Sequence[str] = DEFAULT_IMAGE_SET,
+    kernels: Sequence[str] = TABLE7_ORDER,
+    operation: str = "fdiv",
+) -> ExperimentResult:
+    op = _OP_BY_NAME.get(operation)
+    if op is None:
+        raise ValueError(
+            f"operation must be one of {sorted(_OP_BY_NAME)}, got {operation!r}"
+        )
+    result = ExperimentResult(
+        experiment="ext-matrix",
+        title=f"Extension: per-(kernel, input) {operation} hit ratios (32/4)",
+        headers=["kernel"] + list(images) + ["mean"],
+        notes="(the dataset Tables 7 and 8 both average over)",
+    )
+    matrix = {}
+    for kernel in kernels:
+        cells = [kernel]
+        values = []
+        for image in images:
+            trace = record_mm_trace(kernel, image, scale=scale)
+            ratio = hit_ratio_or_none(replay(trace, None), op)
+            values.append(ratio)
+            cells.append(ratio_cell(ratio))
+        present = [v for v in values if v is not None]
+        mean = sum(present) / len(present) if present else None
+        matrix[kernel] = {"values": values, "mean": mean}
+        cells.append(ratio_cell(mean))
+        result.rows.append(cells)
+    # Column means (the Table 8 view).
+    column_cells = ["(input mean)"]
+    for index in range(len(images)):
+        column = [
+            matrix[k]["values"][index]
+            for k in kernels
+            if matrix[k]["values"][index] is not None
+        ]
+        column_cells.append(
+            ratio_cell(sum(column) / len(column) if column else None)
+        )
+    column_cells.append("")
+    result.rows.append(column_cells)
+    result.extras["matrix"] = matrix
+    result.extras["operation"] = operation
+    return result

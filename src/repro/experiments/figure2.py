@@ -1,0 +1,82 @@
+"""Figure 2: hit ratio as a function of image entropy.
+
+Four panels: {fp division, fp multiplication} x {8x8-window entropy,
+whole-image entropy}.  Points are per-image average hit ratios (as in
+Table 8); the best-fit line uses Levenberg-Marquardt least squares, and
+the paper's headline -- roughly a 5% hit-ratio decrease per bit of
+entropy -- is reproduced as the fitted slope.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.fitting import fit_line_lm, pearson_r
+from ..core.operations import Operation
+from ..images import IMAGE_CATALOG, histogram_entropy, windowed_entropy
+from .base import ExperimentResult
+from .table8 import DEFAULT_KERNEL_SET, image_hit_profile
+
+__all__ = ["run"]
+
+
+def run(
+    scale: float = 0.15,
+    kernels: Sequence[str] = DEFAULT_KERNEL_SET,
+) -> ExperimentResult:
+    points = {  # panel -> (entropies, ratios)
+        ("fdiv", "full"): ([], []),
+        ("fdiv", "8x8"): ([], []),
+        ("fmul", "full"): ([], []),
+        ("fmul", "8x8"): ([], []),
+    }
+    for image in IMAGE_CATALOG:
+        if image.pixel_type == "FLOAT":
+            continue  # no byte histogram -> no entropy coordinate
+        data = image.generate(scale=scale)
+        grey = data if data.ndim == 2 else data[:, :, 0]
+        entropy_full = histogram_entropy(data)
+        entropy_8 = windowed_entropy(grey, 8)
+        ratios = image_hit_profile(image, scale, kernels)
+        fmul, fdiv = ratios[1], ratios[2]
+        for (op_name, which), value, entropy in (
+            (("fdiv", "full"), fdiv, entropy_full),
+            (("fdiv", "8x8"), fdiv, entropy_8),
+            (("fmul", "full"), fmul, entropy_full),
+            (("fmul", "8x8"), fmul, entropy_8),
+        ):
+            if value is not None:
+                xs, ys = points[(op_name, which)]
+                xs.append(entropy)
+                ys.append(value)
+
+    result = ExperimentResult(
+        experiment="figure2",
+        title="Figure 2: Hit ratio vs entropy (LM best-fit per panel)",
+        headers=["panel", "points", "slope", "pct/bit", "intercept", "pearson r"],
+        notes="(paper: ~5% hit-ratio decrease per bit of entropy)",
+    )
+    fits = {}
+    for (op_name, which), (xs, ys) in points.items():
+        fit = fit_line_lm(xs, ys)
+        correlation = pearson_r(xs, ys)
+        fits[f"{op_name}/{which}"] = {
+            "x": xs,
+            "y": ys,
+            "slope": fit.slope,
+            "intercept": fit.intercept,
+            "percent_per_bit": fit.percent_per_bit,
+            "pearson_r": correlation,
+        }
+        result.rows.append(
+            [
+                f"{op_name} vs {which} entropy",
+                len(xs),
+                f"{fit.slope:+.3f}",
+                f"{fit.percent_per_bit:+.1f}%",
+                f"{fit.intercept:.3f}",
+                f"{correlation:+.2f}",
+            ]
+        )
+    result.extras["panels"] = fits
+    return result

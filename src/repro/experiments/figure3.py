@@ -1,0 +1,77 @@
+"""Figure 3: hit ratio as a function of MEMO-TABLE size.
+
+FP division and multiplication hit ratios over table sizes 8..8192
+entries (4-way sets throughout), averaged over the five sample MM
+applications, with min/max across applications -- exactly the series
+the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import MemoTableConfig
+from ..core.operations import Operation
+from ..workloads.khoros import SAMPLE_APPS
+from .base import ExperimentResult, ratio_cell
+from .common import (
+    DEFAULT_IMAGE_SET,
+    average_ratios,
+    hit_ratio_or_none,
+    record_mm_trace,
+    replay,
+)
+
+__all__ = ["run", "PAPER_SIZES"]
+
+#: The paper sweeps 8 to 8192 entries.
+PAPER_SIZES = (8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+def _sweep_stat(values: List[Optional[float]]):
+    present = [v for v in values if v is not None]
+    if not present:
+        return None, None, None
+    return (sum(present) / len(present), min(present), max(present))
+
+
+def run(
+    scale: float = 0.15,
+    images: Sequence[str] = ("Muppet1", "chroms", "fractal"),
+    apps: Sequence[str] = SAMPLE_APPS,
+    sizes: Sequence[int] = PAPER_SIZES,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="figure3",
+        title="Figure 3: Hit ratio vs MEMO-TABLE size (set size 4)",
+        headers=[
+            "entries",
+            "fmul.avg", "fmul.min", "fmul.max",
+            "fdiv.avg", "fdiv.min", "fdiv.max",
+        ],
+        notes=f"(five sample apps: {', '.join(apps)})",
+    )
+    traces = [
+        record_mm_trace(app, image, scale=scale)
+        for app in apps
+        for image in images
+    ]
+    series: Dict[int, dict] = {}
+    for entries in sizes:
+        config = MemoTableConfig(entries=entries, associativity=4)
+        fmul_values: List[Optional[float]] = []
+        fdiv_values: List[Optional[float]] = []
+        for trace in traces:
+            report = replay(trace, config)
+            fmul_values.append(hit_ratio_or_none(report, Operation.FP_MUL))
+            fdiv_values.append(hit_ratio_or_none(report, Operation.FP_DIV))
+        fmul_stat = _sweep_stat(fmul_values)
+        fdiv_stat = _sweep_stat(fdiv_values)
+        series[entries] = {"fmul": fmul_stat, "fdiv": fdiv_stat}
+        result.rows.append(
+            [entries]
+            + [ratio_cell(v) for v in fmul_stat]
+            + [ratio_cell(v) for v in fdiv_stat]
+        )
+    result.extras["series"] = series
+    return result

@@ -1,0 +1,70 @@
+"""Figure 4: hit ratio as a function of MEMO-TABLE associativity.
+
+32-entry tables from direct-mapped to 8-way, averaged (with min/max)
+over the five sample MM applications.  The paper's observation: a set
+size of 2 already avoids the alternating-conflict pathologies of a
+direct-mapped table, and beyond 4 ways nothing improves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import MemoTableConfig
+from ..core.operations import Operation
+from ..workloads.khoros import SAMPLE_APPS
+from .base import ExperimentResult, ratio_cell
+from .common import (
+    DEFAULT_IMAGE_SET,
+    hit_ratio_or_none,
+    record_mm_trace,
+    replay,
+)
+from .figure3 import _sweep_stat
+
+__all__ = ["run", "PAPER_ASSOCIATIVITIES"]
+
+PAPER_ASSOCIATIVITIES = (1, 2, 4, 8)
+
+
+def run(
+    scale: float = 0.15,
+    images: Sequence[str] = ("Muppet1", "chroms", "fractal"),
+    apps: Sequence[str] = SAMPLE_APPS,
+    entries: int = 32,
+    associativities: Sequence[int] = PAPER_ASSOCIATIVITIES,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="figure4",
+        title=f"Figure 4: Hit ratio vs associativity ({entries}-entry LUT)",
+        headers=[
+            "ways",
+            "fmul.avg", "fmul.min", "fmul.max",
+            "fdiv.avg", "fdiv.min", "fdiv.max",
+        ],
+        notes=f"(five sample apps: {', '.join(apps)})",
+    )
+    traces = [
+        record_mm_trace(app, image, scale=scale)
+        for app in apps
+        for image in images
+    ]
+    series: Dict[int, dict] = {}
+    for ways in associativities:
+        config = MemoTableConfig(entries=entries, associativity=ways)
+        fmul_values: List[Optional[float]] = []
+        fdiv_values: List[Optional[float]] = []
+        for trace in traces:
+            report = replay(trace, config)
+            fmul_values.append(hit_ratio_or_none(report, Operation.FP_MUL))
+            fdiv_values.append(hit_ratio_or_none(report, Operation.FP_DIV))
+        fmul_stat = _sweep_stat(fmul_values)
+        fdiv_stat = _sweep_stat(fdiv_values)
+        series[ways] = {"fmul": fmul_stat, "fdiv": fdiv_stat}
+        result.rows.append(
+            [ways]
+            + [ratio_cell(v) for v in fmul_stat]
+            + [ratio_cell(v) for v in fdiv_stat]
+        )
+    result.extras["series"] = series
+    return result

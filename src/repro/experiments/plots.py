@@ -1,0 +1,78 @@
+"""Terminal renderings of the figure experiments.
+
+Maps an :class:`ExperimentResult` to a Unicode chart (via
+:mod:`repro.analysis.plot`); the CLI shows these under ``--plot``.
+Tables render as plain text already, so only the figures are handled --
+anything else returns ``None``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..analysis.plot import line_plot, scatter_plot
+from .base import ExperimentResult
+
+__all__ = ["render_plot"]
+
+
+def _figure3_plot(result: ExperimentResult) -> str:
+    series_data = result.extras["series"]
+    sizes = sorted(series_data)
+    xs = [math.log2(size) for size in sizes]
+    fmul = [series_data[size]["fmul"][0] for size in sizes]
+    fdiv = [series_data[size]["fdiv"][0] for size in sizes]
+    return line_plot(
+        xs,
+        [("fmul", fmul), ("fdiv", fdiv)],
+        title="Figure 3: hit ratio vs log2(table entries)",
+        x_label="log2(entries)",
+    )
+
+
+def _figure4_plot(result: ExperimentResult) -> str:
+    series_data = result.extras["series"]
+    ways = sorted(series_data)
+    fmul = [series_data[w]["fmul"][0] for w in ways]
+    fdiv = [series_data[w]["fdiv"][0] for w in ways]
+    return line_plot(
+        [float(w) for w in ways],
+        [("fmul", fmul), ("fdiv", fdiv)],
+        title="Figure 4: hit ratio vs associativity (32 entries)",
+        x_label="ways",
+    )
+
+
+def _figure2_plot(result: ExperimentResult) -> str:
+    charts = []
+    for panel in (("fdiv", "8x8"), ("fmul", "8x8")):
+        key = f"{panel[0]}/{panel[1]}"
+        fit = result.extras["panels"][key]
+        points = list(zip(fit["x"], fit["y"]))
+        charts.append(
+            scatter_plot(
+                points,
+                title=(
+                    f"Figure 2: {panel[0]} hit ratio vs {panel[1]} entropy "
+                    f"(slope {fit['percent_per_bit']:+.1f}%/bit)"
+                ),
+                fit=(fit["slope"], fit["intercept"]),
+            )
+        )
+    return "\n\n".join(charts)
+
+
+_RENDERERS = {
+    "figure2": _figure2_plot,
+    "figure3": _figure3_plot,
+    "figure4": _figure4_plot,
+}
+
+
+def render_plot(result: ExperimentResult) -> Optional[str]:
+    """Terminal chart for a figure experiment, or None for tables."""
+    renderer = _RENDERERS.get(result.experiment)
+    if renderer is None:
+        return None
+    return renderer(result)

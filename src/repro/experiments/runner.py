@@ -1,0 +1,76 @@
+"""Registry and runner for all experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..errors import ExperimentError
+from .base import ExperimentResult
+from . import (
+    ext_dual_issue,
+    ext_future_ops,
+    ext_hazard,
+    ext_matrix,
+    ext_reuse_buffer,
+    figure2,
+    figure3,
+    figure4,
+    table1,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+    table10,
+    table11,
+    table12,
+    table13,
+)
+
+__all__ = ["REGISTRY", "PAPER_EXPERIMENTS", "experiment_names", "run_experiment"]
+
+#: Every table and figure of the paper's evaluation, by id.
+PAPER_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "table8": table8.run,
+    "table9": table9.run,
+    "table10": table10.run,
+    "table11": table11.run,
+    "table12": table12.run,
+    "table13": table13.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+}
+
+#: Studies beyond the paper (its related-work and future-work hooks).
+EXTENSION_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "ext-dual-issue": ext_dual_issue.run,
+    "ext-future-ops": ext_future_ops.run,
+    "ext-hazard": ext_hazard.run,
+    "ext-matrix": ext_matrix.run,
+    "ext-reuse-buffer": ext_reuse_buffer.run,
+}
+
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    **PAPER_EXPERIMENTS,
+    **EXTENSION_EXPERIMENTS,
+}
+
+
+def experiment_names() -> Sequence[str]:
+    return tuple(REGISTRY)
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id (``table7``, ``figure3``, ...)."""
+    try:
+        driver = REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {', '.join(REGISTRY)}"
+        ) from None
+    return driver(**kwargs)

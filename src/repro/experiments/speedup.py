@@ -1,0 +1,120 @@
+"""Shared driver for the speedup tables (Tables 11-13).
+
+For each of the nine MM applications: run the full trace (arithmetic,
+loads/stores through the two-level cache hierarchy, loop overhead)
+through the cycle model once per machine design point and per input
+image, then derive Fraction Enhanced, Speedup Enhanced and the Amdahl
+speedup exactly as section 3.3 does, averaging over inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..arch.latency import ProcessorModel
+from ..core.operations import Operation
+from ..simulator.cpu import MemoizedCPU, SpeedupRow
+from .base import ExperimentResult, ratio_cell
+from .common import DEFAULT_IMAGE_SET, record_mm_trace
+
+__all__ = ["speedup_table"]
+
+
+def _mean_row(app: str, machine: str, rows: Sequence[SpeedupRow]) -> SpeedupRow:
+    """Average a per-input set of rows into one table row."""
+    return SpeedupRow(
+        app=app,
+        machine=machine,
+        hit_ratio=float(np.mean([r.hit_ratio for r in rows])),
+        fraction_enhanced=float(np.mean([r.fraction_enhanced for r in rows])),
+        speedup_enhanced=float(np.mean([r.speedup_enhanced for r in rows])),
+        speedup=float(np.mean([r.speedup for r in rows])),
+        measured_speedup=float(np.mean([r.measured_speedup for r in rows])),
+    )
+
+
+def speedup_table(
+    experiment: str,
+    title: str,
+    memoized: Sequence[Operation],
+    machines: Sequence[ProcessorModel],
+    apps: Sequence[str],
+    scale: float = 0.15,
+    images: Sequence[str] = DEFAULT_IMAGE_SET,
+    show_hit_ratio: bool = True,
+    overhead_factor: float = 1.0,
+) -> ExperimentResult:
+    """Build one speedup table over ``apps`` x ``machines``.
+
+    ``overhead_factor`` models the whole-program cycles around the
+    traced kernel (the paper traces complete Khoros binaries, whose
+    startup/IO dilutes Fraction Enhanced); see
+    :meth:`MemoizedCPU.speedup_row`.
+    """
+    headers = ["app"]
+    if show_hit_ratio:
+        headers.append("hit ratio")
+    for machine in machines:
+        headers += [
+            f"FE.{machine.name}",
+            f"SE.{machine.name}",
+            f"speedup.{machine.name}",
+        ]
+    result = ExperimentResult(
+        experiment=experiment,
+        title=title,
+        headers=headers,
+        notes=f"(inputs: {', '.join(images)}; memoized: "
+        f"{', '.join(op.mnemonic for op in memoized)})",
+    )
+
+    all_rows: List[List[SpeedupRow]] = []
+    for app in apps:
+        machine_rows: List[SpeedupRow] = []
+        for machine in machines:
+            per_image: List[SpeedupRow] = []
+            for image in images:
+                trace = record_mm_trace(app, image, scale=scale)
+                cpu = MemoizedCPU(machine, memoized=memoized)
+                row, _report = cpu.speedup_row(
+                    app, trace, overhead_factor=overhead_factor
+                )
+                per_image.append(row)
+            machine_rows.append(_mean_row(app, machine.name, per_image))
+        all_rows.append(machine_rows)
+        cells: List[object] = [app]
+        if show_hit_ratio:
+            cells.append(ratio_cell(machine_rows[0].hit_ratio))
+        for row in machine_rows:
+            cells += [
+                f"{row.fraction_enhanced:.3f}",
+                f"{row.speedup_enhanced:.2f}",
+                f"{row.speedup:.2f}",
+            ]
+        result.rows.append(cells)
+
+    # Suite averages, per machine.
+    average_cells: List[object] = ["average"]
+    if show_hit_ratio:
+        average_cells.append(
+            ratio_cell(float(np.mean([rows[0].hit_ratio for rows in all_rows])))
+        )
+    summary = {}
+    for index, machine in enumerate(machines):
+        fe = float(np.mean([rows[index].fraction_enhanced for rows in all_rows]))
+        se = float(np.mean([rows[index].speedup_enhanced for rows in all_rows]))
+        speedup = float(np.mean([rows[index].speedup for rows in all_rows]))
+        measured = float(np.mean([rows[index].measured_speedup for rows in all_rows]))
+        summary[machine.name] = {
+            "fe": fe,
+            "se": se,
+            "speedup": speedup,
+            "measured_speedup": measured,
+        }
+        average_cells += [f"{fe:.3f}", f"{se:.2f}", f"{speedup:.2f}"]
+    result.rows.append(average_cells)
+    result.extras["rows"] = {app: rows for app, rows in zip(apps, all_rows)}
+    result.extras["averages"] = summary
+    return result

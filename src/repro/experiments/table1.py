@@ -1,0 +1,27 @@
+"""Table 1: FP multiplication/division latencies of six processors.
+
+Static data (taken verbatim from the paper); regenerated here so the
+benchmark harness covers every numbered table.
+"""
+
+from __future__ import annotations
+
+from ..arch.latency import TABLE1_PROCESSORS
+from .base import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """``scale`` is accepted for interface uniformity and ignored."""
+    result = ExperimentResult(
+        experiment="table1",
+        title="Table 1: Cycle times of leading microprocessors",
+        headers=["processor", "multiplication", "division"],
+    )
+    for model in TABLE1_PROCESSORS:
+        result.rows.append([model.name, model.fp_mul, model.fp_div])
+    result.extras["div_to_mul_ratio"] = {
+        m.name: m.fp_div / m.fp_mul for m in TABLE1_PROCESSORS
+    }
+    return result

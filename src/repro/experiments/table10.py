@@ -1,0 +1,69 @@
+"""Table 10: mantissa-only tags vs full floating point tags.
+
+Suite-average fp multiply and divide hit ratios (32-entry 4-way) when
+the MEMO-TABLE stores the whole 64-bit operand patterns versus only the
+52-bit mantissa fields.  Mantissa-only tags hit slightly more often
+(operands differing only in exponent/sign match) at the cost of an
+exponent adder next to the table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.config import MemoTableConfig, TagMode
+from ..core.operations import Operation
+from ..workloads.khoros import TABLE7_ORDER
+from ..workloads.perfect import perfect_names
+from .base import ExperimentResult, ratio_cell
+from .common import (
+    DEFAULT_IMAGE_SET,
+    average_ratios,
+    hit_ratio_or_none,
+    record_mm_trace,
+    record_perfect_trace,
+    replay,
+)
+
+__all__ = ["run"]
+
+_FULL = MemoTableConfig(tag_mode=TagMode.FULL)
+_MANTISSA = MemoTableConfig(tag_mode=TagMode.MANTISSA)
+
+
+def _suite_averages(traces) -> List[Optional[float]]:
+    """(fmul.full, fmul.mant, fdiv.full, fdiv.mant) averaged over traces."""
+    per_trace: list = [[] for _ in range(4)]
+    for trace in traces:
+        full = replay(trace, _FULL)
+        mantissa = replay(trace, _MANTISSA)
+        per_trace[0].append(hit_ratio_or_none(full, Operation.FP_MUL))
+        per_trace[1].append(hit_ratio_or_none(mantissa, Operation.FP_MUL))
+        per_trace[2].append(hit_ratio_or_none(full, Operation.FP_DIV))
+        per_trace[3].append(hit_ratio_or_none(mantissa, Operation.FP_DIV))
+    return [average_ratios(values) for values in per_trace]
+
+
+def run(
+    scale: float = 0.15,
+    images: Sequence[str] = DEFAULT_IMAGE_SET[:3],
+    mm_kernels: Sequence[str] = TABLE7_ORDER[:8],
+) -> ExperimentResult:
+    perfect_traces = [record_perfect_trace(app) for app in perfect_names()]
+    mm_traces = [
+        record_mm_trace(kernel, image, scale=scale)
+        for kernel in mm_kernels
+        for image in images
+    ]
+    result = ExperimentResult(
+        experiment="table10",
+        title="Table 10: Mantissa-only vs full-value tags (32/4 averages)",
+        headers=["suite", "fmul.full", "fmul.mant", "fdiv.full", "fdiv.mant"],
+    )
+    values = {}
+    for suite, traces in (("Perfect", perfect_traces), ("Multi-Media", mm_traces)):
+        averages = _suite_averages(traces)
+        values[suite] = averages
+        result.rows.append([suite] + [ratio_cell(v) for v in averages])
+    result.extras["averages"] = values
+    return result

@@ -1,0 +1,35 @@
+"""Table 11: application speedup when fp division is memoized.
+
+Two divider design points -- 13 cycles (faster than any Table 1
+processor) and 39 cycles (the Pentium Pro) -- over the nine MM
+applications that use an fdiv MEMO-TABLE.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..arch.latency import FAST_DESIGN, SLOW_DESIGN
+from ..core.operations import Operation
+from ..workloads.khoros import SPEEDUP_APPS
+from .base import ExperimentResult
+from .common import DEFAULT_IMAGE_SET
+from .speedup import speedup_table
+
+__all__ = ["run"]
+
+
+def run(
+    scale: float = 0.15,
+    images = DEFAULT_IMAGE_SET,
+    apps: Sequence[str] = SPEEDUP_APPS,
+) -> ExperimentResult:
+    return speedup_table(
+        "table11",
+        "Table 11: Speedup with fp division memoized (13 / 39 cycle dividers)",
+        memoized=(Operation.FP_DIV,),
+        machines=(FAST_DESIGN, SLOW_DESIGN),
+        apps=apps,
+        scale=scale,
+        images=images,
+    )

@@ -1,0 +1,34 @@
+"""Table 12: application speedup when fp multiplication is memoized.
+
+Two multiplier latencies -- 3 and 5 cycles -- over the nine MM
+applications (same set as Table 11, using their fmul MEMO-TABLE).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..arch.latency import FAST_DESIGN, SLOW_DESIGN
+from ..core.operations import Operation
+from ..workloads.khoros import SPEEDUP_APPS
+from .base import ExperimentResult
+from .common import DEFAULT_IMAGE_SET
+from .speedup import speedup_table
+
+__all__ = ["run"]
+
+
+def run(
+    scale: float = 0.15,
+    images = DEFAULT_IMAGE_SET,
+    apps: Sequence[str] = SPEEDUP_APPS,
+) -> ExperimentResult:
+    return speedup_table(
+        "table12",
+        "Table 12: Speedup with fp multiplication memoized (3 / 5 cycle multipliers)",
+        memoized=(Operation.FP_MUL,),
+        machines=(FAST_DESIGN, SLOW_DESIGN),
+        apps=apps,
+        scale=scale,
+        images=images,
+    )

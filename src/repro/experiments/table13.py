@@ -1,0 +1,36 @@
+"""Table 13: application speedup with both fmul and fdiv memoized.
+
+Two whole-machine design points: fast FP units (3-cycle multiply,
+13-cycle divide) and slow ones (5 / 39).  The paper's bottom line -- an
+average speedup between roughly 8% and 22% -- comes from this table.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..arch.latency import FAST_DESIGN, SLOW_DESIGN
+from ..core.operations import Operation
+from ..workloads.khoros import SPEEDUP_APPS
+from .base import ExperimentResult
+from .common import DEFAULT_IMAGE_SET
+from .speedup import speedup_table
+
+__all__ = ["run"]
+
+
+def run(
+    scale: float = 0.15,
+    images = DEFAULT_IMAGE_SET,
+    apps: Sequence[str] = SPEEDUP_APPS,
+) -> ExperimentResult:
+    return speedup_table(
+        "table13",
+        "Table 13: Speedup with fp multiplication AND division memoized",
+        memoized=(Operation.FP_MUL, Operation.FP_DIV),
+        machines=(FAST_DESIGN, SLOW_DESIGN),
+        apps=apps,
+        scale=scale,
+        images=images,
+        show_hit_ratio=False,
+    )

@@ -1,0 +1,71 @@
+"""Table 5: hit ratios for the Perfect benchmarks.
+
+32-entry 4-way MEMO-TABLES vs infinitely large fully associative ones,
+for integer multiply, FP multiply and FP divide, per application plus
+the suite average.  Trivial operations are excluded, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.operations import Operation
+from ..workloads.perfect import perfect_names
+from .base import ExperimentResult, ratio_cell
+from .common import (
+    average_ratios,
+    hit_ratio_or_none,
+    record_perfect_trace,
+    replay,
+)
+
+__all__ = ["run"]
+
+_OPS = (Operation.INT_MUL, Operation.FP_MUL, Operation.FP_DIV)
+
+
+def _suite_result(
+    experiment: str,
+    title: str,
+    apps: Sequence[str],
+    record,
+    scale: float,
+) -> ExperimentResult:
+    """Shared driver for Tables 5 and 6 (same layout, different suite)."""
+    result = ExperimentResult(
+        experiment=experiment,
+        title=title,
+        headers=[
+            "application",
+            "imul.32", "fmul.32", "fdiv.32",
+            "imul.inf", "fmul.inf", "fdiv.inf",
+        ],
+        notes="('-' marks operations that don't appear in the application)",
+    )
+    columns: list = [[] for _ in range(6)]
+    raw = {}
+    for app in apps:
+        trace = record(app, scale=scale)
+        finite = replay(trace, None)
+        infinite = replay(trace, "infinite")
+        ratios = [hit_ratio_or_none(finite, op) for op in _OPS]
+        ratios += [hit_ratio_or_none(infinite, op) for op in _OPS]
+        raw[app] = ratios
+        for column, value in zip(columns, ratios):
+            column.append(value)
+        result.rows.append([app] + [ratio_cell(v) for v in ratios])
+    averages = [average_ratios(column) for column in columns]
+    result.rows.append(["average"] + [ratio_cell(v) for v in averages])
+    result.extras["ratios"] = raw
+    result.extras["averages"] = averages
+    return result
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    return _suite_result(
+        "table5",
+        "Table 5: Hit ratios for the Perfect benchmarks (32/4 vs infinite)",
+        perfect_names(),
+        record_perfect_trace,
+        scale,
+    )

@@ -1,0 +1,23 @@
+"""Table 6: hit ratios for the SPEC CFP95 benchmarks.
+
+Same layout as Table 5, over the SPEC CFP95 surrogate suite.
+"""
+
+from __future__ import annotations
+
+from ..workloads.speccfp import speccfp_names
+from .base import ExperimentResult
+from .common import record_speccfp_trace
+from .table5 import _suite_result
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    return _suite_result(
+        "table6",
+        "Table 6: Hit ratios for the SPEC CFP95 benchmarks (32/4 vs infinite)",
+        speccfp_names(),
+        record_speccfp_trace,
+        scale,
+    )

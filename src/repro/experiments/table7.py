@@ -1,0 +1,63 @@
+"""Table 7: hit ratios for the Multi-Media applications.
+
+Each kernel runs on a set of input images (the paper uses 8-14 inputs
+per application); per-input hit ratios are averaged per kernel, for the
+32/4 table and the infinite one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.operations import Operation
+from ..workloads.khoros import TABLE7_ORDER
+from .base import ExperimentResult, ratio_cell
+from .common import (
+    DEFAULT_IMAGE_SET,
+    average_ratios,
+    hit_ratio_or_none,
+    record_mm_trace,
+    replay,
+)
+
+__all__ = ["run"]
+
+_OPS = (Operation.INT_MUL, Operation.FP_MUL, Operation.FP_DIV)
+
+
+def run(
+    scale: float = 0.15,
+    images: Sequence[str] = DEFAULT_IMAGE_SET,
+    kernels: Sequence[str] = TABLE7_ORDER,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="table7",
+        title="Table 7: Hit ratios for Multi-Media applications (32/4 vs infinite)",
+        headers=[
+            "application",
+            "imul.32", "fmul.32", "fdiv.32",
+            "imul.inf", "fmul.inf", "fdiv.inf",
+        ],
+        notes=f"(averaged over inputs: {', '.join(images)})",
+    )
+    columns: list = [[] for _ in range(6)]
+    raw = {}
+    for kernel in kernels:
+        per_input: list = [[] for _ in range(6)]
+        for image_name in images:
+            trace = record_mm_trace(kernel, image_name, scale=scale)
+            finite = replay(trace, None)
+            infinite = replay(trace, "infinite")
+            for index, op in enumerate(_OPS):
+                per_input[index].append(hit_ratio_or_none(finite, op))
+                per_input[index + 3].append(hit_ratio_or_none(infinite, op))
+        ratios = [average_ratios(values) for values in per_input]
+        raw[kernel] = ratios
+        for column, value in zip(columns, ratios):
+            column.append(value)
+        result.rows.append([kernel] + [ratio_cell(v) for v in ratios])
+    averages = [average_ratios(column) for column in columns]
+    result.rows.append(["average"] + [ratio_cell(v) for v in averages])
+    result.extras["ratios"] = raw
+    result.extras["averages"] = averages
+    return result

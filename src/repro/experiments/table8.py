@@ -1,0 +1,89 @@
+"""Table 8: the input images -- entropy and average hit ratios.
+
+For every catalogue image: its geometry, pixel type, band count, the
+full-image / 16x16 / 8x8 entropies, and the average 32/4-table hit
+ratios over the applications run on that image.  FLOAT images get '-'
+entropies, as in the paper (their histogram is not byte-binned).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.operations import Operation
+from ..images import IMAGE_CATALOG, histogram_entropy, windowed_entropy
+from ..workloads.khoros import run_kernel
+from ..workloads.recorder import OperationRecorder
+from .base import ExperimentResult, ratio_cell
+from .common import average_ratios, hit_ratio_or_none, replay
+
+__all__ = ["run", "DEFAULT_KERNEL_SET", "image_hit_profile"]
+
+#: Kernels used to profile each image: together they exercise imul,
+#: fmul and fdiv on every input.
+DEFAULT_KERNEL_SET = ("vdiff", "vgauss", "vspatial", "vslope", "vgpwl")
+
+_OPS = (Operation.INT_MUL, Operation.FP_MUL, Operation.FP_DIV)
+
+
+def image_hit_profile(
+    image, scale: float, kernels: Sequence[str]
+) -> list:
+    """Average (imul, fmul, fdiv) 32/4 hit ratios of ``kernels`` on ``image``."""
+    data = image.generate(scale=scale)
+    per_op: list = [[] for _ in _OPS]
+    for kernel in kernels:
+        recorder = OperationRecorder()
+        run_kernel(kernel, recorder, data)
+        report = replay(recorder.trace, None)
+        for index, op in enumerate(_OPS):
+            per_op[index].append(hit_ratio_or_none(report, op))
+    return [average_ratios(values) for values in per_op]
+
+
+def run(
+    scale: float = 0.15,
+    kernels: Sequence[str] = DEFAULT_KERNEL_SET,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="table8",
+        title="Table 8: Description of the images used in IP applications",
+        headers=[
+            "image", "size", "type", "bands",
+            "E.full", "E.16x16", "E.8x8",
+            "imul", "fmul", "fdiv",
+        ],
+        notes=f"(hit ratios averaged over kernels: {', '.join(kernels)})",
+    )
+    profiles = {}
+    for image in IMAGE_CATALOG:
+        data = image.generate(scale=scale)
+        grey = data if data.ndim == 2 else data[:, :, 0]
+        if image.pixel_type == "FLOAT":
+            entropies = [None, None, None]
+        else:
+            entropies = [
+                histogram_entropy(data),
+                windowed_entropy(grey, 16),
+                windowed_entropy(grey, 8),
+            ]
+        ratios = image_hit_profile(image, scale, kernels)
+        profiles[image.name] = {"entropy": entropies, "ratios": ratios}
+        result.rows.append(
+            [
+                image.name,
+                f"{image.height}x{image.width}",
+                image.pixel_type,
+                image.bands,
+                ratio_cell(entropies[0]) if entropies[0] is None else f"{entropies[0]:.2f}",
+                ratio_cell(entropies[1]) if entropies[1] is None else f"{entropies[1]:.2f}",
+                ratio_cell(entropies[2]) if entropies[2] is None else f"{entropies[2]:.2f}",
+                ratio_cell(ratios[0]),
+                ratio_cell(ratios[1]),
+                ratio_cell(ratios[2]),
+            ]
+        )
+    result.extras["profiles"] = profiles
+    return result

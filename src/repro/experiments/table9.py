@@ -1,0 +1,89 @@
+"""Table 9: how trivial operations interact with the MEMO-TABLE.
+
+For eight MM applications and each operation class, reports:
+
+* ``trv`` -- the fraction of operations that are trivial;
+* ``all`` -- hit ratio when trivial operations are cached like any other;
+* ``non`` -- hit ratio when only non-trivial operations are cached
+  (trivial ones bypass the table);
+* ``intgr`` -- hit ratio when trivial detection is integrated in front
+  of the table (trivial operations count as hits, are never stored).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.config import TrivialPolicy
+from ..core.operations import Operation
+from ..workloads.khoros import TABLE9_APPS
+from .base import ExperimentResult, ratio_cell
+from .common import (
+    DEFAULT_IMAGE_SET,
+    average_ratios,
+    hit_ratio_or_none,
+    record_mm_trace,
+    replay,
+)
+
+__all__ = ["run"]
+
+_OPS = (Operation.INT_MUL, Operation.FP_MUL, Operation.FP_DIV)
+_POLICIES = (
+    TrivialPolicy.CACHE_ALL,
+    TrivialPolicy.EXCLUDE,
+    TrivialPolicy.INTEGRATED,
+)
+
+
+def _trivial_fraction(report, op) -> Optional[float]:
+    stats = report.unit_stats.get(op)
+    if stats is None or stats.operations == 0:
+        return None
+    return stats.trivial_fraction
+
+
+def run(
+    scale: float = 0.15,
+    images: Sequence[str] = DEFAULT_IMAGE_SET,
+    apps: Sequence[str] = TABLE9_APPS,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="table9",
+        title="Table 9: Trivial-operation policies (32/4 MEMO-TABLE)",
+        headers=["application"]
+        + [
+            f"{op.mnemonic}.{col}"
+            for op in _OPS
+            for col in ("trv", "all", "non", "intgr")
+        ],
+    )
+    columns: list = [[] for _ in range(len(_OPS) * 4)]
+    raw = {}
+    for app in apps:
+        per_input: list = [[] for _ in range(len(_OPS) * 4)]
+        for image_name in images:
+            trace = record_mm_trace(app, image_name, scale=scale)
+            reports = {
+                policy: replay(trace, None, trivial_policy=policy)
+                for policy in _POLICIES
+            }
+            for op_index, op in enumerate(_OPS):
+                base = op_index * 4
+                per_input[base].append(
+                    _trivial_fraction(reports[TrivialPolicy.EXCLUDE], op)
+                )
+                for offset, policy in enumerate(_POLICIES, start=1):
+                    per_input[base + offset].append(
+                        hit_ratio_or_none(reports[policy], op)
+                    )
+        values = [average_ratios(v) for v in per_input]
+        raw[app] = values
+        for column, value in zip(columns, values):
+            column.append(value)
+        result.rows.append([app] + [ratio_cell(v) for v in values])
+    averages = [average_ratios(column) for column in columns]
+    result.rows.append(["average"] + [ratio_cell(v) for v in averages])
+    result.extras["values"] = raw
+    result.extras["averages"] = averages
+    return result

@@ -1,0 +1,34 @@
+"""Image substrate: synthetic Table 8 inputs, entropy, PNM I/O."""
+
+from .entropy import (
+    PAPER_WINDOW_SIZES,
+    entropy_profile,
+    histogram_entropy,
+    uniform_entropy,
+    windowed_entropy,
+)
+from .pnm import read_pnm, write_pnm
+from .synthetic import (
+    IMAGE_CATALOG,
+    CatalogImage,
+    catalog_names,
+    equalize_to_levels,
+    generate,
+    smooth_field,
+)
+
+__all__ = [
+    "PAPER_WINDOW_SIZES",
+    "entropy_profile",
+    "histogram_entropy",
+    "uniform_entropy",
+    "windowed_entropy",
+    "read_pnm",
+    "write_pnm",
+    "IMAGE_CATALOG",
+    "CatalogImage",
+    "catalog_names",
+    "equalize_to_levels",
+    "generate",
+    "smooth_field",
+]

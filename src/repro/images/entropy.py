@@ -1,0 +1,92 @@
+"""Image entropy (section 3.2).
+
+The paper relates MEMO-TABLE hit ratios to the first-order entropy of
+the input image::
+
+    E = - sum_k  p_k * log2(p_k)
+
+where ``p_k`` is the histogram probability of pixel value ``k``.  It
+reports entropy over the whole image and over 16x16 and 8x8 windows
+(Table 8); window entropies are much lower because few distinct values
+appear in a small area -- exactly the locality the MEMO-TABLE exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["histogram_entropy", "windowed_entropy", "PAPER_WINDOW_SIZES"]
+
+#: The window sizes Table 8 reports alongside full-image entropy.
+PAPER_WINDOW_SIZES = (16, 8)
+
+
+def _as_2d(image: np.ndarray) -> np.ndarray:
+    arr = np.asarray(image)
+    if arr.ndim == 3:
+        # Multi-band images: entropy of the value stream across bands.
+        return arr.reshape(arr.shape[0], -1)
+    if arr.ndim != 2:
+        raise WorkloadError(f"expected a 2-D or 3-D image, got shape {arr.shape}")
+    return arr
+
+
+def histogram_entropy(image: np.ndarray) -> float:
+    """First-order entropy in bits of the pixel-value histogram.
+
+    Works for any integer-valued image (BYTE or INTEGER in the paper's
+    terms); each distinct value is one histogram bin, matching the
+    paper's ``L`` possible pixel values.
+    """
+    arr = _as_2d(image)
+    values, counts = np.unique(arr, return_counts=True)
+    if values.size == 0:
+        return 0.0
+    probabilities = counts / counts.sum()
+    return float(-(probabilities * np.log2(probabilities)).sum())
+
+
+def windowed_entropy(image: np.ndarray, window: int) -> float:
+    """Mean entropy of non-overlapping ``window x window`` tiles.
+
+    Partial tiles at the right/bottom edges are included (the paper does
+    not say how edges were treated; including them changes the average
+    by well under the reporting precision).
+    """
+    if window <= 0:
+        raise WorkloadError(f"window must be positive, got {window}")
+    arr = _as_2d(image)
+    height, width = arr.shape[:2]
+    entropies = []
+    for top in range(0, height, window):
+        for left in range(0, width, window):
+            tile = arr[top : top + window, left : left + window]
+            entropies.append(histogram_entropy(tile))
+    if not entropies:
+        return 0.0
+    return float(np.mean(entropies))
+
+
+def entropy_profile(
+    image: np.ndarray, windows: Sequence[int] = PAPER_WINDOW_SIZES
+) -> dict:
+    """Full + windowed entropies, keyed like Table 8 columns."""
+    profile = {"full": histogram_entropy(image)}
+    for window in windows:
+        profile[f"{window}x{window}"] = windowed_entropy(image, window)
+    return profile
+
+
+def uniform_entropy(levels: int) -> float:
+    """Entropy of a perfectly uniform ``levels``-value histogram.
+
+    The paper's worked example: 256 evenly distributed grey levels give
+    exactly 8 bits.
+    """
+    if levels <= 0:
+        raise WorkloadError(f"levels must be positive, got {levels}")
+    return float(np.log2(levels))

@@ -1,0 +1,78 @@
+"""Minimal PGM/PPM image I/O.
+
+Lets examples dump the synthetic images (and kernel outputs) in a format
+any viewer opens, and lets users feed their own grey/colour images into
+the workloads without a heavyweight imaging dependency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["write_pnm", "read_pnm"]
+
+PathLike = Union[str, Path]
+
+
+def write_pnm(image: np.ndarray, path: PathLike) -> None:
+    """Write a 2-D array as binary PGM (P5) or an (H, W, 3) array as PPM (P6).
+
+    Values are clipped to 0..255 and stored as one byte per sample.
+    """
+    arr = np.asarray(image)
+    data = np.clip(arr, 0, 255).astype(np.uint8)
+    path = Path(path)
+    if data.ndim == 2:
+        magic, height, width = b"P5", data.shape[0], data.shape[1]
+    elif data.ndim == 3 and data.shape[2] == 3:
+        magic, height, width = b"P6", data.shape[0], data.shape[1]
+    else:
+        raise WorkloadError(
+            f"PNM supports (H, W) or (H, W, 3) arrays, got shape {arr.shape}"
+        )
+    with path.open("wb") as stream:
+        stream.write(magic + b"\n")
+        stream.write(f"{width} {height}\n255\n".encode("ascii"))
+        stream.write(data.tobytes())
+
+
+def read_pnm(path: PathLike) -> np.ndarray:
+    """Read a binary PGM (P5) or PPM (P6) file written by :func:`write_pnm`."""
+    raw = Path(path).read_bytes()
+    tokens = []
+    position = 0
+    # Header: magic, width, height, maxval -- whitespace separated, with
+    # '#' comments allowed.
+    while len(tokens) < 4:
+        while position < len(raw) and raw[position : position + 1].isspace():
+            position += 1
+        if position < len(raw) and raw[position : position + 1] == b"#":
+            while position < len(raw) and raw[position : position + 1] != b"\n":
+                position += 1
+            continue
+        start = position
+        while position < len(raw) and not raw[position : position + 1].isspace():
+            position += 1
+        tokens.append(raw[start:position])
+    position += 1  # single whitespace after maxval
+    magic = tokens[0]
+    width, height, maxval = (int(t) for t in tokens[1:4])
+    if maxval > 255:
+        raise WorkloadError(f"only 8-bit PNM supported, maxval={maxval}")
+    body = np.frombuffer(raw, dtype=np.uint8, offset=position)
+    if magic == b"P5":
+        expected = width * height
+        if body.size < expected:
+            raise WorkloadError("truncated PGM body")
+        return body[:expected].reshape(height, width).copy()
+    if magic == b"P6":
+        expected = width * height * 3
+        if body.size < expected:
+            raise WorkloadError("truncated PPM body")
+        return body[:expected].reshape(height, width, 3).copy()
+    raise WorkloadError(f"unsupported PNM magic {magic!r}")

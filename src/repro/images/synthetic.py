@@ -1,0 +1,283 @@
+"""Synthetic stand-ins for the paper's input images (Table 8).
+
+The original Khoros inputs (mandrill, lenna, fractal, medical scans...)
+are not distributed with the paper, so each is replaced by a procedural
+image engineered to sit at the same point on the axis the evaluation
+actually uses: first-order entropy (full image and small windows).
+
+The key generator is :func:`smooth_field` + :func:`equalize_to_levels`:
+a spatially correlated random field, rank-equalized onto ``K`` grey
+levels, has global entropy ~= log2(K) while small windows see only a few
+levels -- the "low local entropy" property (section 3.2) that makes
+multi-media data memoizable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = [
+    "CatalogImage",
+    "IMAGE_CATALOG",
+    "generate",
+    "catalog_names",
+    "smooth_field",
+    "equalize_to_levels",
+]
+
+
+# -- building blocks --------------------------------------------------------
+
+
+def smooth_field(
+    shape: Tuple[int, int],
+    correlation: int,
+    seed: int,
+) -> np.ndarray:
+    """White noise low-pass filtered to a correlation length, in [0, 1].
+
+    Implemented as repeated separable box blurs via cumulative sums, so
+    it needs no SciPy and stays O(pixels).
+    """
+    if correlation < 1:
+        raise WorkloadError(f"correlation must be >= 1, got {correlation}")
+    rng = np.random.default_rng(seed)
+    field = rng.random(shape)
+    radius = max(1, correlation // 2)
+    for _ in range(3):  # three box passes approximate a Gaussian
+        field = _box_blur(field, radius)
+    low, high = field.min(), field.max()
+    if high > low:
+        field = (field - low) / (high - low)
+    return field
+
+
+def _box_blur(field: np.ndarray, radius: int) -> np.ndarray:
+    for axis in (0, 1):
+        field = _box_blur_axis(field, radius, axis)
+    return field
+
+
+def _box_blur_axis(field: np.ndarray, radius: int, axis: int) -> np.ndarray:
+    padded = np.concatenate(
+        [
+            np.repeat(field.take([0], axis=axis), radius, axis=axis),
+            field,
+            np.repeat(field.take([-1], axis=axis), radius, axis=axis),
+        ],
+        axis=axis,
+    )
+    summed = np.cumsum(padded, axis=axis)
+    width = 2 * radius + 1
+    lead = summed.take(range(width - 1, padded.shape[axis]), axis=axis)
+    lag = np.concatenate(
+        [
+            np.zeros_like(summed.take([0], axis=axis)),
+            summed.take(range(0, padded.shape[axis] - width), axis=axis),
+        ],
+        axis=axis,
+    )
+    return (lead - lag) / width
+
+
+def equalize_to_levels(field: np.ndarray, levels: int) -> np.ndarray:
+    """Rank-equalize a float field onto ``levels`` (approximately uniform).
+
+    A uniform histogram over ``levels`` values has entropy log2(levels),
+    so this is the entropy dial for synthetic images.
+    """
+    if levels < 1:
+        raise WorkloadError(f"levels must be >= 1, got {levels}")
+    flat = field.ravel()
+    order = np.argsort(flat, kind="stable")
+    ranks = np.empty_like(order)
+    ranks[order] = np.arange(flat.size)
+    quantized = (ranks * levels) // max(flat.size, 1)
+    return quantized.reshape(field.shape).astype(np.int64)
+
+
+def _scale_levels(quantized: np.ndarray, levels: int) -> np.ndarray:
+    """Spread ``levels`` quantization codes over the 0..255 byte range."""
+    if levels <= 1:
+        return np.zeros_like(quantized, dtype=np.uint8)
+    spread = (quantized * 255) // (levels - 1)
+    return np.clip(spread, 0, 255).astype(np.uint8)
+
+
+# -- per-image generators ----------------------------------------------------
+#
+# ``corr`` parameters are fractions of the smaller image dimension, so a
+# scaled-down image keeps the same entropy profile; ``levels`` sets the
+# full-image entropy to ~log2(levels) via rank equalization.
+
+
+def _corr(shape, fraction: float) -> int:
+    return max(1, int(min(shape) * fraction))
+
+
+def _textured(shape, seed, levels, corr_frac):
+    """High-entropy natural texture (mandrill/nature class)."""
+    field = smooth_field(shape, _corr(shape, corr_frac), seed)
+    return _scale_levels(equalize_to_levels(field, levels), levels)
+
+
+def _portrait(shape, seed, levels, corr_frac):
+    """Smooth subject on smooth background (Muppet/guya class)."""
+    field = smooth_field(shape, _corr(shape, corr_frac), seed)
+    rows = np.linspace(-1.0, 1.0, shape[0])[:, None]
+    cols = np.linspace(-1.0, 1.0, shape[1])[None, :]
+    vignette = np.exp(-(rows**2 + cols**2))
+    return _scale_levels(equalize_to_levels(field * vignette, levels), levels)
+
+
+def _starfield(shape, seed):
+    """Dark sky plus point sources (star class)."""
+    rng = np.random.default_rng(seed)
+    sky = smooth_field(shape, max(min(shape) // 12, 2), seed)
+    image = (sky * 110).astype(np.int64)
+    n_stars = max(8, shape[0] * shape[1] // 120)
+    ys = rng.integers(0, shape[0], n_stars)
+    xs = rng.integers(0, shape[1], n_stars)
+    image[ys, xs] = rng.integers(140, 256, n_stars)
+    return np.clip(image, 0, 255).astype(np.uint8)
+
+
+def _label_map(shape, seed, labels, ratio=0.72):
+    """Segmentation label image (lablabel class, INTEGER pixels).
+
+    Label areas follow a geometric series (``ratio`` between consecutive
+    labels), like a real labelled scene dominated by background; the
+    entropy falls well below log2(labels).
+    """
+    field = smooth_field(shape, max(min(shape) // 3, 1), seed)
+    ranks = equalize_to_levels(field, field.size)  # uniform in [0, size)
+    fractions = ratio ** np.arange(labels)
+    cumulative = np.cumsum(fractions / fractions.sum())
+    out = np.zeros(shape, dtype=np.int64)
+    normalized = ranks / max(field.size - 1, 1)
+    for i, edge in enumerate(cumulative[:-1]):
+        out[normalized > edge] = i + 1
+    return out
+
+
+def _fractal(shape, seed, max_iter=14):
+    """Escape-time fractal iteration counts (fractal class, very low entropy)."""
+    height, width = shape
+    # Window chosen so most points escape quickly: histogram is dominated
+    # by small counts, like the paper's 1.42-bit fractal image.
+    ys = np.linspace(-2.6, 2.6, height)[:, None]
+    xs = np.linspace(-3.4, 2.0, width)[None, :]
+    c = xs + 1j * ys
+    z = np.zeros_like(c)
+    counts = np.zeros(shape, dtype=np.int64)
+    alive = np.ones(shape, dtype=bool)
+    for i in range(max_iter):
+        z[alive] = z[alive] * z[alive] + c[alive]
+        escaped = alive & (np.abs(z) > 2.0)
+        counts[escaped] = i + 1
+        alive &= ~escaped
+    counts[alive] = max_iter
+    return counts * (255 // max_iter)
+
+
+def _float_scan(shape, seed):
+    """Smooth float32 field (medical head/spine class, FLOAT pixels)."""
+    field = smooth_field(shape, 10, seed)
+    ridges = smooth_field(shape, 4, seed + 3)
+    return (field * 900.0 + ridges * 100.0).astype(np.float32)
+
+
+def _rgb(shape, seed, levels, corr_frac):
+    """Three-band colour image (lenna.rgb / mandril.rgb / lizard.rgb class)."""
+    bands = [
+        _textured(shape, seed + band * 101, levels, corr_frac)
+        for band in range(3)
+    ]
+    return np.stack(bands, axis=-1)
+
+
+# -- the catalogue -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CatalogImage:
+    """One Table 8 input image: geometry, pixel type and a generator."""
+
+    name: str
+    height: int
+    width: int
+    pixel_type: str  # BYTE | INTEGER | FLOAT
+    bands: int
+    paper_entropy: Optional[float]  # full-image entropy from Table 8
+    builder: Callable[[Tuple[int, int]], np.ndarray]
+
+    def generate(self, scale: float = 1.0) -> np.ndarray:
+        """Build the image, optionally scaled down for fast experiments."""
+        if scale <= 0:
+            raise WorkloadError(f"scale must be positive, got {scale}")
+        shape = (max(8, int(self.height * scale)), max(8, int(self.width * scale)))
+        return self.builder(shape)
+
+
+def _catalog() -> Tuple[CatalogImage, ...]:
+    def entry(name, h, w, ptype, bands, entropy, builder):
+        return CatalogImage(name, h, w, ptype, bands, entropy, builder)
+
+    return (
+        entry("mandrill", 256, 256, "BYTE", 1, 7.34,
+              lambda s: _textured(s, seed=11, levels=162, corr_frac=0.07)),
+        entry("nature", 256, 256, "BYTE", 1, 7.38,
+              lambda s: _textured(s, seed=23, levels=167, corr_frac=0.11)),
+        entry("Muppet1", 240, 256, "BYTE", 1, 7.04,
+              lambda s: _portrait(s, seed=31, levels=131, corr_frac=0.22)),
+        entry("guya", 128, 128, "BYTE", 1, 6.99,
+              lambda s: _portrait(s, seed=47, levels=127, corr_frac=0.25)),
+        entry("star", 158, 158, "BYTE", 1, 5.93,
+              lambda s: _starfield(s, seed=59)),
+        entry("chroms", 64, 64, "BYTE", 1, 4.82,
+              lambda s: _textured(s, seed=61, levels=28, corr_frac=0.09)),
+        entry("airport1", 256, 256, "BYTE", 1, 4.47,
+              lambda s: _textured(s, seed=71, levels=22, corr_frac=0.16)),
+        entry("lablabel", 243, 486, "INTEGER", 1, 3.37,
+              lambda s: _label_map(s, seed=83, labels=24)),
+        entry("fractal", 450, 409, "BYTE", 1, 1.42,
+              lambda s: _fractal(s, seed=0)),
+        entry("head", 228, 256, "FLOAT", 1, None,
+              lambda s: _float_scan(s, seed=97)),
+        entry("spine", 228, 256, "FLOAT", 1, None,
+              lambda s: _float_scan(s, seed=103)),
+        entry("lenna.rgb", 480, 512, "BYTE", 3, 7.75,
+              lambda s: _rgb(s, seed=113, levels=215, corr_frac=0.05)),
+        entry("mandril.rgb", 480, 512, "BYTE", 3, 7.75,
+              lambda s: _rgb(s, seed=127, levels=215, corr_frac=0.08)),
+        entry("lizard.rgb", 512, 768, "BYTE", 3, 7.60,
+              lambda s: _rgb(s, seed=137, levels=194, corr_frac=0.10)),
+    )
+
+
+#: The fourteen Table 8 images, in paper order.
+IMAGE_CATALOG: Tuple[CatalogImage, ...] = _catalog()
+
+_BY_NAME: Dict[str, CatalogImage] = {img.name: img for img in IMAGE_CATALOG}
+
+
+def catalog_names() -> Tuple[str, ...]:
+    """Names of all catalogue images, in Table 8 order."""
+    return tuple(img.name for img in IMAGE_CATALOG)
+
+
+def generate(name: str, scale: float = 1.0) -> np.ndarray:
+    """Generate a catalogue image by Table 8 name."""
+    try:
+        image = _BY_NAME[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown image {name!r}; available: {', '.join(catalog_names())}"
+        ) from None
+    return image.generate(scale)

@@ -1,0 +1,127 @@
+"""Compact binary trace format.
+
+The text format (:mod:`repro.isa.trace`) is greppable but ~50 bytes per
+event; full-size workload runs produce tens of millions of events, so a
+fixed-width binary record keeps archives practical:
+
+========  =====  =========================================
+field     bytes  contents
+========  =====  =========================================
+opcode        1  index into the Opcode enum
+flags         1  bit 0: operands present, bit 1: address present
+a             8  operand bit pattern (IEEE-754 or int64)
+b             8  operand bit pattern
+result        8  result bit pattern
+address       8  load/store address
+========  =====  =========================================
+
+Integer-multiply operands are stored as two's-complement int64 (flag
+bit 2 marks them), float operands as raw IEEE-754 bits, so round-trips
+are exact.  A 8-byte magic + version header guards the format.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable, Iterator, List
+
+from ..errors import TraceFormatError
+from .opcodes import Opcode
+from .trace import TraceEvent
+from ..arch.ieee754 import bits_to_float64, float64_to_bits
+
+__all__ = ["write_binary_trace", "read_binary_trace", "BINARY_MAGIC"]
+
+BINARY_MAGIC = b"RPROTRC1"
+
+_RECORD = struct.Struct("<BBqqqq")
+_OPCODES = list(Opcode)
+_OPCODE_INDEX = {opcode: i for i, opcode in enumerate(_OPCODES)}
+
+_FLAG_OPERANDS = 1
+_FLAG_ADDRESS = 2
+_FLAG_INT_OPERANDS = 4
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def _signed(bits: int) -> int:
+    bits &= 0xFFFFFFFFFFFFFFFF
+    return bits - (1 << 64) if bits >> 63 else bits
+
+
+def write_binary_trace(events: Iterable[TraceEvent], stream: BinaryIO) -> int:
+    """Serialize events; returns the number written.
+
+    Dataflow (dst/srcs) and PC annotations are not archived -- binary
+    traces are value streams, the same information Shade recorded.
+    Integer-multiply operands outside int64 range are rejected (they
+    could not exist in a real register trace).
+    """
+    stream.write(BINARY_MAGIC)
+    count = 0
+    pack = _RECORD.pack
+    for event in events:
+        flags = 0
+        a = b = result = address = 0
+        if event.opcode.is_memoizable:
+            flags |= _FLAG_OPERANDS
+            if event.opcode is Opcode.IMUL:
+                flags |= _FLAG_INT_OPERANDS
+                for value in (event.a, event.b, event.result):
+                    if not _INT64_MIN <= int(value) <= _INT64_MAX:
+                        raise TraceFormatError(
+                            f"imul operand {value} exceeds int64 range"
+                        )
+                a, b, result = int(event.a), int(event.b), int(event.result)
+            else:
+                a = _signed(float64_to_bits(float(event.a)))
+                b = _signed(float64_to_bits(float(event.b)))
+                result = _signed(float64_to_bits(float(event.result)))
+        elif event.opcode.is_memory:
+            flags |= _FLAG_ADDRESS
+            address = event.address or 0
+        stream.write(
+            pack(_OPCODE_INDEX[event.opcode], flags, a, b, result, address)
+        )
+        count += 1
+    return count
+
+
+def read_binary_trace(stream: BinaryIO) -> Iterator[TraceEvent]:
+    """Parse events written by :func:`write_binary_trace`."""
+    magic = stream.read(len(BINARY_MAGIC))
+    if magic != BINARY_MAGIC:
+        raise TraceFormatError(
+            f"bad magic {magic!r}; not a binary trace (expected {BINARY_MAGIC!r})"
+        )
+    record_size = _RECORD.size
+    unpack = _RECORD.unpack
+    while True:
+        blob = stream.read(record_size)
+        if not blob:
+            return
+        if len(blob) != record_size:
+            raise TraceFormatError("truncated binary trace record")
+        opcode_index, flags, a, b, result, address = unpack(blob)
+        try:
+            opcode = _OPCODES[opcode_index]
+        except IndexError:
+            raise TraceFormatError(
+                f"unknown opcode index {opcode_index}"
+            ) from None
+        if flags & _FLAG_OPERANDS:
+            if flags & _FLAG_INT_OPERANDS:
+                yield TraceEvent(opcode, a, b, result)
+            else:
+                yield TraceEvent(
+                    opcode,
+                    bits_to_float64(a & 0xFFFFFFFFFFFFFFFF),
+                    bits_to_float64(b & 0xFFFFFFFFFFFFFFFF),
+                    bits_to_float64(result & 0xFFFFFFFFFFFFFFFF),
+                )
+        elif flags & _FLAG_ADDRESS:
+            yield TraceEvent(opcode, address=address)
+        else:
+            yield TraceEvent(opcode)

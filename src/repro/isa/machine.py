@@ -1,0 +1,403 @@
+"""A SPARC-flavoured register machine and assembler.
+
+The paper's measurement substrate is Shade executing SPARC binaries.
+The instrumented-Python workloads reproduce its *value streams*; this
+module closes the remaining gap for users who want to study real
+(if small) programs: an assembler for a SPARC-like textual ISA and an
+interpreter that executes programs while emitting the same
+:class:`~repro.isa.trace.TraceEvent` stream the simulators consume --
+with genuine program counters (for the Reuse Buffer comparison) and
+genuine register dataflow (for the hazard pipeline).
+
+Syntax (one instruction per line, ``!`` or ``#`` comments)::
+
+    ! integer:   %r0..%r31  (r0 reads as zero), floats: %f0..%f31
+    set     1024, %r1        ! r1 <- immediate
+    fset    2.5, %f1         ! f1 <- float immediate
+    add     %r1, 8, %r2      ! also sub/and/or/xor/sll/srl
+    smul    %r1, %r2, %r3    ! integer multiply     (traced IMUL)
+    ld      [%r1 + 8], %f2   ! load double          (traced LOAD)
+    st      %f2, [%r1 + 16]  ! store double         (traced STORE)
+    fadd    %f1, %f2, %f3    ! also fsub            (traced FADD)
+    fmul    %f1, %f2, %f3    !                      (traced FMUL)
+    fdiv    %f1, %f2, %f3    !                      (traced FDIV)
+    fsqrt   %f1, %f3         !                      (traced FSQRT)
+    cmp     %r1, %r2         ! set condition codes  (traced IALU)
+    bne     loop             ! be/bne/bl/ble/bg/bge/ba
+    nop
+    halt
+
+Loads/stores address a flat 8-byte-word memory; ``Machine.write_doubles``
+seeds input arrays.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.operations import ieee_div, ieee_sqrt, int_div
+from ..errors import TraceFormatError
+from .opcodes import Opcode
+from .trace import Trace, TraceEvent
+
+__all__ = ["Program", "Instruction", "assemble", "Machine", "MachineError"]
+
+#: Address of the first instruction (text segment base).
+TEXT_BASE = 0x10000
+
+_INT_OPS = {"add", "sub", "and", "or", "xor", "sll", "srl"}
+_BRANCHES = {"ba", "be", "bne", "bl", "ble", "bg", "bge"}
+
+
+class MachineError(TraceFormatError):
+    """Assembly or execution error."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction."""
+
+    mnemonic: str
+    operands: Tuple[str, ...]
+    pc: int
+    line: int  # source line, for diagnostics
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions + label addresses."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w]*):$")
+_MEM_RE = re.compile(r"^\[%r(\d+)(?:\s*\+\s*(-?\d+))?\]$")
+
+
+def _split_operands(rest: str) -> Tuple[str, ...]:
+    """Split on commas that are not inside [...] memory operands."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for char in rest:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current.strip())
+    return tuple(parts)
+
+
+def assemble(source: str) -> Program:
+    """Assemble textual source into a :class:`Program`."""
+    program = Program()
+    pending_labels: List[str] = []
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("!")[0].split("#")[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            pending_labels.append(label_match.group(1))
+            continue
+        fields = line.split(None, 1)
+        mnemonic = fields[0].lower()
+        operands = _split_operands(fields[1]) if len(fields) > 1 else ()
+        pc = TEXT_BASE + 4 * len(program.instructions)
+        for label in pending_labels:
+            if label in program.labels:
+                raise MachineError(f"line {line_number}: duplicate label {label!r}")
+            program.labels[label] = pc
+        pending_labels.clear()
+        program.instructions.append(
+            Instruction(mnemonic, operands, pc, line_number)
+        )
+    for label in pending_labels:
+        program.labels[label] = TEXT_BASE + 4 * len(program.instructions)
+    return program
+
+
+class Machine:
+    """Interpreter executing a :class:`Program` and emitting a trace."""
+
+    def __init__(
+        self,
+        program: Program,
+        consumer: Optional[Callable[[TraceEvent], None]] = None,
+        keep_trace: bool = True,
+    ) -> None:
+        self.program = program
+        self.int_regs: List[int] = [0] * 32
+        self.fp_regs: List[float] = [0.0] * 32
+        self.memory: Dict[int, float] = {}
+        self.cc = 0  # condition codes: sign of last cmp
+        self.trace: Optional[Trace] = Trace() if keep_trace else None
+        self._consumer = consumer
+        self.steps = 0
+        self.halted = False
+        # Dataflow: last writer event id per register / memory word.
+        self._next_vid = 0
+        self._int_vids: List[Optional[int]] = [None] * 32
+        self._fp_vids: List[Optional[int]] = [None] * 32
+        self._mem_vids: Dict[int, int] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _emit(self, event: TraceEvent) -> None:
+        if self.trace is not None:
+            self.trace.append(event)
+        if self._consumer is not None:
+            self._consumer(event)
+
+    def _new_vid(self) -> int:
+        self._next_vid += 1
+        return self._next_vid
+
+    @staticmethod
+    def _int_reg(token: str) -> int:
+        if not token.startswith("%r"):
+            raise MachineError(f"expected integer register, got {token!r}")
+        number = int(token[2:])
+        if not 0 <= number < 32:
+            raise MachineError(f"no such register {token!r}")
+        return number
+
+    @staticmethod
+    def _fp_reg(token: str) -> int:
+        if not token.startswith("%f"):
+            raise MachineError(f"expected fp register, got {token!r}")
+        number = int(token[2:])
+        if not 0 <= number < 32:
+            raise MachineError(f"no such register {token!r}")
+        return number
+
+    def _read_int(self, token: str) -> Tuple[int, Optional[int]]:
+        """Integer register or immediate -> (value, producing vid)."""
+        if token.startswith("%r"):
+            number = self._int_reg(token)
+            if number == 0:
+                return 0, None
+            return self.int_regs[number], self._int_vids[number]
+        try:
+            return int(token, 0), None
+        except ValueError:
+            raise MachineError(f"bad integer operand {token!r}") from None
+
+    def _write_int(self, token: str, value: int, vid: Optional[int]) -> None:
+        number = self._int_reg(token)
+        if number == 0:
+            return  # %r0 is hardwired zero
+        self.int_regs[number] = value
+        self._int_vids[number] = vid
+
+    def _read_fp(self, token: str) -> Tuple[float, Optional[int]]:
+        number = self._fp_reg(token)
+        return self.fp_regs[number], self._fp_vids[number]
+
+    def _write_fp(self, token: str, value: float, vid: Optional[int]) -> None:
+        number = self._fp_reg(token)
+        self.fp_regs[number] = value
+        self._fp_vids[number] = vid
+
+    def _effective_address(self, token: str) -> Tuple[int, Optional[int]]:
+        match = _MEM_RE.match(token)
+        if not match:
+            raise MachineError(f"bad memory operand {token!r}")
+        base = int(match.group(1))
+        offset = int(match.group(2) or 0)
+        base_value = 0 if base == 0 else self.int_regs[base]
+        base_vid = None if base == 0 else self._int_vids[base]
+        return base_value + offset, base_vid
+
+    # -- memory seeding / inspection ----------------------------------------
+
+    def write_doubles(self, address: int, values: Sequence[float]) -> None:
+        """Seed memory with an array of doubles (8 bytes per element)."""
+        for index, value in enumerate(values):
+            self.memory[address + 8 * index] = float(value)
+
+    def read_doubles(self, address: int, count: int) -> List[float]:
+        return [self.memory.get(address + 8 * i, 0.0) for i in range(count)]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Execute until ``halt`` or the step budget; returns steps taken."""
+        index = 0
+        instructions = self.program.instructions
+        labels = self.program.labels
+        while not self.halted:
+            if self.steps >= max_steps:
+                raise MachineError(f"step budget exhausted ({max_steps})")
+            if index >= len(instructions):
+                break  # fell off the end: implicit halt
+            instruction = instructions[index]
+            index = self._execute(instruction, index, labels)
+            self.steps += 1
+        return self.steps
+
+    def _execute(self, ins: Instruction, index: int, labels) -> int:
+        m = ins.mnemonic
+        ops = ins.operands
+        pc = ins.pc
+        try:
+            if m == "halt":
+                self.halted = True
+                return index
+            if m == "nop":
+                self._emit(TraceEvent(Opcode.NOP, pc=pc))
+                return index + 1
+            if m == "set":
+                value, _ = self._read_int(ops[0])
+                vid = self._new_vid()
+                self._write_int(ops[1], value, vid)
+                self._emit(TraceEvent(Opcode.IALU, dst=vid, pc=pc))
+                return index + 1
+            if m == "fset":
+                vid = self._new_vid()
+                self._write_fp(ops[1], float(ops[0]), vid)
+                self._emit(TraceEvent(Opcode.IALU, dst=vid, pc=pc))
+                return index + 1
+            if m in _INT_OPS:
+                a, va = self._read_int(ops[0])
+                b, vb = self._read_int(ops[1])
+                result = {
+                    "add": a + b,
+                    "sub": a - b,
+                    "and": a & b,
+                    "or": a | b,
+                    "xor": a ^ b,
+                    "sll": a << (b & 63),
+                    "srl": (a % (1 << 64)) >> (b & 63),
+                }[m]
+                vid = self._new_vid()
+                self._write_int(ops[2], result, vid)
+                srcs = tuple(v for v in (va, vb) if v is not None)
+                self._emit(TraceEvent(Opcode.IALU, dst=vid, srcs=srcs, pc=pc))
+                return index + 1
+            if m == "sdiv":
+                a, va = self._read_int(ops[0])
+                b, vb = self._read_int(ops[1])
+                result = int_div(a, b)
+                vid = self._new_vid()
+                self._write_int(ops[2], result, vid)
+                srcs = tuple(v for v in (va, vb) if v is not None)
+                self._emit(
+                    TraceEvent(Opcode.IDIV, a, b, result, dst=vid, srcs=srcs, pc=pc)
+                )
+                return index + 1
+            if m == "smul":
+                a, va = self._read_int(ops[0])
+                b, vb = self._read_int(ops[1])
+                result = a * b
+                vid = self._new_vid()
+                self._write_int(ops[2], result, vid)
+                srcs = tuple(v for v in (va, vb) if v is not None)
+                self._emit(
+                    TraceEvent(Opcode.IMUL, a, b, result, dst=vid, srcs=srcs, pc=pc)
+                )
+                return index + 1
+            if m == "ld":
+                address, base_vid = self._effective_address(ops[0])
+                value = self.memory.get(address, 0.0)
+                vid = self._new_vid()
+                srcs = tuple(
+                    v
+                    for v in (base_vid, self._mem_vids.get(address))
+                    if v is not None
+                )
+                self._write_fp(ops[1], value, vid)
+                self._emit(
+                    TraceEvent(
+                        Opcode.LOAD, address=address, dst=vid, srcs=srcs, pc=pc
+                    )
+                )
+                return index + 1
+            if m == "st":
+                value, value_vid = self._read_fp(ops[0])
+                address, base_vid = self._effective_address(ops[1])
+                self.memory[address] = value
+                vid = self._new_vid()
+                self._mem_vids[address] = vid
+                srcs = tuple(v for v in (value_vid, base_vid) if v is not None)
+                self._emit(
+                    TraceEvent(
+                        Opcode.STORE, address=address, dst=vid, srcs=srcs, pc=pc
+                    )
+                )
+                return index + 1
+            if m in ("fadd", "fsub"):
+                a, va = self._read_fp(ops[0])
+                b, vb = self._read_fp(ops[1])
+                result = a + b if m == "fadd" else a - b
+                vid = self._new_vid()
+                self._write_fp(ops[2], result, vid)
+                srcs = tuple(v for v in (va, vb) if v is not None)
+                self._emit(
+                    TraceEvent(Opcode.FADD, a, b, result, dst=vid, srcs=srcs, pc=pc)
+                )
+                return index + 1
+            if m in ("fmul", "fdiv"):
+                a, va = self._read_fp(ops[0])
+                b, vb = self._read_fp(ops[1])
+                result = a * b if m == "fmul" else ieee_div(a, b)
+                opcode = Opcode.FMUL if m == "fmul" else Opcode.FDIV
+                vid = self._new_vid()
+                self._write_fp(ops[2], result, vid)
+                srcs = tuple(v for v in (va, vb) if v is not None)
+                self._emit(
+                    TraceEvent(opcode, a, b, result, dst=vid, srcs=srcs, pc=pc)
+                )
+                return index + 1
+            if m == "fsqrt":
+                a, va = self._read_fp(ops[0])
+                result = ieee_sqrt(a)
+                vid = self._new_vid()
+                self._write_fp(ops[1], result, vid)
+                srcs = (va,) if va is not None else ()
+                self._emit(
+                    TraceEvent(
+                        Opcode.FSQRT, a, 0.0, result, dst=vid, srcs=srcs, pc=pc
+                    )
+                )
+                return index + 1
+            if m == "cmp":
+                a, _ = self._read_int(ops[0])
+                b, _ = self._read_int(ops[1])
+                self.cc = (a > b) - (a < b)
+                self._emit(TraceEvent(Opcode.IALU, pc=pc))
+                return index + 1
+            if m in _BRANCHES:
+                taken = {
+                    "ba": True,
+                    "be": self.cc == 0,
+                    "bne": self.cc != 0,
+                    "bl": self.cc < 0,
+                    "ble": self.cc <= 0,
+                    "bg": self.cc > 0,
+                    "bge": self.cc >= 0,
+                }[m]
+                self._emit(TraceEvent(Opcode.BRANCH, pc=pc))
+                if taken:
+                    target = labels.get(ops[0])
+                    if target is None:
+                        raise MachineError(f"unknown label {ops[0]!r}")
+                    return (target - TEXT_BASE) // 4
+                return index + 1
+        except (IndexError, ValueError) as exc:
+            raise MachineError(
+                f"line {ins.line}: malformed {m!r} instruction"
+            ) from exc
+        raise MachineError(f"line {ins.line}: unknown mnemonic {m!r}")

@@ -1,0 +1,92 @@
+"""Instruction classes for the trace format.
+
+The paper's simulator (Shade on SPARC) collected two things: operand
+values of all multiply/divide instructions, and the frequency breakdown
+of *all* instructions.  The opcode set here is therefore a classed ISA:
+the memoizable operations are first-class, everything else is grouped by
+its pipeline behaviour (ALU, FP add, load, store, branch), which is all
+the cycle model needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..core.operations import Operation
+
+__all__ = ["Opcode", "MEMOIZABLE_OPCODES", "opcode_to_operation", "operation_to_opcode"]
+
+
+class Opcode(enum.Enum):
+    """A SPARC-like instruction class."""
+
+    # Memoizable multi-cycle operations.
+    IMUL = "imul"
+    IDIV = "idiv"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FRECIP = "frecip"
+    FLOG = "flog"
+    FSIN = "fsin"
+    FCOS = "fcos"
+    # Single-cycle / short operations, classed.
+    IALU = "ialu"  # integer add/sub/logic/shift
+    FADD = "fadd"  # fp add/sub/compare/convert
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+    @property
+    def is_memoizable(self) -> bool:
+        return self in MEMOIZABLE_OPCODES
+
+    @property
+    def is_memory(self) -> bool:
+        return self is Opcode.LOAD or self is Opcode.STORE
+
+
+MEMOIZABLE_OPCODES = frozenset(
+    {
+        Opcode.IMUL,
+        Opcode.IDIV,
+        Opcode.FMUL,
+        Opcode.FDIV,
+        Opcode.FSQRT,
+        Opcode.FRECIP,
+        Opcode.FLOG,
+        Opcode.FSIN,
+        Opcode.FCOS,
+    }
+)
+
+_OP_BY_OPCODE = {
+    Opcode.IMUL: Operation.INT_MUL,
+    Opcode.IDIV: Operation.INT_DIV,
+    Opcode.FMUL: Operation.FP_MUL,
+    Opcode.FDIV: Operation.FP_DIV,
+    Opcode.FSQRT: Operation.FP_SQRT,
+    Opcode.FRECIP: Operation.FP_RECIP,
+    Opcode.FLOG: Operation.FP_LOG,
+    Opcode.FSIN: Operation.FP_SIN,
+    Opcode.FCOS: Operation.FP_COS,
+}
+
+_OPCODE_BY_OP = {v: k for k, v in _OP_BY_OPCODE.items()}
+
+# Hot-path accessor: simulators resolve opcode -> operation per event, so
+# cache it as a member attribute (no dict hash on an Enum per event).
+for _opcode in Opcode:
+    _opcode.operation = _OP_BY_OPCODE.get(_opcode)
+
+
+def opcode_to_operation(opcode: Opcode) -> Optional[Operation]:
+    """Memoizable operation for ``opcode``, or None for plain instructions."""
+    return _OP_BY_OPCODE.get(opcode)
+
+
+def operation_to_opcode(operation: Operation) -> Opcode:
+    """Trace opcode carrying ``operation``."""
+    return _OPCODE_BY_OP[operation]

@@ -1,0 +1,22 @@
+"""Trace-driven simulators: memo-table statistics and cycle accounting."""
+
+from .cache import Cache, MemoryHierarchy, default_hierarchy
+from .cpu import MemoizedCPU, SpeedupRow
+from .hazard import HazardModel, HazardReport, hazard_speedup
+from .pipeline import CycleModel, CycleReport
+from .shade import ShadeSimulator, SimulationReport
+
+__all__ = [
+    "Cache",
+    "MemoryHierarchy",
+    "default_hierarchy",
+    "MemoizedCPU",
+    "SpeedupRow",
+    "HazardModel",
+    "HazardReport",
+    "hazard_speedup",
+    "CycleModel",
+    "CycleReport",
+    "ShadeSimulator",
+    "SimulationReport",
+]

@@ -1,0 +1,124 @@
+"""Two-level cache hierarchy for the cycle-count simulator.
+
+Section 3.3: "the simulator was enhanced to incorporate a memory
+hierarchy of two caches" so that application cycle counts (the
+denominator of Fraction Enhanced) include realistic memory stalls.
+
+The model is a classic write-allocate, LRU, set-associative cache pair;
+addresses come from the workload recorders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["Cache", "MemoryHierarchy", "default_hierarchy"]
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        line_bytes: int = 32,
+        associativity: int = 1,
+        hit_latency: int = 1,
+    ) -> None:
+        if size_bytes <= 0 or size_bytes % (line_bytes * associativity):
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} not divisible into "
+                f"{associativity}-way sets of {line_bytes}-byte lines"
+            )
+        if line_bytes & (line_bytes - 1):
+            raise ConfigurationError(f"{name}: line size must be a power of two")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.hit_latency = hit_latency
+        self.n_sets = size_bytes // (line_bytes * associativity)
+        if self.n_sets & (self.n_sets - 1):
+            raise ConfigurationError(f"{name}: set count must be a power of two")
+        self._offset_bits = line_bytes.bit_length() - 1
+        # Each set is a recency-ordered list of line tags (front = MRU).
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self.accesses = 0
+        self.hits = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def _locate(self, address: int) -> "tuple[int, int]":
+        line = address >> self._offset_bits
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, address: int) -> bool:
+        """Reference ``address``; returns True on a hit.  Misses allocate."""
+        self.accesses += 1
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.insert(0, tag)
+            self.hits += 1
+            return True
+        ways.insert(0, tag)
+        if len(ways) > self.associativity:
+            ways.pop()
+        return False
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.n_sets)]
+
+
+class MemoryHierarchy:
+    """L1 + L2 + main memory; returns access latency in cycles."""
+
+    def __init__(
+        self,
+        l1: Optional[Cache] = None,
+        l2: Optional[Cache] = None,
+        memory_latency: int = 30,
+    ) -> None:
+        self.l1 = l1 if l1 is not None else Cache("L1", 8 * 1024, 32, 1, 1)
+        self.l2 = l2 if l2 is not None else Cache("L2", 128 * 1024, 32, 4, 6)
+        self.memory_latency = memory_latency
+
+    def access(self, address: int) -> int:
+        """Latency (cycles) of one load/store to ``address``."""
+        if self.l1.access(address):
+            return self.l1.hit_latency
+        if self.l2.access(address):
+            return self.l2.hit_latency
+        return self.memory_latency
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "l1_accesses": self.l1.accesses,
+            "l1_hit_ratio": self.l1.hit_ratio,
+            "l2_accesses": self.l2.accesses,
+            "l2_hit_ratio": self.l2.hit_ratio,
+        }
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()
+
+
+def default_hierarchy() -> MemoryHierarchy:
+    """The hierarchy used by the paper-reproduction experiments.
+
+    8KB direct-mapped L1 with 32-byte lines (the example geometry of
+    section 2.4), 128KB 4-way L2, 30-cycle memory.
+    """
+    return MemoryHierarchy()

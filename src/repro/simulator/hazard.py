@@ -1,0 +1,223 @@
+"""Hazard-aware pipeline model (sections 2.2-2.3 dynamics).
+
+The paper's headline cycle counts deliberately ignore pipelining (see
+:mod:`repro.simulator.pipeline`), but its *architecture* discussion is
+about hazards: a non-pipelined divider "throws a wrench" into the
+pipeline with structural and data hazards, MEMO-TABLE hits cut the
+latency dependent instructions wait on, and a table port can stand in
+for a duplicated unit to raise the issue rate.
+
+This model executes a dependency-annotated trace (the recorder attaches
+``dst``/``srcs`` value ids) on an in-order machine with:
+
+* configurable issue width (1 = scalar, 2+ = superscalar);
+* RAW hazards: an instruction issues only when its source values are
+  ready;
+* structural hazards: iterative units (divide, sqrt, reciprocal,
+  log/sin/cos) are busy until they complete; multipliers and adders are
+  pipelined with single-cycle initiation;
+* loads/stores through the two-level cache hierarchy;
+* optionally, a MEMO-TABLE bank -- hits complete in one cycle and
+  *release the iterative unit immediately* (the unit "is aborted and
+  signals it is free", section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from ..arch.latency import ProcessorModel
+from ..core.bank import MemoTableBank
+from ..core.operations import Operation
+from ..isa.opcodes import Opcode
+from ..isa.trace import TraceEvent
+from .cache import MemoryHierarchy, default_hierarchy
+
+__all__ = ["HazardReport", "HazardModel", "NON_PIPELINED"]
+
+#: Operations whose units are iterative (not pipelined): a new operation
+#: cannot start until the previous one leaves the unit.  Matches the
+#: paper's Table 1 discussion ("none of these processors pipeline their
+#: division units").
+NON_PIPELINED = frozenset(
+    {
+        Operation.FP_DIV,
+        Operation.INT_DIV,
+        Operation.FP_SQRT,
+        Operation.FP_RECIP,
+        Operation.FP_LOG,
+        Operation.FP_SIN,
+        Operation.FP_COS,
+    }
+)
+
+
+@dataclass
+class HazardReport:
+    """Timing outcome of one hazard-aware run."""
+
+    machine: str = ""
+    issue_width: int = 1
+    instructions: int = 0
+    total_cycles: int = 0
+    raw_stall_cycles: int = 0
+    structural_stall_cycles: int = 0
+    issue_slots_used: int = 0
+    hit_ratios: Dict[Operation, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle actually achieved."""
+        if not self.total_cycles:
+            return 0.0
+        return self.instructions / self.total_cycles
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of issue delay attributable to hazards."""
+        if not self.total_cycles:
+            return 0.0
+        return (
+            self.raw_stall_cycles + self.structural_stall_cycles
+        ) / self.total_cycles
+
+
+class HazardModel:
+    """In-order, multi-issue, hazard-tracking trace executor."""
+
+    def __init__(
+        self,
+        machine: ProcessorModel,
+        bank: Optional[MemoTableBank] = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        issue_width: int = 1,
+        fp_add_latency: int = 3,
+    ) -> None:
+        if issue_width < 1:
+            raise ValueError(f"issue width must be >= 1, got {issue_width}")
+        self.machine = machine
+        self.bank = bank
+        self.hierarchy = hierarchy if hierarchy is not None else default_hierarchy()
+        self.issue_width = issue_width
+        self.fp_add_latency = fp_add_latency
+        if bank is not None:
+            for op, unit in bank.units.items():
+                unit.latency = machine.latency(op)
+
+    def _latency(self, event: TraceEvent) -> int:
+        """Latency of one event on this machine (no memoization)."""
+        opcode = event.opcode
+        operation = opcode.operation
+        if operation is not None:
+            return self.machine.latency(operation)
+        if opcode.is_memory:
+            return self.hierarchy.access(event.address or 0)
+        if opcode is Opcode.FADD:
+            return self.fp_add_latency
+        return 1
+
+    def run(self, events: Iterable[TraceEvent]) -> HazardReport:
+        report = HazardReport(
+            machine=self.machine.name, issue_width=self.issue_width
+        )
+        ready: Dict[int, int] = {}          # value id -> cycle available
+        unit_free: Dict[Operation, int] = {}  # iterative unit -> free cycle
+        bank = self.bank
+        cycle = 0            # cycle of the previous issue (in-order floor)
+        slots_left = self.issue_width
+        last_completion = 0
+
+        for event in events:
+            report.instructions += 1
+            operation = event.opcode.operation
+
+            # Resolve the execution latency (memoized or not) first; the
+            # lookup happens in parallel with issue, so a hit is known
+            # when the operation would enter the unit.
+            hit = False
+            if operation is not None and bank is not None and bank.supports(
+                operation
+            ):
+                outcome = bank.units[operation].execute(event.a, event.b)
+                latency = outcome.cycles
+                hit = outcome.hit
+            else:
+                latency = self._latency(event)
+
+            # In-order issue: no earlier than the previous instruction.
+            earliest = cycle
+            if slots_left == 0:
+                earliest = cycle + 1
+
+            # RAW hazard: wait for source values.
+            operand_ready = 0
+            for src in event.srcs:
+                when = ready.get(src, 0)
+                if when > operand_ready:
+                    operand_ready = when
+            raw_wait = max(0, operand_ready - earliest)
+
+            # Structural hazard: iterative unit still busy.  A memo hit
+            # bypasses the unit entirely (the unit is aborted/free).
+            structural_wait = 0
+            uses_iterative = (
+                operation in NON_PIPELINED and not hit
+            )
+            if uses_iterative:
+                free_at = unit_free.get(operation, 0)
+                structural_wait = max(0, free_at - (earliest + raw_wait))
+
+            issue_at = earliest + raw_wait + structural_wait
+            if issue_at > cycle:
+                slots_left = self.issue_width
+            slots_left -= 1
+            cycle = issue_at
+
+            completion = issue_at + latency
+            if event.dst is not None:
+                ready[event.dst] = completion
+            if uses_iterative:
+                unit_free[operation] = completion
+            if completion > last_completion:
+                last_completion = completion
+
+            report.raw_stall_cycles += raw_wait
+            report.structural_stall_cycles += structural_wait
+            report.issue_slots_used += 1
+
+        report.total_cycles = last_completion
+        if bank is not None:
+            report.hit_ratios = {
+                op: unit.hit_ratio for op, unit in bank.units.items()
+            }
+        return report
+
+
+def hazard_speedup(
+    machine: ProcessorModel,
+    events,
+    memoized=(Operation.FP_MUL, Operation.FP_DIV),
+    issue_width: int = 1,
+) -> Dict[str, float]:
+    """Convenience: run a trace with and without MEMO-TABLES.
+
+    Returns baseline/memoized cycle counts and their ratio under the
+    hazard-aware model.  ``events`` must be re-iterable (a list/Trace).
+    """
+    baseline = HazardModel(machine, issue_width=issue_width).run(events)
+    bank = MemoTableBank.paper_baseline(
+        operations=memoized, latencies=machine.latencies()
+    )
+    memo = HazardModel(machine, bank=bank, issue_width=issue_width).run(events)
+    return {
+        "baseline_cycles": baseline.total_cycles,
+        "memo_cycles": memo.total_cycles,
+        "speedup": (
+            baseline.total_cycles / memo.total_cycles
+            if memo.total_cycles
+            else 1.0
+        ),
+        "baseline_ipc": baseline.ipc,
+        "memo_ipc": memo.ipc,
+    }

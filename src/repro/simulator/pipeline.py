@@ -1,0 +1,131 @@
+"""Cycle accounting for whole applications (section 3.3).
+
+The paper's speedup indicator is "total cycle count executed by all
+instructions", deliberately ignoring multiple issue and pipelining so
+the measurement isolates the superfluous cycles the MEMO-TABLE removes.
+This model therefore charges each dynamic instruction its latency:
+
+* plain integer/branch/nop instructions: 1 cycle;
+* FP add-class instructions: the machine's ``fp_add`` latency;
+* loads/stores: the two-level cache hierarchy's access latency;
+* memoizable operations: the full unit latency on the baseline machine,
+  and the memoized unit's actual cycles (1 on a hit) on the enhanced
+  machine -- both accumulated in a single pass, since a miss costs the
+  enhanced machine exactly the baseline latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from ..arch.latency import ProcessorModel
+from ..core.bank import MemoTableBank
+from ..core.operations import Operation
+from ..isa.opcodes import Opcode, opcode_to_operation
+from ..isa.trace import TraceEvent
+from .cache import MemoryHierarchy, default_hierarchy
+
+__all__ = ["CycleReport", "CycleModel"]
+
+
+@dataclass
+class CycleReport:
+    """Cycle totals for one application run on one machine model."""
+
+    machine: str = ""
+    instructions: int = 0
+    base_cycles: int = 0
+    memo_cycles: int = 0
+    cycles_by_opcode: Dict[Opcode, int] = field(default_factory=dict)
+    counts_by_opcode: Dict[Opcode, int] = field(default_factory=dict)
+    hit_ratios: Dict[Operation, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Directly measured speedup: baseline cycles / memoized cycles."""
+        if not self.memo_cycles:
+            return 1.0
+        return self.base_cycles / self.memo_cycles
+
+    def fraction_enhanced(self, *opcodes: Opcode) -> float:
+        """FE of Amdahl's law: cycles of the given classes / total cycles."""
+        if not self.base_cycles:
+            return 0.0
+        return sum(self.cycles_by_opcode.get(op, 0) for op in opcodes) / (
+            self.base_cycles
+        )
+
+    @property
+    def cpi_base(self) -> float:
+        return self.base_cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def cpi_memo(self) -> float:
+        return self.memo_cycles / self.instructions if self.instructions else 0.0
+
+
+class CycleModel:
+    """Single-issue in-order cycle accounting over a trace."""
+
+    def __init__(
+        self,
+        machine: ProcessorModel,
+        bank: Optional[MemoTableBank] = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        fp_add_latency: int = 3,
+    ) -> None:
+        """``bank`` of None means the baseline machine (no MEMO-TABLES);
+        cycle totals are then identical for base and memo columns."""
+        self.machine = machine
+        self.bank = bank
+        self.hierarchy = hierarchy if hierarchy is not None else default_hierarchy()
+        self.fp_add_latency = fp_add_latency
+        if bank is not None:
+            # The machine model owns the latencies; retune the bank's units.
+            for op, unit in bank.units.items():
+                unit.latency = machine.latency(op)
+
+    def _plain_latency(self, event: TraceEvent) -> int:
+        opcode = event.opcode
+        if opcode.is_memory:
+            address = event.address if event.address is not None else 0
+            return self.hierarchy.access(address)
+        if opcode is Opcode.FADD:
+            return self.fp_add_latency
+        return 1  # IALU, BRANCH, NOP
+
+    def run(self, events: Iterable[TraceEvent]) -> CycleReport:
+        """Charge every event; returns totals for base and memoized machines."""
+        report = CycleReport(machine=self.machine.name)
+        cycles_by_opcode: Dict[Opcode, int] = {}
+        counts_by_opcode: Dict[Opcode, int] = {}
+        base_total = 0
+        memo_total = 0
+        bank = self.bank
+        for event in events:
+            report.instructions += 1
+            opcode = event.opcode
+            counts_by_opcode[opcode] = counts_by_opcode.get(opcode, 0) + 1
+            operation = opcode.operation  # cached on the enum member
+            if operation is not None:
+                if bank is not None and bank.supports(operation):
+                    outcome = bank.units[operation].execute(event.a, event.b)
+                    base = outcome.base_cycles
+                    memo = outcome.cycles
+                else:
+                    base = memo = self.machine.latency(operation)
+            else:
+                base = memo = self._plain_latency(event)
+            base_total += base
+            memo_total += memo
+            cycles_by_opcode[opcode] = cycles_by_opcode.get(opcode, 0) + base
+        report.base_cycles = base_total
+        report.memo_cycles = memo_total
+        report.cycles_by_opcode = cycles_by_opcode
+        report.counts_by_opcode = counts_by_opcode
+        if bank is not None:
+            report.hit_ratios = {
+                op: unit.hit_ratio for op, unit in bank.units.items()
+            }
+        return report

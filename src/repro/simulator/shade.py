@@ -1,0 +1,96 @@
+"""Trace-driven memo-table statistics collection (the Shade substitute).
+
+The paper used Shade to break on multiply/divide instructions, capture
+register operands, and feed software MEMO-TABLES.  Here the equivalent
+loop consumes :class:`~repro.isa.trace.TraceEvent` streams: memoizable
+events are dispatched to a :class:`~repro.core.bank.MemoTableBank`, and
+every event contributes to the instruction frequency breakdown.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from ..core.bank import MemoTableBank
+from ..core.operations import Operation
+from ..core.stats import UnitStats
+from ..isa.opcodes import Opcode, opcode_to_operation
+from ..isa.trace import TraceEvent
+
+__all__ = ["SimulationReport", "ShadeSimulator"]
+
+
+@dataclass
+class SimulationReport:
+    """What one simulated run produced."""
+
+    instructions: int = 0
+    breakdown: Dict[Opcode, int] = field(default_factory=dict)
+    unit_stats: Dict[Operation, UnitStats] = field(default_factory=dict)
+    mismatches: int = 0  # memo result differed from traced result (validation)
+
+    def hit_ratio(self, op: Operation) -> float:
+        """MEMO-TABLE hit ratio for one operation class."""
+        stats = self.unit_stats.get(op)
+        return stats.hit_ratio if stats is not None else 0.0
+
+    def operation_count(self, op: Operation) -> int:
+        stats = self.unit_stats.get(op)
+        return stats.operations if stats is not None else 0
+
+    def frequency(self, opcode: Opcode) -> float:
+        """Dynamic frequency of one opcode class."""
+        if not self.instructions:
+            return 0.0
+        return self.breakdown.get(opcode, 0) / self.instructions
+
+
+class ShadeSimulator:
+    """Instruction-level trace processor feeding MEMO-TABLES."""
+
+    def __init__(self, bank: Optional[MemoTableBank] = None, validate: bool = False) -> None:
+        """``validate`` cross-checks memoized results against the traced
+        results (exact for full-value tags; mantissa-mode hits may differ
+        by rounding of the exponent fix-up and are checked loosely)."""
+        self.bank = bank if bank is not None else MemoTableBank.paper_baseline()
+        self.validate = validate
+
+    def run(self, events: Iterable[TraceEvent]) -> SimulationReport:
+        """Consume a trace; returns statistics.  Tables persist across runs."""
+        breakdown: Counter = Counter()
+        instructions = 0
+        mismatches = 0
+        units = self.bank.units
+        validate = self.validate
+        for event in events:
+            instructions += 1
+            opcode = event.opcode
+            breakdown[opcode] += 1
+            operation = opcode.operation  # cached on the enum member
+            if operation is None:
+                continue
+            unit = units.get(operation)
+            if unit is None:
+                continue
+            outcome = unit.execute(event.a, event.b)
+            if validate and not _values_match(outcome.value, event.result):
+                mismatches += 1
+        return SimulationReport(
+            instructions=instructions,
+            breakdown=dict(breakdown),
+            unit_stats={op: unit.stats for op, unit in self.bank.units.items()},
+            mismatches=mismatches,
+        )
+
+
+def _values_match(computed, traced, rel: float = 1e-12) -> bool:
+    if computed == traced:
+        return True
+    try:
+        if computed != computed and traced != traced:  # both NaN
+            return True
+        return abs(computed - traced) <= rel * max(abs(computed), abs(traced))
+    except (TypeError, OverflowError):
+        return False

@@ -1,0 +1,187 @@
+"""Trace tooling CLI: record, inspect and simulate archived traces.
+
+Subcommands::
+
+    repro-trace record vgauss mandrill out.trc [--scale S]
+        Record one MM kernel on one catalogue image.  ``.trc`` writes the
+        compact binary format; any other extension writes text.
+
+    repro-trace stats out.trc
+        Instruction frequency breakdown of an archived trace.
+
+    repro-trace simulate out.trc [--entries N --ways W --mantissa]
+        Replay a trace through MEMO-TABLES and print hit ratios.
+
+    repro-trace programs
+        List the bundled assembly programs.
+
+    repro-trace asm saxpy out.trc [--n 64]
+        Assemble + execute a bundled program, archiving its trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.tables import format_ratio, format_table
+from .core.bank import MemoTableBank
+from .core.config import MemoTableConfig, TagMode
+from .core.operations import Operation
+from .images import catalog_names, generate
+from .isa.binfmt import read_binary_trace, write_binary_trace
+from .isa.machine import Machine, assemble
+from .isa.programs import PROGRAMS
+from .isa.trace import Trace, read_trace, write_trace
+from .simulator.shade import ShadeSimulator
+from .workloads.khoros import kernel_names, run_kernel
+from .workloads.recorder import OperationRecorder
+
+__all__ = ["main"]
+
+
+def _is_binary(path: Path) -> bool:
+    return path.suffix in (".trc", ".bin")
+
+
+def _save(trace, path: Path) -> int:
+    if _is_binary(path):
+        with path.open("wb") as stream:
+            return write_binary_trace(trace, stream)
+    with path.open("w", encoding="ascii") as stream:
+        return write_trace(trace, stream)
+
+
+def _load(path: Path) -> Trace:
+    if _is_binary(path):
+        with path.open("rb") as stream:
+            return Trace(read_binary_trace(stream))
+    with path.open("r", encoding="ascii") as stream:
+        return Trace(read_trace(stream))
+
+
+def _cmd_record(args) -> int:
+    recorder = OperationRecorder()
+    image = generate(args.image, scale=args.scale)
+    run_kernel(args.kernel, recorder, image)
+    written = _save(recorder.trace, Path(args.output))
+    print(f"recorded {written} events from {args.kernel} on {args.image} "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    trace = _load(Path(args.trace))
+    counts = trace.breakdown()
+    total = len(trace)
+    rows = [
+        [opcode.value, count, f"{count / total:.1%}"]
+        for opcode, count in sorted(counts.items(), key=lambda kv: -kv[1])
+    ]
+    print(format_table(["opcode", "count", "share"], rows,
+                       title=f"{args.trace}: {total} events"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    trace = _load(Path(args.trace))
+    config = MemoTableConfig(
+        entries=args.entries,
+        associativity=args.ways,
+        tag_mode=TagMode.MANTISSA if args.mantissa else TagMode.FULL,
+    )
+    bank = MemoTableBank.paper_baseline(config=config)
+    report = ShadeSimulator(bank).run(trace)
+    rows = []
+    for op in (Operation.INT_MUL, Operation.FP_MUL, Operation.FP_DIV):
+        stats = report.unit_stats.get(op)
+        if stats is None or stats.operations == 0:
+            continue
+        rows.append(
+            [op.mnemonic, stats.operations, format_ratio(stats.hit_ratio)]
+        )
+    print(
+        format_table(
+            ["unit", "operations", "hit ratio"],
+            rows,
+            title=(
+                f"{args.trace} on {args.entries}-entry "
+                f"{args.ways}-way tables"
+                + (" (mantissa tags)" if args.mantissa else "")
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_programs(_args) -> int:
+    for name in PROGRAMS:
+        print(name)
+    return 0
+
+
+def _cmd_asm(args) -> int:
+    source = PROGRAMS.get(args.program)
+    if source is None:
+        print(f"unknown program {args.program!r}; try: {', '.join(PROGRAMS)}",
+              file=sys.stderr)
+        return 2
+    machine = Machine(assemble(source))
+    machine.int_regs[1] = args.n
+    # Seed deterministic quantised inputs at the programs' conventional
+    # input addresses.
+    values = [float((i * 7) % 16 + 1) for i in range(args.n)]
+    machine.write_doubles(0x1000, values)
+    machine.write_doubles(0x2000, values[::-1])
+    steps = machine.run()
+    written = _save(machine.trace, Path(args.output))
+    print(f"executed {steps} instructions; archived {written} events "
+          f"-> {args.output}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description="Trace tooling for the repro library."
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    record = commands.add_parser("record", help="record an MM kernel trace")
+    record.add_argument("kernel", choices=list(kernel_names()))
+    record.add_argument("image", choices=list(catalog_names()))
+    record.add_argument("output")
+    record.add_argument("--scale", type=float, default=0.15)
+    record.set_defaults(func=_cmd_record)
+
+    stats = commands.add_parser("stats", help="instruction breakdown")
+    stats.add_argument("trace")
+    stats.set_defaults(func=_cmd_stats)
+
+    simulate = commands.add_parser("simulate", help="replay through MEMO-TABLES")
+    simulate.add_argument("trace")
+    simulate.add_argument("--entries", type=int, default=32)
+    simulate.add_argument("--ways", type=int, default=4)
+    simulate.add_argument("--mantissa", action="store_true")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    programs = commands.add_parser("programs", help="list bundled programs")
+    programs.set_defaults(func=_cmd_programs)
+
+    asm = commands.add_parser("asm", help="run a bundled assembly program")
+    asm.add_argument("program")
+    asm.add_argument("output")
+    asm.add_argument("--n", type=int, default=64)
+    asm.set_defaults(func=_cmd_asm)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

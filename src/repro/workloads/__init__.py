@@ -1,0 +1,22 @@
+"""Workload suites and the instrumentation that traces them."""
+
+from .jpegmini import jpeg_roundtrip, quant_table
+from .perfect import PERFECT_APPS, perfect_names, run_perfect
+from .recorder import OperationRecorder, TrackedArray
+from .speccfp import SPECCFP_APPS, run_speccfp, speccfp_names
+from .transcendental import TRANSCENDENTAL_KERNELS, run_transcendental
+
+__all__ = [
+    "jpeg_roundtrip",
+    "quant_table",
+    "PERFECT_APPS",
+    "perfect_names",
+    "run_perfect",
+    "OperationRecorder",
+    "TrackedArray",
+    "SPECCFP_APPS",
+    "run_speccfp",
+    "speccfp_names",
+    "TRANSCENDENTAL_KERNELS",
+    "run_transcendental",
+]

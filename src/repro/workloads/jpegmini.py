@@ -1,0 +1,162 @@
+"""A miniature JPEG-style compression pipeline, instrumented.
+
+The canonical mid-90s multimedia workload: 8x8 block DCT, quality-scaled
+quantization, zigzag run-length accounting, dequantization and inverse
+DCT.  Every stage maps onto a memoizable unit:
+
+* the DCT/IDCT multiply quantised pixels by a 64-value cosine ROM
+  (fmul);
+* quantization divides coefficients by a small set of quantizer steps
+  (fdiv -- highly memoizable, the divisor universe is the quant table);
+* dequantization multiplies the integer codes back (fmul on a tiny
+  operand universe).
+
+This is both a workload for the simulators and a end-to-end correctness
+check: the reconstruction must approach the input as quality -> 100.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .recorder import OperationRecorder
+
+__all__ = ["jpeg_roundtrip", "BLOCK", "quant_table"]
+
+BLOCK = 8
+
+#: Luminance quantization table (ISO/IEC 10918-1 Annex K).
+_BASE_QUANT = (
+    (16, 11, 10, 16, 24, 40, 51, 61),
+    (12, 12, 14, 19, 26, 58, 60, 55),
+    (14, 13, 16, 24, 40, 57, 69, 56),
+    (14, 17, 22, 29, 51, 87, 80, 62),
+    (18, 22, 37, 56, 68, 109, 103, 77),
+    (24, 35, 55, 64, 81, 104, 113, 92),
+    (49, 64, 78, 87, 103, 121, 120, 101),
+    (72, 92, 95, 98, 112, 100, 103, 99),
+)
+
+
+def quant_table(quality: int) -> List[List[float]]:
+    """JPEG quality scaling of the Annex K table (quality 1..100)."""
+    if not 1 <= quality <= 100:
+        raise WorkloadError(f"quality must be in 1..100, got {quality}")
+    if quality < 50:
+        scale = 5000 / quality
+    else:
+        scale = 200 - 2 * quality
+    table = []
+    for row in _BASE_QUANT:
+        table.append(
+            [max(1.0, math.floor((q * scale + 50) / 100)) for q in row]
+        )
+    return table
+
+
+def _dct_basis() -> List[List[float]]:
+    basis = []
+    for u in range(BLOCK):
+        scale = math.sqrt(1.0 / BLOCK) if u == 0 else math.sqrt(2.0 / BLOCK)
+        basis.append(
+            [
+                round(scale * math.cos((2 * i + 1) * u * math.pi / (2 * BLOCK)), 5)
+                for i in range(BLOCK)
+            ]
+        )
+    return basis
+
+
+_BASIS = _dct_basis()
+_INVERSE = [[_BASIS[i][j] for i in range(BLOCK)] for j in range(BLOCK)]
+
+#: Zigzag scan order of an 8x8 block.
+_ZIGZAG: Tuple[Tuple[int, int], ...] = tuple(
+    sorted(
+        ((u, v) for u in range(BLOCK) for v in range(BLOCK)),
+        key=lambda uv: (
+            uv[0] + uv[1],
+            uv[1] if (uv[0] + uv[1]) % 2 else uv[0],
+        ),
+    )
+)
+
+
+def _transform(recorder, block, basis):
+    """Separable 2-D transform (rows then columns)."""
+    half = [[0.0] * BLOCK for _ in range(BLOCK)]
+    for i in range(BLOCK):
+        for u in range(BLOCK):
+            acc = 0.0
+            for j in range(BLOCK):
+                acc = recorder.fadd(acc, recorder.fmul(block[i][j], basis[u][j]))
+            half[i][u] = acc
+    out = [[0.0] * BLOCK for _ in range(BLOCK)]
+    for j in range(BLOCK):
+        for u in range(BLOCK):
+            acc = 0.0
+            for i in range(BLOCK):
+                acc = recorder.fadd(acc, recorder.fmul(half[i][j], basis[u][i]))
+            out[u][j] = acc
+    return out
+
+
+def jpeg_roundtrip(
+    recorder: OperationRecorder,
+    image: np.ndarray,
+    quality: int = 50,
+) -> Tuple[np.ndarray, int]:
+    """Compress and reconstruct ``image``; returns (reconstruction, nonzeros).
+
+    ``nonzeros`` counts post-quantization nonzero coefficients over the
+    zigzag scan -- the compressed-size proxy (what an entropy coder
+    would actually encode).
+    """
+    data = np.asarray(image, dtype=np.float64)
+    if data.ndim != 2:
+        raise WorkloadError("jpeg_roundtrip expects a 2-D image")
+    height = (data.shape[0] // BLOCK) * BLOCK
+    width = (data.shape[1] // BLOCK) * BLOCK
+    if height == 0 or width == 0:
+        raise WorkloadError(
+            f"image too small for {BLOCK}x{BLOCK} blocks: {data.shape}"
+        )
+    pixels = recorder.track(data[:height, :width] - 128.0)  # level shift
+    out = recorder.new_array((height, width))
+    quant = quant_table(quality)
+    nonzeros = 0
+
+    for top in recorder.loop(range(0, height, BLOCK)):
+        for left in recorder.loop(range(0, width, BLOCK)):
+            recorder.imul(top, width)  # block base address
+            block = [
+                [pixels[top + i, left + j] for j in range(BLOCK)]
+                for i in range(BLOCK)
+            ]
+            coeffs = _transform(recorder, block, _BASIS)
+
+            # Quantize: divide by the quality-scaled step, round to int.
+            codes = [[0.0] * BLOCK for _ in range(BLOCK)]
+            for u, v in _ZIGZAG:
+                code = round(recorder.fdiv(coeffs[u][v], quant[u][v]))
+                codes[u][v] = float(code)
+                recorder.branch()  # the run-length test
+                if code != 0:
+                    nonzeros += 1
+
+            # Dequantize: integer codes times the same steps.
+            for u in range(BLOCK):
+                for v in range(BLOCK):
+                    codes[u][v] = recorder.fmul(codes[u][v], quant[u][v])
+
+            spatial = _transform(recorder, codes, _INVERSE)
+            for i in range(BLOCK):
+                for j in range(BLOCK):
+                    out[top + i, left + j] = recorder.fadd(
+                        spatial[i][j], 128.0
+                    )
+    return out.array, nonzeros

@@ -1,0 +1,165 @@
+"""The Multi-Media workload suite (Table 4 of the paper).
+
+Eighteen Khoros-style image processing / DSP kernels, each implemented
+from its one-line description and instrumented through an
+:class:`~repro.workloads.recorder.OperationRecorder`.  The registry
+records which paper tables each kernel appears in:
+
+* ``TABLE7_ORDER`` -- the seventeen hit-ratio rows of Table 7;
+* ``SPEEDUP_APPS`` -- the nine applications of Tables 11-13;
+* ``SAMPLE_APPS`` -- the five sweep samples of Figures 3 and 4;
+* ``TABLE9_APPS`` -- the eight trivial-policy rows of Table 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ...errors import WorkloadError
+from ..recorder import OperationRecorder
+from . import (
+    vbpf,
+    vbrf,
+    vcost,
+    vdetilt,
+    vdiff,
+    venhance,
+    venhpatch,
+    vgauss,
+    vgef,
+    vgpwl,
+    vkmeans,
+    vmpp,
+    vrect2pol,
+    vslope,
+    vspatial,
+    vsqrt,
+    vsurf,
+    vwarp,
+)
+
+__all__ = [
+    "KernelInfo",
+    "KERNELS",
+    "TABLE7_ORDER",
+    "SPEEDUP_APPS",
+    "SAMPLE_APPS",
+    "TABLE9_APPS",
+    "get_kernel",
+    "kernel_names",
+    "run_kernel",
+]
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Registry entry for one MM kernel."""
+
+    name: str
+    description: str
+    run: Callable[..., np.ndarray]
+    uses_imul: bool
+    uses_fdiv: bool
+
+
+def _info(name, module, description, imul, fdiv):
+    return KernelInfo(name, description, module.run, imul, fdiv)
+
+
+#: All kernels, keyed by name (imul/fdiv flags mirror Table 7's dashes).
+KERNELS: Dict[str, KernelInfo] = {
+    info.name: info
+    for info in (
+        _info("vdiff", vdiff, "Differentiation using two NxN weighted ops (Sobel)", True, False),
+        _info("vcost", vcost, "Surface arc length from a given pixel", True, True),
+        _info("vgauss", vgauss, "Generates Gaussian distributions", False, True),
+        _info("vspatial", vspatial, "Statistical spatial feature extraction", True, True),
+        _info("vslope", vslope, "Slope and aspect images from elevation data", True, True),
+        _info("vgef", vgef, "Edge detection", True, False),
+        _info("vdetilt", vdetilt, "Best-fit plane subtracted from the image", False, False),
+        _info("vwarp", vwarp, "Polynomial geometric transformation (warp)", True, True),
+        _info("venhance", venhance, "Local transformation (mean & variance)", False, True),
+        _info("vrect2pol", vrect2pol, "Conversion of rectangular to polar data", False, True),
+        _info("vmpp", vmpp, "2-D information from COMPLEX images", False, True),
+        _info("vbrf", vbrf, "Band-reject filtering in the frequency domain", True, True),
+        _info("vbpf", vbpf, "Band-pass filtering in the frequency domain", True, True),
+        _info("vsurf", vsurf, "Surface parameters (normal and angle)", True, True),
+        _info("vgpwl", vgpwl, "Two dimensional piecewise linear image", False, True),
+        _info("venhpatch", venhpatch, "Stretches contrast based on a local histogram", True, False),
+        _info("vkmeans", vkmeans, "Kmeans clustering algorithm", False, True),
+        _info("vsqrt", vsqrt, "Square root of each pixel", False, True),
+    )
+}
+
+#: Row order of Table 7 (vsqrt is not a Table 7 row).
+TABLE7_ORDER: Tuple[str, ...] = (
+    "vdiff",
+    "vcost",
+    "vgauss",
+    "vspatial",
+    "vslope",
+    "vgef",
+    "vdetilt",
+    "vwarp",
+    "venhance",
+    "vrect2pol",
+    "vmpp",
+    "vbrf",
+    "vbpf",
+    "vsurf",
+    "vgpwl",
+    "venhpatch",
+    "vkmeans",
+)
+
+#: The nine applications of the speedup analysis (Tables 11-13).
+SPEEDUP_APPS: Tuple[str, ...] = (
+    "venhance",
+    "vbrf",
+    "vsqrt",
+    "vslope",
+    "vbpf",
+    "vkmeans",
+    "vspatial",
+    "vgauss",
+    "vgpwl",
+)
+
+#: The five sample applications of the size/associativity sweeps.
+SAMPLE_APPS: Tuple[str, ...] = ("vcost", "venhance", "vgpwl", "vspatial", "vsurf")
+
+#: The eight rows of the trivial-operation policy study (Table 9).
+TABLE9_APPS: Tuple[str, ...] = (
+    "vdiff",
+    "vcost",
+    "vgauss",
+    "vspatial",
+    "vslope",
+    "vgef",
+    "vdetilt",
+    "venhance",
+)
+
+
+def kernel_names() -> Tuple[str, ...]:
+    """All kernel names, Table 7 order first, then vsqrt."""
+    return TABLE7_ORDER + ("vsqrt",)
+
+
+def get_kernel(name: str) -> KernelInfo:
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown MM kernel {name!r}; available: {', '.join(kernel_names())}"
+        ) from None
+
+
+def run_kernel(
+    name: str, recorder: OperationRecorder, image: np.ndarray, **params
+) -> np.ndarray:
+    """Execute one kernel by name, recording into ``recorder``."""
+    return get_kernel(name).run(recorder, image, **params)

@@ -1,0 +1,146 @@
+"""Shared building blocks for the Khoros-style kernels.
+
+Everything here is written against an :class:`OperationRecorder` so that
+each floating point multiply/divide the kernels perform is a traced
+instruction.  Transcendentals (exp, atan) are expanded into the
+multiply/add/divide sequences a 1990s math library would execute, which
+both keeps the trace honest and exposes additional memoizable work.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import WorkloadError
+from ..recorder import OperationRecorder, TrackedArray
+
+__all__ = [
+    "first_band",
+    "as_float_image",
+    "windows",
+    "poly_exp",
+    "atan_approx",
+    "atan2_approx",
+    "newton_sqrt",
+    "convolve_at",
+    "track_image",
+]
+
+
+def first_band(image: np.ndarray) -> np.ndarray:
+    """Collapse an (H, W, bands) image to its first band."""
+    arr = np.asarray(image)
+    if arr.ndim == 3:
+        return arr[:, :, 0]
+    if arr.ndim != 2:
+        raise WorkloadError(f"expected an image, got shape {arr.shape}")
+    return arr
+
+
+def as_float_image(image: np.ndarray) -> np.ndarray:
+    """First band, as float64 (pixel values stay exactly representable)."""
+    return first_band(image).astype(np.float64)
+
+
+def track_image(recorder: OperationRecorder, image: np.ndarray) -> TrackedArray:
+    """Track the (float) first band of ``image`` for load/store recording."""
+    return recorder.track(as_float_image(image))
+
+
+def windows(
+    shape: Tuple[int, int], size: int, step: int = 0
+) -> Iterator[Tuple[int, int, int, int]]:
+    """Yield (top, left, height, width) tiles covering ``shape``.
+
+    ``step`` of zero means non-overlapping tiles of ``size``.
+    """
+    if size <= 0:
+        raise WorkloadError(f"window size must be positive, got {size}")
+    step = step or size
+    height, width = shape
+    for top in range(0, height, step):
+        for left in range(0, width, step):
+            yield top, left, min(size, height - top), min(size, width - left)
+
+
+#: Reciprocal factorials for the exp() Horner expansion.
+_EXP_COEFFS = (1.0, 1.0, 1 / 2.0, 1 / 6.0, 1 / 24.0, 1 / 120.0, 1 / 720.0)
+
+
+def poly_exp(r: OperationRecorder, x: float) -> float:
+    """exp(x) by range reduction + a 6th-order Horner polynomial.
+
+    ``exp(x) = exp(x/8)^8``: the Taylor polynomial is excellent on the
+    reduced range, and the three repeated squarings cost fmuls -- the
+    same multiply/add shape a 1990s libm exp() executes.
+    """
+    reduced = r.fmul(x, 0.125)
+    acc = _EXP_COEFFS[-1]
+    for coeff in reversed(_EXP_COEFFS[:-1]):
+        acc = r.fadd(r.fmul(acc, reduced), coeff)
+    for _ in range(3):
+        acc = r.fmul(acc, acc)
+    return acc
+
+
+def atan_approx(r: OperationRecorder, t: float) -> float:
+    """atan(t) for |t| <= 1 by the classic 3-term polynomial."""
+    t2 = r.fmul(t, t)
+    # atan(t) ~= t * (0.9724 - 0.1919 * t^2)  (max error ~5e-3 on [-1,1])
+    return r.fmul(t, r.fsub(0.9724, r.fmul(0.1919, t2)))
+
+
+def atan2_approx(r: OperationRecorder, y: float, x: float) -> float:
+    """Quadrant-correct atan2 built on one fdiv + atan_approx."""
+    if x == 0.0 and y == 0.0:
+        return 0.0
+    if abs(x) >= abs(y):
+        base = atan_approx(r, r.fdiv(y, x) if x != 0 else 0.0)
+        if x >= 0:
+            return base
+        return base + (np.pi if y >= 0 else -np.pi)
+    base = atan_approx(r, r.fdiv(x, y))
+    return (np.pi / 2 if y > 0 else -np.pi / 2) - base
+
+
+def newton_sqrt(r: OperationRecorder, a: float, iterations: int = 3) -> float:
+    """sqrt(a) by Newton-Raphson with explicit fdiv steps.
+
+    ``x <- (x + a/x) / 2`` -- this is the divide-heavy way 1990s code
+    computed square roots on machines without an fsqrt unit, and it is
+    what makes ``vsqrt`` a *division* benchmark in Table 11.  The seed
+    halves the exponent (an exponent-field shift in hardware, so it
+    costs no traced arithmetic) and three iterations converge to ~1e-5.
+    """
+    if a < 0:
+        return float("nan")
+    if a == 0:
+        return 0.0
+    x = math.ldexp(1.0, math.frexp(a)[1] // 2)
+    for _ in range(iterations):
+        x = r.fmul(0.5, r.fadd(x, r.fdiv(a, x)))
+    return x
+
+
+def convolve_at(
+    r: OperationRecorder,
+    pixels: TrackedArray,
+    i: int,
+    j: int,
+    weights: Sequence[Sequence[float]],
+) -> float:
+    """Weighted neighbourhood sum centred at (i, j), clamped at borders."""
+    height, width = pixels.shape
+    radius = len(weights) // 2
+    acc = 0.0
+    for di, row in enumerate(weights):
+        for dj, weight in enumerate(row):
+            if weight == 0.0:
+                continue
+            y = min(max(i + di - radius, 0), height - 1)
+            x = min(max(j + dj - radius, 0), width - 1)
+            acc = r.fadd(acc, r.fmul(pixels[y, x], weight))
+    return acc

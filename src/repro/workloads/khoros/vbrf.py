@@ -1,0 +1,120 @@
+"""vbrf -- band-reject filtering in the frequency domain.
+
+Table 4: "Band-reject filtering in the frequency domain."  Each 4x4
+block goes through a separable DCT, coefficients inside the rejected
+radial band are attenuated by ``c / (1 + distance)`` (one fdiv each),
+and the block is transformed back.  The basis multiplications dominate:
+a fixed 16-value cosine table against quantised pixels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import track_image, windows
+
+_BLOCK = 4
+
+
+def _dct_basis(n: int) -> List[List[float]]:
+    basis = []
+    for u in range(n):
+        scale = math.sqrt(1.0 / n) if u == 0 else math.sqrt(2.0 / n)
+        # Round the basis like a fixed-point implementation would: the
+        # coefficient ROM stores limited-precision constants.
+        basis.append(
+            [round(scale * math.cos((2 * i + 1) * u * math.pi / (2 * n)), 4)
+             for i in range(n)]
+        )
+    return basis
+
+
+_BASIS = _dct_basis(_BLOCK)
+
+
+def _transform_rows(recorder, block, basis):
+    n = len(block)
+    out = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for u in range(n):
+            acc = 0.0
+            for j in range(n):
+                acc = recorder.fadd(acc, recorder.fmul(block[i][j], basis[u][j]))
+            out[i][u] = acc
+    return out
+
+
+def _transform_cols(recorder, block, basis):
+    n = len(block)
+    out = [[0.0] * n for _ in range(n)]
+    for j in range(n):
+        for u in range(n):
+            acc = 0.0
+            for i in range(n):
+                acc = recorder.fadd(acc, recorder.fmul(block[i][j], basis[u][i]))
+            out[u][j] = acc
+    return out
+
+
+def _quantize(coeffs):
+    """JPEG-style coefficient quantization (to integer steps).
+
+    Real frequency-domain pipelines quantize transform coefficients;
+    it is also what makes the attenuation divisions memoizable -- the
+    dividend universe collapses to a few hundred integers.
+    """
+    n = len(coeffs)
+    for u in range(n):
+        for v in range(n):
+            coeffs[u][v] = float(round(coeffs[u][v]))
+    return coeffs
+
+
+def _attenuate(recorder, coeffs, low: float, high: float):
+    """Divide band coefficients by 1 + their distance into the band."""
+    n = len(coeffs)
+    for u in range(n):
+        for v in range(n):
+            radius = float(u * u + v * v)
+            if low <= radius <= high:
+                depth = 1.0 + min(radius - low, high - radius)
+                coeffs[u][v] = recorder.fdiv(coeffs[u][v], depth)
+    return coeffs
+
+
+_INVERSE = [[_BASIS[i][j] for i in range(_BLOCK)] for j in range(_BLOCK)]
+
+
+def run(
+    recorder: OperationRecorder,
+    image: np.ndarray,
+    band_low: float = 2.0,
+    band_high: float = 10.0,
+) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+    out = recorder.new_array((height, width))
+    for top, left, th, tw in recorder.loop(
+        list(windows((height, width), _BLOCK))
+    ):
+        if th < _BLOCK or tw < _BLOCK:
+            continue
+        recorder.imul(top, width)
+        block = [
+            [pixels[top + i, left + j] for j in range(_BLOCK)]
+            for i in range(_BLOCK)
+        ]
+        coeffs = _transform_cols(recorder, _transform_rows(recorder, block, _BASIS), _BASIS)
+        coeffs = _quantize(coeffs)
+        coeffs = _attenuate(recorder, coeffs, band_low, band_high)
+        spatial = _transform_cols(
+            recorder, _transform_rows(recorder, coeffs, _INVERSE), _INVERSE
+        )
+        for i in range(_BLOCK):
+            for j in range(_BLOCK):
+                out[top + i, left + j] = spatial[i][j]
+    return out.array

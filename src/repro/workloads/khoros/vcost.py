@@ -1,0 +1,44 @@
+"""vcost -- surface arc length from a given pixel.
+
+Table 4: "Surface arc length from a given pixel."  Treats the image as a
+height field; for every pixel, the local arc-length element is
+``sqrt(1 + dz_x^2 + dz_y^2)`` (computed with divide-based Newton square
+roots, as period code did) and the cost is that element normalised by
+the Chebyshev distance to the seed pixel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import newton_sqrt, track_image
+
+
+def run(
+    recorder: OperationRecorder,
+    image: np.ndarray,
+    seed_pixel: Optional[Tuple[int, int]] = None,
+) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+    if seed_pixel is None:
+        seed_pixel = (height // 2, width // 2)
+    si, sj = seed_pixel
+    out = recorder.new_array((height, width))
+    for i in recorder.loop(range(1, height)):
+        for j in recorder.loop(range(1, width)):
+            recorder.imul(i, width)  # per-pixel row-address multiply
+            here = pixels[i, j]
+            dzx = recorder.fsub(here, pixels[i, j - 1])
+            dzy = recorder.fsub(here, pixels[i - 1, j])
+            squared = recorder.fadd(
+                recorder.fadd(recorder.fmul(dzx, dzx), recorder.fmul(dzy, dzy)),
+                1.0,
+            )
+            arc = newton_sqrt(recorder, squared, iterations=2)
+            distance = float(max(abs(i - si), abs(j - sj), 1))
+            out[i, j] = recorder.fdiv(arc, distance)
+    return out.array

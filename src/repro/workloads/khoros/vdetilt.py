@@ -1,0 +1,53 @@
+"""vdetilt -- best-fit plane subtracted from the image.
+
+Table 4: "Best-fit plane subtracted from the image."  A closed-form
+least-squares plane fit over pixel coordinates (multiply-heavy moment
+accumulation) followed by per-pixel evaluation of ``a*i + b*j + c``.
+Pure FP multiplication work (Table 7: vdetilt shows fmul only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import track_image
+
+
+def run(recorder: OperationRecorder, image: np.ndarray) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+
+    # Moment accumulation: sums of i*p and j*p (the coordinate sums have
+    # closed forms and would be precomputed constants in real code).
+    sum_p = 0.0
+    sum_ip = 0.0
+    sum_jp = 0.0
+    for i in recorder.loop(range(height)):
+        fi = float(i)
+        for j in recorder.loop(range(width)):
+            p = pixels[i, j]
+            sum_p = recorder.fadd(sum_p, p)
+            sum_ip = recorder.fadd(sum_ip, recorder.fmul(fi, p))
+            sum_jp = recorder.fadd(sum_jp, recorder.fmul(float(j), p))
+
+    n = float(height * width)
+    mean_i = (height - 1) / 2.0
+    mean_j = (width - 1) / 2.0
+    var_i = sum((i - mean_i) ** 2 for i in range(height)) * width
+    var_j = sum((j - mean_j) ** 2 for j in range(width)) * height
+    # Multiply by the precomputed reciprocal: vdetilt issues no fdiv
+    # (Table 7 shows '-'), matching a compiler that strength-reduces the
+    # constant division.
+    mean_p = recorder.fmul(sum_p, 1.0 / n)
+    slope_i = (sum_ip - n * mean_i * mean_p) / var_i if var_i else 0.0
+    slope_j = (sum_jp - n * mean_j * mean_p) / var_j if var_j else 0.0
+
+    out = recorder.new_array((height, width))
+    for i in recorder.loop(range(height)):
+        tilt_i = recorder.fmul(slope_i, i - mean_i)
+        for j in recorder.loop(range(width)):
+            tilt_j = recorder.fmul(slope_j, j - mean_j)
+            plane = recorder.fadd(recorder.fadd(tilt_i, tilt_j), mean_p)
+            out[i, j] = recorder.fsub(pixels[i, j], plane)
+    return out.array

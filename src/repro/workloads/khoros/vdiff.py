@@ -1,0 +1,50 @@
+"""vdiff -- differentiation using two NxN weighted operators (Sobel).
+
+Table 4: "Differentiation using two NxN weighted ops."  The classic
+Sobel pair: an integer-weighted horizontal gradient and a float-weighted
+vertical gradient, combined into an edge magnitude.  Exercises the
+integer multiplier (weights and addressing) and the FP multiplier; no
+division (Table 7 shows '-' for vdiff fdiv).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import as_float_image, track_image
+
+#: Integer horizontal Sobel weights.
+_GX = ((-1, 0, 1), (-2, 0, 2), (-1, 0, 1))
+#: Float vertical Sobel weights.
+_GY = ((-0.125, -0.25, -0.125), (0.0, 0.0, 0.0), (0.125, 0.25, 0.125))
+
+
+def run(recorder: OperationRecorder, image: np.ndarray) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    ints = recorder.track(as_float_image(image).astype(np.int64))
+    height, width = pixels.shape
+    out = recorder.new_array((height, width))
+    for i in recorder.loop(range(1, height - 1)):
+        row_base = recorder.imul(i, width)  # address arithmetic
+        for j in recorder.loop(range(1, width - 1)):
+            gx = 0
+            for di in range(3):
+                for dj in range(3):
+                    weight = _GX[di][dj]
+                    if weight == 0:
+                        continue
+                    gx += recorder.imul(int(ints[i + di - 1, j + dj - 1]), weight)
+            gy = 0.0
+            for di in range(3):
+                for dj in range(3):
+                    weight = _GY[di][dj]
+                    if weight == 0.0:
+                        continue
+                    gy = recorder.fadd(
+                        gy, recorder.fmul(pixels[i + di - 1, j + dj - 1], weight)
+                    )
+            magnitude = recorder.fadd(abs(float(gx)), abs(gy))
+            out[i, j] = recorder.fmul(magnitude, 0.125)
+    del row_base
+    return out.array

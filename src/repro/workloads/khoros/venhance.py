@@ -1,0 +1,51 @@
+"""venhance -- local transformation based on mean and variance.
+
+Table 4: "Local transformation (mean & variance)."  Wallis-style
+enhancement: each tile's contrast is adjusted towards a target, with a
+gain dividing by the local spread; per-pixel work is FP multiplication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import newton_sqrt, track_image, windows
+
+
+def run(
+    recorder: OperationRecorder,
+    image: np.ndarray,
+    tile: int = 8,
+    target_std: float = 50.0,
+    max_gain: float = 4.0,
+) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+    out = recorder.new_array((height, width))
+    for top, left, th, tw in recorder.loop(list(windows((height, width), tile))):
+        count = float(th * tw)
+        total = 0.0
+        for i in recorder.loop(range(top, top + th)):
+            for j in recorder.loop(range(left, left + tw)):
+                total = recorder.fadd(total, pixels[i, j])
+        mean = recorder.fdiv(total, count)
+        sum_sq = 0.0
+        for i in recorder.loop(range(top, top + th)):
+            for j in recorder.loop(range(left, left + tw)):
+                deviation = recorder.fsub(pixels[i, j], mean)
+                sum_sq = recorder.fadd(sum_sq, recorder.fmul(deviation, deviation))
+        variance = recorder.fdiv(sum_sq, count)
+        # Integer variance estimate (real Wallis filters work in fixed
+        # point): tiles with equal variance share the whole sqrt/gain
+        # division sequence.
+        variance_estimate = float(round(variance))
+        spread = newton_sqrt(
+            recorder, recorder.fadd(variance_estimate, 1.0), iterations=2
+        )
+        gain = min(recorder.fdiv(target_std, spread), max_gain)
+        for i in recorder.loop(range(top, top + th)):
+            for j in recorder.loop(range(left, left + tw)):
+                deviation = recorder.fsub(pixels[i, j], mean)
+                out[i, j] = recorder.fadd(mean, recorder.fmul(gain, deviation))
+    return out.array

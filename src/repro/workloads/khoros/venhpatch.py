@@ -1,0 +1,49 @@
+"""venhpatch -- stretches contrast based on a local histogram.
+
+Table 4: "Stretches contrast based on a local histogram."  Per tile, the
+min/max are found and each pixel is stretched with integer arithmetic
+(``(p - min) * 255 / (max - min)`` where the multiply is an imul and the
+division is an integer divide, which the studied MEMO-TABLE system does
+not instrument -- Table 7 shows no fdiv for venhpatch).  The stretched
+value is then blended with the original, costing an FP multiply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import as_float_image, track_image, windows
+
+
+def run(
+    recorder: OperationRecorder,
+    image: np.ndarray,
+    tile: int = 8,
+    blend: float = 0.5,
+) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    ints = recorder.track(as_float_image(image).astype(np.int64))
+    height, width = pixels.shape
+    out = recorder.new_array((height, width))
+    for top, left, th, tw in recorder.loop(list(windows((height, width), tile))):
+        lo = hi = int(ints[top, left])
+        for i in recorder.loop(range(top, top + th)):
+            for j in recorder.loop(range(left, left + tw)):
+                value = int(ints[i, j])
+                recorder.branch(2)  # the two comparisons
+                if value < lo:
+                    lo = value
+                if value > hi:
+                    hi = value
+        spread = max(hi - lo, 1)
+        for i in recorder.loop(range(top, top + th)):
+            for j in recorder.loop(range(left, left + tw)):
+                scaled = recorder.imul(int(ints[i, j]) - lo, 255)
+                # Integer divide (SPARC sdiv): traced, but the studied
+                # MEMO-TABLE system has no table next to it, so
+                # venhpatch's fdiv column stays '-' (as in Table 7).
+                stretched = recorder.idiv(scaled, spread)
+                mixed = recorder.fadd(float(stretched), pixels[i, j])
+                out[i, j] = recorder.fmul(mixed, blend)
+    return out.array

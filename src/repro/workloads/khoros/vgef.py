@@ -1,0 +1,30 @@
+"""vgef -- edge detection.
+
+Table 4: "Edge detection."  A float-weighted gradient operator pair
+(Prewitt-style) with integer addressing arithmetic; magnitude is the sum
+of absolute responses.  No division appears (Table 7: vgef fdiv '-').
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import convolve_at, track_image
+
+_PX = ((-1 / 3, 0.0, 1 / 3), (-1 / 3, 0.0, 1 / 3), (-1 / 3, 0.0, 1 / 3))
+_PY = ((-1 / 3, -1 / 3, -1 / 3), (0.0, 0.0, 0.0), (1 / 3, 1 / 3, 1 / 3))
+
+
+def run(recorder: OperationRecorder, image: np.ndarray) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+    out = recorder.new_array((height, width))
+    for i in recorder.loop(range(1, height - 1)):
+        recorder.imul(i, width)
+        for j in recorder.loop(range(1, width - 1)):
+            recorder.imul(j, 8)  # byte offset of the window row
+            gx = convolve_at(recorder, pixels, i, j, _PX)
+            gy = convolve_at(recorder, pixels, i, j, _PY)
+            out[i, j] = recorder.fadd(abs(gx), abs(gy))
+    return out.array

@@ -1,0 +1,36 @@
+"""vgpwl -- two-dimensional piecewise linear image.
+
+Table 4: "Two dimensional piecewise linear image."  Approximates each
+row by linear segments: a slope division per segment (quantised
+endpoint deltas over a fixed length) and an interpolation multiply per
+pixel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import track_image
+
+
+def run(
+    recorder: OperationRecorder,
+    image: np.ndarray,
+    segment: int = 8,
+) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+    out = recorder.new_array((height, width))
+    for i in recorder.loop(range(height)):
+        for start in recorder.loop(range(0, width - 1, segment)):
+            end = min(start + segment, width - 1)
+            length = float(end - start)
+            first = pixels[i, start]
+            last = pixels[i, end]
+            slope = recorder.fdiv(recorder.fsub(last, first), length)
+            for j in recorder.loop(range(start, end)):
+                offset = recorder.fmul(slope, float(j - start))
+                out[i, j] = recorder.fadd(first, offset)
+        out[i, width - 1] = pixels[i, width - 1]
+    return out.array

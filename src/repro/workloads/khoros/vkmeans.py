@@ -1,0 +1,52 @@
+"""vkmeans -- k-means clustering algorithm.
+
+Table 4: "Kmeans clustering algorithm."  Clusters pixel intensities with
+a few Lloyd iterations.  Per pixel, the squared distance to each
+centroid is a multiplication and its normalisation a division by the
+grey range; centroid updates cost one division each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import track_image
+
+
+def run(
+    recorder: OperationRecorder,
+    image: np.ndarray,
+    k: int = 4,
+    iterations: int = 3,
+) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+    flat = pixels.array
+    lo, hi = float(flat.min()), float(flat.max())
+    centroids = [lo + (hi - lo) * (c + 0.5) / k for c in range(k)]
+    labels = recorder.new_array((height, width), dtype=np.int64, fill=0)
+    grey_range = max(hi - lo, 1.0)
+
+    for _ in recorder.loop(range(iterations)):
+        sums = [0.0] * k
+        counts = [0] * k
+        for i in recorder.loop(range(height)):
+            for j in recorder.loop(range(width)):
+                p = pixels[i, j]
+                best = 0
+                best_distance = float("inf")
+                for c in recorder.loop(range(k)):
+                    deviation = recorder.fsub(p, centroids[c])
+                    squared = recorder.fmul(deviation, deviation)
+                    normalised = recorder.fdiv(squared, grey_range)
+                    if normalised < best_distance:
+                        best_distance = normalised
+                        best = c
+                labels[i, j] = best
+                sums[best] += p
+                counts[best] += 1
+        for c in recorder.loop(range(k)):
+            if counts[c]:
+                centroids[c] = recorder.fdiv(sums[c], float(counts[c]))
+    return labels.array

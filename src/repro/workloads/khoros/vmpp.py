@@ -1,0 +1,34 @@
+"""vmpp -- 2-D information from COMPLEX images.
+
+Table 4: "2-D information from COMPLEX images."  The image's even/odd
+rows are taken as real/imaginary planes; per complex sample the kernel
+extracts power, magnitude and normalised phase -- multiply-heavy with a
+division per sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import atan2_approx, newton_sqrt, track_image
+
+
+def run(recorder: OperationRecorder, image: np.ndarray) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+    pairs = height // 2
+    out = recorder.new_array((pairs, width, 3))
+    for k in recorder.loop(range(pairs)):
+        for j in recorder.loop(range(width)):
+            real = pixels[2 * k, j]
+            imag = pixels[2 * k + 1, j]
+            power = recorder.fadd(
+                recorder.fmul(real, real), recorder.fmul(imag, imag)
+            )
+            magnitude = newton_sqrt(recorder, power, iterations=2)
+            phase = atan2_approx(recorder, imag, real)
+            out[k, j, 0] = power
+            out[k, j, 1] = magnitude
+            out[k, j, 2] = recorder.fdiv(phase, 2.0 * np.pi)
+    return out.array

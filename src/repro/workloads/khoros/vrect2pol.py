@@ -1,0 +1,28 @@
+"""vrect2pol -- conversion of rectangular to polar data.
+
+Table 4: "Conversion of rectangular to polar data."  Adjacent pixel
+pairs are treated as (x, y) samples; magnitude is a divide-based square
+root of ``x^2 + y^2`` and the angle costs one fdiv plus a polynomial
+atan.  FP multiply and divide only (Table 7: no imul column entry).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import atan2_approx, newton_sqrt, track_image
+
+
+def run(recorder: OperationRecorder, image: np.ndarray) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+    out = recorder.new_array((height, width // 2, 2))
+    for i in recorder.loop(range(height)):
+        for j in recorder.loop(range(0, width - 1, 2)):
+            x = pixels[i, j]
+            y = pixels[i, j + 1]
+            squared = recorder.fadd(recorder.fmul(x, x), recorder.fmul(y, y))
+            out[i, j // 2, 0] = newton_sqrt(recorder, squared, iterations=2)
+            out[i, j // 2, 1] = atan2_approx(recorder, y, x)
+    return out.array

@@ -1,0 +1,39 @@
+"""vslope -- slope and aspect images from elevation data.
+
+Table 4: "Slope and aspect images from elevation data."  Central
+differences give the gradient; slope is its magnitude (divide-based
+square root) and aspect its direction (one fdiv + polynomial atan).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import atan2_approx, newton_sqrt, track_image
+
+
+def run(
+    recorder: OperationRecorder, image: np.ndarray, spacing: float = 2.0
+) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+    out = recorder.new_array((height, width, 2))
+    for i in recorder.loop(range(1, height - 1)):
+        for j in recorder.loop(range(1, width - 1)):
+            # Address arithmetic: the row multiply repeats along the
+            # row, the column byte-offset multiply almost never does.
+            recorder.imul(i, width)
+            recorder.imul(j, 8)
+            gx = recorder.fdiv(
+                recorder.fsub(pixels[i, j + 1], pixels[i, j - 1]), spacing
+            )
+            gy = recorder.fdiv(
+                recorder.fsub(pixels[i + 1, j], pixels[i - 1, j]), spacing
+            )
+            squared = recorder.fadd(
+                recorder.fmul(gx, gx), recorder.fmul(gy, gy)
+            )
+            out[i, j, 0] = newton_sqrt(recorder, squared, iterations=2)
+            out[i, j, 1] = atan2_approx(recorder, gy, gx)
+    return out.array

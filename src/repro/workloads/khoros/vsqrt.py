@@ -1,0 +1,26 @@
+"""vsqrt -- square root of each pixel.
+
+Table 4: "Square root of each pixel."  Implemented the way 1990s image
+code did on machines without a hardware square root: Newton-Raphson with
+an explicit division per iteration.  That makes vsqrt a *division*
+workload (it appears in the fdiv speedup Table 11 with hit ratio .54).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import newton_sqrt, track_image
+
+
+def run(
+    recorder: OperationRecorder, image: np.ndarray, iterations: int = 3
+) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+    out = recorder.new_array((height, width))
+    for i in recorder.loop(range(height)):
+        for j in recorder.loop(range(width)):
+            out[i, j] = newton_sqrt(recorder, pixels[i, j], iterations=iterations)
+    return out.array

@@ -1,0 +1,49 @@
+"""vsurf -- surface parameters (normal and angle).
+
+Table 4: "Surface parameters (normal and angle)."  Treats the image as a
+height field: the surface normal is ``(-dz_x, -dz_y, 1)`` normalised
+(divide-based square root + three component divisions), and the angle is
+the dot product with a fixed light direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import newton_sqrt, track_image
+
+_LIGHT = (0.3, 0.5, 0.8124)  # unit light direction
+
+
+def run(recorder: OperationRecorder, image: np.ndarray) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+    out = recorder.new_array((height, width, 4))
+    for i in recorder.loop(range(height - 1)):
+        for j in recorder.loop(range(width - 1)):
+            recorder.imul(i, width)  # row base, reused along the row
+            here = pixels[i, j]
+            dzx = recorder.fsub(pixels[i, j + 1], here)
+            dzy = recorder.fsub(pixels[i + 1, j], here)
+            norm_sq = recorder.fadd(
+                recorder.fadd(
+                    recorder.fmul(dzx, dzx), recorder.fmul(dzy, dzy)
+                ),
+                1.0,
+            )
+            norm = newton_sqrt(recorder, norm_sq, iterations=2)
+            nx = recorder.fdiv(-dzx, norm)
+            ny = recorder.fdiv(-dzy, norm)
+            nz = recorder.fdiv(1.0, norm)
+            angle = recorder.fadd(
+                recorder.fadd(
+                    recorder.fmul(nx, _LIGHT[0]), recorder.fmul(ny, _LIGHT[1])
+                ),
+                recorder.fmul(nz, _LIGHT[2]),
+            )
+            out[i, j, 0] = nx
+            out[i, j, 1] = ny
+            out[i, j, 2] = nz
+            out[i, j, 3] = angle
+    return out.array

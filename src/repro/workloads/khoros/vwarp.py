@@ -1,0 +1,64 @@
+"""vwarp -- polynomial geometric transformation (warp).
+
+Table 4: "Polynomial geometric transformation (warp)."  Each output
+pixel maps through a bilinear polynomial ``u = c0 + c1*j + c2*i +
+c3*i*j`` (and similarly ``v``), then samples the source with bilinear
+interpolation; the fractional weights bring both multiplies and the
+normalising division.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..recorder import OperationRecorder
+from ._lib import track_image
+
+#: Mild shear + scale, in pixel units (c0, c_j, c_i, c_ij).
+_DEFAULT_U = (1.5, 0.95, 0.02, 0.0002)
+_DEFAULT_V = (0.5, 0.03, 0.97, -0.0001)
+
+
+def _poly(recorder: OperationRecorder, c: Sequence[float], i: float, j: float) -> float:
+    acc = recorder.fadd(c[0], recorder.fmul(c[1], j))
+    acc = recorder.fadd(acc, recorder.fmul(c[2], i))
+    return recorder.fadd(acc, recorder.fmul(c[3], recorder.fmul(i, j)))
+
+
+def run(
+    recorder: OperationRecorder,
+    image: np.ndarray,
+    u_coeffs: Sequence[float] = _DEFAULT_U,
+    v_coeffs: Sequence[float] = _DEFAULT_V,
+) -> np.ndarray:
+    pixels = track_image(recorder, image)
+    height, width = pixels.shape
+    out = recorder.new_array((height, width))
+    denominator = 16.0  # fixed-point weight scale used by the sampler
+    for i in recorder.loop(range(height)):
+        recorder.imul(i, width)
+        fi = float(i)
+        for j in recorder.loop(range(width)):
+            u = _poly(recorder, u_coeffs, fi, float(j))
+            v = _poly(recorder, v_coeffs, fi, float(j))
+            x0 = min(max(int(u), 0), width - 2)
+            y0 = min(max(int(v), 0), height - 2)
+            # Quantized fractional weights (1/16 steps, like fixed-point
+            # warp hardware) keep the interpolation operands low-entropy.
+            fx = float(min(max(int((u - x0) * 16), 0), 15))
+            fy = float(min(max(int((v - y0) * 16), 0), 15))
+            w11 = recorder.fmul(fx, fy)
+            top = recorder.fadd(
+                recorder.fmul(pixels[y0, x0], 256.0 - 16 * fx - 16 * fy + w11),
+                recorder.fmul(pixels[y0, x0 + 1], recorder.fmul(fx, 16.0 - fy)),
+            )
+            bottom = recorder.fadd(
+                recorder.fmul(pixels[y0 + 1, x0], recorder.fmul(fy, 16.0 - fx)),
+                recorder.fmul(pixels[y0 + 1, x0 + 1], w11),
+            )
+            out[i, j] = recorder.fdiv(
+                recorder.fadd(top, bottom), denominator * denominator
+            )
+    return out.array

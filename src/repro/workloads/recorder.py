@@ -1,0 +1,324 @@
+"""Instrumented execution: turning Python kernels into instruction traces.
+
+The paper instruments real binaries with Shade; here, workload kernels
+are ordinary Python functions written against an
+:class:`OperationRecorder`, which
+
+* performs each arithmetic operation (so the kernel really computes its
+  output) while appending the matching :class:`TraceEvent`;
+* tracks array accesses through :class:`TrackedArray` so loads/stores
+  carry realistic addresses for the cache hierarchy;
+* counts loop overhead (branch + index arithmetic) via :meth:`loop`.
+
+The recorded stream is exactly what the simulators consume, so the
+operand values reaching the MEMO-TABLES are the values the computation
+actually produced -- value locality is emergent, not synthesized.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.operations import ieee_div, ieee_log, ieee_sqrt, int_div
+from ..errors import WorkloadError
+from ..isa.opcodes import Opcode
+from ..isa.trace import Trace, TraceEvent
+
+__all__ = ["OperationRecorder", "TrackedArray", "TracedValue", "TracedInt", "vid_of"]
+
+Consumer = Callable[[TraceEvent], None]
+
+
+class TracedValue(float):
+    """A float carrying the virtual value-id of the event that made it.
+
+    Kernels handle these as ordinary floats (any further plain-Python
+    arithmetic returns a bare float, dropping the id -- which is correct:
+    untraced operations are not pipeline producers).  The recorder reads
+    the id back to attach dataflow edges to subsequent events.
+    """
+
+    def __new__(cls, value: float, vid: int):
+        self = super().__new__(cls, value)
+        self.vid = vid
+        return self
+
+
+class TracedInt(int):
+    """Integer twin of :class:`TracedValue` (for imul results)."""
+
+    def __new__(cls, value: int, vid: int):
+        self = super().__new__(cls, value)
+        self.vid = vid
+        return self
+
+
+def vid_of(value) -> Optional[int]:
+    """Virtual value-id of ``value``, or None for untracked constants."""
+    return getattr(value, "vid", None)
+
+
+def _srcs(*operands) -> tuple:
+    """Dataflow edges: the ids of traced operands (constants drop out)."""
+    return tuple(v.vid for v in operands if hasattr(v, "vid"))
+
+#: Tracked arrays are laid out in a flat synthetic address space,
+#: page-aligned so distinct arrays never share cache lines.
+_ARRAY_ALIGNMENT = 4096
+
+
+class TrackedArray:
+    """A numpy array whose element accesses are recorded as loads/stores.
+
+    Only scalar (integer-tuple) indexing is supported -- kernels are
+    written as explicit per-pixel loops, which is what a compiled
+    scalar binary would execute.
+    """
+
+    def __init__(
+        self, recorder: "OperationRecorder", array: np.ndarray, base: int
+    ) -> None:
+        self._recorder = recorder
+        self.array = array
+        self.base = base
+        self.itemsize = array.itemsize
+        # Element strides, precomputed: address math runs per access.
+        self._strides = tuple(s // array.itemsize for s in array.strides)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.array.shape
+
+    def _address(self, index) -> int:
+        if isinstance(index, tuple):
+            flat = 0
+            for i, stride in zip(index, self._strides):
+                flat += i * stride
+        else:
+            flat = index * self._strides[0]
+        return self.base + flat * self.itemsize
+
+    def __getitem__(self, index):
+        recorder = self._recorder
+        vid = recorder._new_vid()
+        recorder.emit(
+            TraceEvent(Opcode.LOAD, address=self._address(index), dst=vid)
+        )
+        value = self.array[index]
+        if isinstance(value, np.generic):
+            value = value.item()
+        if isinstance(value, float):
+            return TracedValue(value, vid)
+        if isinstance(value, int):
+            return TracedInt(value, vid)
+        return value
+
+    def __setitem__(self, index, value) -> None:
+        self._recorder.emit(
+            TraceEvent(
+                Opcode.STORE, address=self._address(index), srcs=_srcs(value)
+            )
+        )
+        self.array[index] = value
+
+    def peek(self, index):
+        """Read without recording (for assertions and debugging)."""
+        value = self.array[index]
+        return value.item() if isinstance(value, np.generic) else value
+
+
+class OperationRecorder:
+    """Collects the dynamic instruction stream of an instrumented kernel."""
+
+    def __init__(
+        self,
+        keep_trace: bool = True,
+        consumers: Sequence[Consumer] = (),
+        record_sites: bool = False,
+    ) -> None:
+        """``keep_trace`` materializes events in :attr:`trace`;
+        ``consumers`` receive every event as it happens (streaming mode,
+        for runs too large to hold in memory); ``record_sites`` stamps
+        each arithmetic event with a synthetic PC identifying its static
+        call site (needed by PC-indexed schemes like the Reuse Buffer)."""
+        self.trace: Optional[Trace] = Trace() if keep_trace else None
+        self._consumers: List[Consumer] = list(consumers)
+        self._next_base = _ARRAY_ALIGNMENT
+        self._next_vid = 0
+        self.record_sites = record_sites
+        self._sites: Dict[tuple, int] = {}
+        self.events_recorded = 0
+
+    def _new_vid(self) -> int:
+        """Allocate a fresh virtual value id (dataflow node)."""
+        self._next_vid += 1
+        return self._next_vid
+
+    def _site_pc(self) -> Optional[int]:
+        """Synthetic PC of the kernel statement that called the recorder.
+
+        Derived from the caller's code object and bytecode offset, two
+        frames up (kernel -> public method -> helper), so one source
+        statement is one static instruction -- unrolled source therefore
+        occupies multiple PCs, exactly the distinction the paper draws
+        against the Reuse Buffer.
+        """
+        if not self.record_sites:
+            return None
+        frame = sys._getframe(3)
+        key = (id(frame.f_code), frame.f_lasti)
+        pc = self._sites.get(key)
+        if pc is None:
+            # 4-byte "instructions", like a RISC text segment.
+            pc = 0x10000 + 4 * len(self._sites)
+            self._sites[key] = pc
+        return pc
+
+    # -- plumbing ---------------------------------------------------------
+
+    def add_consumer(self, consumer: Consumer) -> None:
+        self._consumers.append(consumer)
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events_recorded += 1
+        if self.trace is not None:
+            self.trace.append(event)
+        for consumer in self._consumers:
+            consumer(event)
+
+    # -- memory -----------------------------------------------------------
+
+    def track(self, array: np.ndarray) -> TrackedArray:
+        """Place ``array`` in the synthetic address space and wrap it."""
+        arr = np.asarray(array)
+        base = self._next_base
+        span = arr.size * arr.itemsize
+        self._next_base = (
+            (base + span + _ARRAY_ALIGNMENT - 1) // _ARRAY_ALIGNMENT
+        ) * _ARRAY_ALIGNMENT
+        return TrackedArray(self, arr, base)
+
+    def new_array(self, shape, dtype=np.float64, fill=0.0) -> TrackedArray:
+        """Allocate and track a fresh output array."""
+        return self.track(np.full(shape, fill, dtype=dtype))
+
+    # -- arithmetic (records and computes) ----------------------------------
+    #
+    # Every method computes the true result, emits an event carrying the
+    # plain operand values plus dataflow edges, and returns the result
+    # wrapped with its value id so later events can name it as a source.
+
+    def _binary(self, opcode: Opcode, raw_a, raw_b, value_a, value_b, result):
+        """Emit a two-operand event; ``raw_*`` keep the dataflow ids."""
+        vid = self._new_vid()
+        self.emit(
+            TraceEvent(
+                opcode, value_a, value_b, result,
+                dst=vid, srcs=_srcs(raw_a, raw_b), pc=self._site_pc(),
+            )
+        )
+        return vid
+
+    def _unary(self, opcode: Opcode, raw_a, value_a, result):
+        vid = self._new_vid()
+        self.emit(
+            TraceEvent(
+                opcode, value_a, 0.0, result,
+                dst=vid, srcs=_srcs(raw_a), pc=self._site_pc(),
+            )
+        )
+        return vid
+
+    def imul(self, a: int, b: int) -> int:
+        result = int(a) * int(b)
+        vid = self._binary(Opcode.IMUL, a, b, int(a), int(b), result)
+        return TracedInt(result, vid)
+
+    def idiv(self, a: int, b: int) -> int:
+        result = int_div(int(a), int(b))
+        vid = self._binary(Opcode.IDIV, a, b, int(a), int(b), result)
+        return TracedInt(result, vid)
+
+    def fmul(self, a: float, b: float) -> float:
+        result = float(a) * float(b)
+        vid = self._binary(Opcode.FMUL, a, b, float(a), float(b), result)
+        return TracedValue(result, vid)
+
+    def fdiv(self, a: float, b: float) -> float:
+        result = ieee_div(float(a), float(b))
+        vid = self._binary(Opcode.FDIV, a, b, float(a), float(b), result)
+        return TracedValue(result, vid)
+
+    def fsqrt(self, a: float) -> float:
+        result = ieee_sqrt(float(a))
+        vid = self._unary(Opcode.FSQRT, a, float(a), result)
+        return TracedValue(result, vid)
+
+    def frecip(self, a: float) -> float:
+        result = ieee_div(1.0, float(a))
+        vid = self._unary(Opcode.FRECIP, a, float(a), result)
+        return TracedValue(result, vid)
+
+    def flog(self, a: float) -> float:
+        result = ieee_log(float(a))
+        vid = self._unary(Opcode.FLOG, a, float(a), result)
+        return TracedValue(result, vid)
+
+    def fsin(self, a: float) -> float:
+        result = math.sin(float(a))
+        vid = self._unary(Opcode.FSIN, a, float(a), result)
+        return TracedValue(result, vid)
+
+    def fcos(self, a: float) -> float:
+        result = math.cos(float(a))
+        vid = self._unary(Opcode.FCOS, a, float(a), result)
+        return TracedValue(result, vid)
+
+    def fadd(self, a: float, b: float) -> float:
+        result = float(a) + float(b)
+        vid = self._binary(Opcode.FADD, a, b, float(a), float(b), result)
+        return TracedValue(result, vid)
+
+    def fsub(self, a: float, b: float) -> float:
+        result = float(a) - float(b)
+        vid = self._binary(Opcode.FADD, a, b, float(a), float(b), result)
+        return TracedValue(result, vid)
+
+    # -- overhead instructions ----------------------------------------------
+
+    def ialu(self, count: int = 1) -> None:
+        """Record integer ALU work (address arithmetic, comparisons...)."""
+        for _ in range(count):
+            self.emit(TraceEvent(Opcode.IALU))
+
+    def branch(self, count: int = 1) -> None:
+        for _ in range(count):
+            self.emit(TraceEvent(Opcode.BRANCH))
+
+    def loop(self, iterable: Iterable) -> Iterator:
+        """Iterate while charging per-iteration loop overhead.
+
+        Each iteration of a compiled scalar loop costs index increments,
+        a bounds compare and a conditional branch; ``loop`` records that
+        mix (two IALU + one BRANCH), so traces carry a realistic
+        instruction breakdown even though the kernel bodies are Python.
+        """
+        ialu = TraceEvent(Opcode.IALU)
+        branch = TraceEvent(Opcode.BRANCH)
+        for item in iterable:
+            self.emit(ialu)
+            self.emit(ialu)
+            self.emit(branch)
+            yield item
+
+    # -- summary ------------------------------------------------------------
+
+    def breakdown(self) -> dict:
+        """Opcode frequency breakdown (requires keep_trace=True)."""
+        if self.trace is None:
+            raise WorkloadError("breakdown requires keep_trace=True")
+        return self.trace.breakdown()

@@ -1,0 +1,113 @@
+"""DSP workloads for the paper's future-work operations (section 4).
+
+"Future work will be to extend the MEMO-TABLE technique to sqrt, log,
+trigonometric and other mathematical functions."  These kernels exercise
+hardware log/sin/cos units on multimedia-style data so that extension
+can be evaluated with the same machinery as the headline experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .recorder import OperationRecorder
+
+__all__ = [
+    "log_compress",
+    "sine_synthesis",
+    "texture_rotation",
+    "TRANSCENDENTAL_KERNELS",
+    "run_transcendental",
+]
+
+
+def log_compress(recorder: OperationRecorder, image: np.ndarray) -> np.ndarray:
+    """Logarithmic dynamic-range compression: ``out = c * log(1 + p)``.
+
+    The classic display transform for spectra and radar imagery.  Byte
+    pixels give at most 256 distinct log arguments -- a tiny operand
+    universe, ideal for a log-unit MEMO-TABLE.
+    """
+    pixels = recorder.track(np.asarray(image, dtype=np.float64))
+    if pixels.array.ndim != 2:
+        raise WorkloadError("log_compress expects a 2-D image")
+    height, width = pixels.shape
+    out = recorder.new_array((height, width))
+    scale = 255.0 / np.log(256.0)
+    for i in recorder.loop(range(height)):
+        for j in recorder.loop(range(width)):
+            compressed = recorder.flog(recorder.fadd(pixels[i, j], 1.0))
+            out[i, j] = recorder.fmul(compressed, scale)
+    return out.array
+
+
+def sine_synthesis(
+    recorder: OperationRecorder,
+    samples: int = 512,
+    partials: int = 4,
+    phase_steps: int = 64,
+) -> np.ndarray:
+    """Additive audio synthesis on a quantised phase accumulator.
+
+    Fixed-point synthesizers step the phase on a ``phase_steps`` lattice,
+    so every ``sin`` argument is one of a small set of angles -- the
+    1990s justification for sine ROMs, re-expressed as memoing.
+    """
+    if samples <= 0 or partials <= 0 or phase_steps <= 0:
+        raise WorkloadError("samples, partials and phase_steps must be positive")
+    out = recorder.new_array((samples,))
+    two_pi = 2.0 * np.pi
+    for n in recorder.loop(range(samples)):
+        value = 0.0
+        for k in recorder.loop(range(1, partials + 1)):
+            step = (n * k) % phase_steps
+            angle = two_pi * step / phase_steps
+            tone = recorder.fsin(angle)
+            value = recorder.fadd(value, recorder.fmul(tone, 1.0 / (k + 1)))
+        out[n] = value
+    return out.array
+
+
+def texture_rotation(
+    recorder: OperationRecorder,
+    image: np.ndarray,
+    angle_levels: int = 32,
+) -> np.ndarray:
+    """Per-pixel rotation field: sin/cos of pixel-derived angles.
+
+    Each pixel's value selects one of ``angle_levels`` rotation angles
+    (a gradient-direction map quantised the way real texture analysis
+    quantises orientations); both sin and cos units see the same small
+    operand universe.
+    """
+    pixels = recorder.track(np.asarray(image, dtype=np.float64))
+    height, width = pixels.shape
+    out = recorder.new_array((height, width, 2))
+    two_pi = 2.0 * np.pi
+    for i in recorder.loop(range(height)):
+        for j in recorder.loop(range(width)):
+            level = int(pixels[i, j]) % angle_levels
+            angle = two_pi * level / angle_levels
+            out[i, j, 0] = recorder.fcos(angle)
+            out[i, j, 1] = recorder.fsin(angle)
+    return out.array
+
+
+TRANSCENDENTAL_KERNELS = {
+    "log_compress": log_compress,
+    "sine_synthesis": sine_synthesis,
+    "texture_rotation": texture_rotation,
+}
+
+
+def run_transcendental(name: str, recorder: OperationRecorder, *args, **kwargs):
+    """Run a future-work kernel by name."""
+    try:
+        kernel = TRANSCENDENTAL_KERNELS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown kernel {name!r}; available: "
+            f"{', '.join(TRANSCENDENTAL_KERNELS)}"
+        ) from None
+    return kernel(recorder, *args, **kwargs)

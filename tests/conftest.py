@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.images import generate
+from repro.workloads.recorder import OperationRecorder
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def recorder():
+    return OperationRecorder()
+
+
+@pytest.fixture(scope="session")
+def small_image():
+    """A 16x16 low-entropy byte image (fast enough for kernel tests)."""
+    return generate("chroms", scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def flat_image():
+    """An 8x8 constant image: maximal value locality."""
+    return np.full((8, 8), 7, dtype=np.int64)
+
+
+@pytest.fixture(scope="session")
+def gradient_image():
+    """A 12x12 row-gradient image: every row identical."""
+    return np.tile(np.arange(12, dtype=np.int64), (12, 1))

@@ -1,0 +1,91 @@
+"""Tests for the Amdahl speedup model (section 3.3 formulas)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.amdahl import (
+    AmdahlPoint,
+    amdahl_speedup,
+    new_execution_time,
+    speedup_enhanced,
+)
+
+
+class TestSpeedupEnhanced:
+    def test_zero_hit_ratio_is_identity(self):
+        assert speedup_enhanced(13, 0.0) == 1.0
+
+    def test_perfect_hit_ratio_equals_latency(self):
+        assert speedup_enhanced(13, 1.0) == 13.0
+
+    def test_paper_example_values(self):
+        # Table 11 vspatial: hr=.94, dc=39 -> SE ~ 11.89.
+        assert speedup_enhanced(39, 0.94) == pytest.approx(11.89, abs=0.01)
+        # Table 11 vgauss: hr=.79, dc=39 -> SE ~ 4.34.
+        assert speedup_enhanced(39, 0.79) == pytest.approx(4.34, abs=0.01)
+        # Table 12 venhance: hr=.57, dc=3 -> SE ~ 1.61.
+        assert speedup_enhanced(3, 0.57) == pytest.approx(1.61, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup_enhanced(0, 0.5)
+        with pytest.raises(ValueError):
+            speedup_enhanced(13, 1.5)
+        with pytest.raises(ValueError):
+            speedup_enhanced(13, -0.1)
+
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_bounds(self, latency, hit_ratio):
+        se = speedup_enhanced(latency, hit_ratio)
+        assert 1.0 <= se <= latency
+
+
+class TestAmdahl:
+    def test_no_enhancement(self):
+        assert amdahl_speedup(0.0, 5.0) == 1.0
+
+    def test_everything_enhanced(self):
+        assert amdahl_speedup(1.0, 5.0) == 5.0
+
+    def test_paper_example(self):
+        # Table 11 vspatial @ 39 cycles: FE=.252, SE=11.89 -> 1.30.
+        assert amdahl_speedup(0.252, 11.89) == pytest.approx(1.30, abs=0.01)
+
+    def test_new_execution_time_inverse(self):
+        t_new = new_execution_time(100.0, 0.3, 2.0)
+        assert t_new == pytest.approx(85.0)
+        assert 100.0 / t_new == pytest.approx(amdahl_speedup(0.3, 2.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 2.0)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0.9)
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=1, max_value=50),
+    )
+    def test_speedup_bounded_by_se(self, fe, se):
+        speedup = amdahl_speedup(fe, se)
+        assert 1.0 <= speedup <= se + 1e-9
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=1, max_value=50),
+        st.floats(min_value=1, max_value=50),
+    )
+    def test_monotone_in_se(self, fe, se1, se2):
+        low, high = sorted([se1, se2])
+        assert amdahl_speedup(fe, low) <= amdahl_speedup(fe, high) + 1e-12
+
+
+class TestAmdahlPoint:
+    def test_derived_values(self):
+        point = AmdahlPoint(hit_ratio=0.94, latency=39, fraction_enhanced=0.252)
+        assert point.speedup_enhanced == pytest.approx(11.89, abs=0.01)
+        assert point.speedup == pytest.approx(1.30, abs=0.01)

@@ -1,0 +1,78 @@
+"""Tests for the per-operation unit bank."""
+
+import pytest
+
+from repro.core.bank import MemoTableBank, PAPER_OPERATIONS
+from repro.core.config import MemoTableConfig, TrivialPolicy
+from repro.core.memo_table import InfiniteMemoTable, MemoTable
+from repro.core.operations import Operation
+
+
+class TestConstruction:
+    def test_paper_baseline_has_three_units(self):
+        bank = MemoTableBank.paper_baseline()
+        assert set(bank.units) == set(PAPER_OPERATIONS)
+        for op, unit in bank.units.items():
+            assert isinstance(unit.table, MemoTable)
+            assert unit.table.config.entries == 32
+            assert unit.table.config.commutative == op.commutative
+
+    def test_infinite_bank(self):
+        bank = MemoTableBank.infinite()
+        for unit in bank.units.values():
+            assert isinstance(unit.table, InfiniteMemoTable)
+
+    def test_custom_config_applied(self):
+        bank = MemoTableBank.paper_baseline(
+            config=MemoTableConfig(entries=64, associativity=2)
+        )
+        assert bank.units[Operation.FP_MUL].table.config.entries == 64
+
+    def test_custom_operations(self):
+        bank = MemoTableBank.paper_baseline(
+            operations=(Operation.FP_SQRT, Operation.FP_RECIP)
+        )
+        assert bank.supports(Operation.FP_SQRT)
+        assert not bank.supports(Operation.FP_MUL)
+
+    def test_custom_latencies(self):
+        bank = MemoTableBank.paper_baseline(latencies={Operation.FP_DIV: 39})
+        assert bank.units[Operation.FP_DIV].latency == 39
+
+    def test_trivial_policy_propagates(self):
+        bank = MemoTableBank.paper_baseline(
+            trivial_policy=TrivialPolicy.INTEGRATED
+        )
+        for unit in bank.units.values():
+            assert unit.trivial_policy is TrivialPolicy.INTEGRATED
+
+
+class TestDispatch:
+    def test_execute_routes_by_operation(self):
+        bank = MemoTableBank.paper_baseline()
+        assert bank.execute(Operation.FP_MUL, 2.5, 4.0).value == 10.0
+        assert bank.execute(Operation.INT_MUL, 6, 7).value == 42
+        assert bank.execute(Operation.FP_DIV, 1.0, 4.0).value == 0.25
+
+    def test_units_isolated(self):
+        bank = MemoTableBank.paper_baseline()
+        bank.execute(Operation.FP_MUL, 2.5, 4.0)
+        # Same operands to the divider must miss: separate tables.
+        outcome = bank.execute(Operation.FP_DIV, 2.5, 4.0)
+        assert not outcome.hit
+
+    def test_hit_ratio_accessor(self):
+        bank = MemoTableBank.paper_baseline()
+        bank.execute(Operation.FP_DIV, 9.0, 7.0)
+        bank.execute(Operation.FP_DIV, 9.0, 7.0)
+        assert bank.hit_ratio(Operation.FP_DIV) == 0.5
+
+    def test_reset_and_flush(self):
+        bank = MemoTableBank.paper_baseline()
+        bank.execute(Operation.FP_DIV, 9.0, 7.0)
+        bank.reset_stats()
+        assert bank.stats()[Operation.FP_DIV].operations == 0
+        # Table content survives reset_stats but not flush.
+        assert bank.execute(Operation.FP_DIV, 9.0, 7.0).hit
+        bank.flush()
+        assert not bank.execute(Operation.FP_DIV, 9.0, 7.0).hit

@@ -1,0 +1,162 @@
+"""Tests for the binary trace format and trace sampling."""
+
+import io
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bank import MemoTableBank
+from repro.core.operations import Operation
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.isa.binfmt import BINARY_MAGIC, read_binary_trace, write_binary_trace
+from repro.isa.opcodes import Opcode
+from repro.isa.trace import TraceEvent
+from repro.simulator.sampling import SamplingPlan, estimate_hit_ratios
+from repro.simulator.shade import ShadeSimulator
+
+
+def _roundtrip(events):
+    buffer = io.BytesIO()
+    write_binary_trace(events, buffer)
+    buffer.seek(0)
+    return list(read_binary_trace(buffer))
+
+
+class TestBinaryFormat:
+    def test_roundtrip_mixed_trace(self):
+        events = [
+            TraceEvent(Opcode.FMUL, 0.1, -2.5, -0.25),
+            TraceEvent(Opcode.IMUL, -7, 2**40, -7 * 2**40),
+            TraceEvent(Opcode.LOAD, address=0xDEADBEEF),
+            TraceEvent(Opcode.STORE, address=0x10),
+            TraceEvent(Opcode.BRANCH),
+            TraceEvent(Opcode.FDIV, 1.0, 3.0, 1.0 / 3.0),
+            TraceEvent(Opcode.FSQRT, 2.0, 0.0, math.sqrt(2.0)),
+        ]
+        assert _roundtrip(events) == events
+
+    def test_negative_zero_and_inf_exact(self):
+        events = [TraceEvent(Opcode.FMUL, -0.0, math.inf, -math.inf)]
+        restored = _roundtrip(events)[0]
+        assert math.copysign(1.0, restored.a) == -1.0
+        assert restored.b == math.inf
+
+    def test_record_size(self):
+        buffer = io.BytesIO()
+        write_binary_trace([TraceEvent(Opcode.NOP)] * 10, buffer)
+        assert len(buffer.getvalue()) == len(BINARY_MAGIC) + 10 * 34
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            list(read_binary_trace(io.BytesIO(b"NOTATRACE")))
+
+    def test_truncated_record_rejected(self):
+        buffer = io.BytesIO()
+        write_binary_trace([TraceEvent(Opcode.FMUL, 1.0, 2.0, 2.0)], buffer)
+        clipped = io.BytesIO(buffer.getvalue()[:-5])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(read_binary_trace(clipped))
+
+    def test_imul_overflow_rejected(self):
+        with pytest.raises(TraceFormatError, match="int64"):
+            _roundtrip([TraceEvent(Opcode.IMUL, 2**70, 1, 2**70)])
+
+    def test_dataflow_annotations_dropped(self):
+        event = TraceEvent(Opcode.FMUL, 1.5, 2.0, 3.0, dst=9, srcs=(1, 2), pc=4)
+        restored = _roundtrip([event])[0]
+        assert restored.dst is None and restored.srcs == () and restored.pc is None
+        assert (restored.a, restored.b, restored.result) == (1.5, 2.0, 3.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(allow_nan=False),
+                st.floats(allow_nan=False),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_float_roundtrip_property(self, pairs):
+        events = [TraceEvent(Opcode.FDIV, a, b, 1.0) for a, b in pairs]
+        assert _roundtrip(events) == events
+
+    def test_statistics_preserved_through_format(self, small_image):
+        from repro.workloads.khoros import run_kernel
+        from repro.workloads.recorder import OperationRecorder
+
+        recorder = OperationRecorder()
+        run_kernel("vgauss", recorder, small_image)
+        direct = ShadeSimulator().run(recorder.trace)
+        restored = _roundtrip(recorder.trace.events)
+        replayed = ShadeSimulator().run(restored)
+        assert replayed.hit_ratio(Operation.FP_MUL) == direct.hit_ratio(
+            Operation.FP_MUL
+        )
+        assert replayed.breakdown == direct.breakdown
+
+
+class TestSamplingPlan:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SamplingPlan(window=0)
+        with pytest.raises(ConfigurationError):
+            SamplingPlan(window=900, warmup=200, interval=1000)
+
+    def test_simulated_fraction(self):
+        plan = SamplingPlan(window=100, warmup=100, interval=1000)
+        assert plan.simulated_fraction == pytest.approx(0.2)
+
+
+class TestSampledEstimates:
+    def _long_trace(self):
+        """A long periodic trace with a known steady-state hit ratio."""
+        events = []
+        for i in range(20_000):
+            value = float(i % 20) + 1.5  # 20-pair working set, fits 32/4
+            events.append(TraceEvent(Opcode.FDIV, value, 2.0, value / 2.0))
+        return events
+
+    def test_estimate_matches_full_simulation(self):
+        events = self._long_trace()
+        full = ShadeSimulator(MemoTableBank.paper_baseline()).run(events)
+        estimate = estimate_hit_ratios(
+            events,
+            plan=SamplingPlan(window=500, interval=4000, warmup=250),
+        )
+        assert estimate.hit_ratios[Operation.FP_DIV] == pytest.approx(
+            full.hit_ratio(Operation.FP_DIV), abs=0.05
+        )
+
+    def test_sampling_actually_skips_work(self):
+        events = self._long_trace()
+        estimate = estimate_hit_ratios(
+            events, plan=SamplingPlan(window=500, interval=4000, warmup=250)
+        )
+        assert estimate.events_simulated < len(events) / 2
+        assert estimate.speedup_factor > 2.0
+
+    def test_kernel_trace_estimate(self, small_image):
+        from repro.workloads.khoros import run_kernel
+        from repro.workloads.recorder import OperationRecorder
+
+        recorder = OperationRecorder()
+        run_kernel("vgauss", recorder, small_image)
+        events = recorder.trace.events
+        full = ShadeSimulator(MemoTableBank.paper_baseline()).run(events)
+        estimate = estimate_hit_ratios(
+            events, plan=SamplingPlan(window=400, interval=1200, warmup=200)
+        )
+        assert estimate.hit_ratios[Operation.FP_MUL] == pytest.approx(
+            full.hit_ratio(Operation.FP_MUL), abs=0.15
+        )
+
+    def test_short_trace_fully_measured(self):
+        events = [TraceEvent(Opcode.FDIV, 3.0, 2.0, 1.5)] * 50
+        estimate = estimate_hit_ratios(
+            events, plan=SamplingPlan(window=100, interval=200, warmup=0)
+        )
+        assert estimate.events_measured == 50
+        assert estimate.hit_ratios[Operation.FP_DIV] == pytest.approx(49 / 50)

@@ -1,0 +1,98 @@
+"""Tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator.cache import Cache, MemoryHierarchy, default_hierarchy
+
+
+class TestCacheGeometry:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Cache("bad", size_bytes=1000, line_bytes=32, associativity=1)
+        with pytest.raises(ConfigurationError):
+            Cache("bad", size_bytes=8192, line_bytes=33, associativity=1)
+
+    def test_set_count(self):
+        cache = Cache("L1", 8 * 1024, 32, 1)
+        assert cache.n_sets == 256
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = Cache("L1", 1024, 32, 1)
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.access(0x11F)  # same 32-byte line
+
+    def test_different_lines_independent(self):
+        cache = Cache("L1", 1024, 32, 1)
+        cache.access(0x100)
+        assert not cache.access(0x200)
+
+    def test_direct_mapped_conflict(self):
+        cache = Cache("L1", 1024, 32, 1)  # 32 sets
+        cache.access(0x0)
+        cache.access(0x0 + 1024)  # same set, different tag -> evicts
+        assert not cache.access(0x0)
+
+    def test_two_way_avoids_that_conflict(self):
+        cache = Cache("L1", 1024, 32, 2)  # 16 sets
+        cache.access(0x0)
+        cache.access(0x0 + 1024)
+        assert cache.access(0x0)
+
+    def test_lru_within_set(self):
+        cache = Cache("L1", 128, 32, 2)  # 2 sets of 2
+        stride = 128  # same set
+        cache.access(0)
+        cache.access(stride)
+        cache.access(0)            # 0 is now MRU
+        cache.access(2 * stride)   # evicts `stride`
+        assert cache.access(0)
+        assert not cache.access(stride)
+
+    def test_hit_ratio(self):
+        cache = Cache("L1", 1024, 32, 1)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_ratio == 0.5
+        assert cache.misses == 1
+
+    def test_flush(self):
+        cache = Cache("L1", 1024, 32, 1)
+        cache.access(0)
+        cache.flush()
+        assert not cache.access(0)
+
+
+class TestHierarchy:
+    def test_latency_ordering(self):
+        hierarchy = default_hierarchy()
+        first = hierarchy.access(0x4000)   # cold: memory
+        second = hierarchy.access(0x4000)  # L1 hit
+        assert first == hierarchy.memory_latency
+        assert second == hierarchy.l1.hit_latency
+        assert first > second
+
+    def test_l2_catches_l1_evictions(self):
+        l1 = Cache("L1", 64, 32, 1, hit_latency=1)   # 2 lines only
+        l2 = Cache("L2", 4096, 32, 4, hit_latency=6)
+        hierarchy = MemoryHierarchy(l1, l2, memory_latency=30)
+        hierarchy.access(0x0)
+        hierarchy.access(0x40)   # evicts 0x0 from tiny L1 (same set)
+        latency = hierarchy.access(0x0)
+        assert latency == 6      # L2 hit
+
+    def test_stats_keys(self):
+        hierarchy = default_hierarchy()
+        hierarchy.access(0)
+        stats = hierarchy.stats()
+        assert stats["l1_accesses"] == 1
+        assert 0 <= stats["l2_hit_ratio"] <= 1
+
+    def test_flush(self):
+        hierarchy = default_hierarchy()
+        hierarchy.access(0)
+        hierarchy.flush()
+        assert hierarchy.access(0) == hierarchy.memory_latency

@@ -1,0 +1,41 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table7" in out and "figure3" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Pentium Pro" in out
+        assert "[table1 in" in out
+
+    def test_scale_flag_parsed(self, capsys):
+        assert main(["table1", "--scale", "0.5"]) == 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_json_to_stdout(self, capsys):
+        assert main(["table1", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        import json
+        payload = json.loads(out[out.index("{"):])
+        assert payload["experiment"] == "table1"
+        assert payload["headers"] == ["processor", "multiplication", "division"]
+
+    def test_json_to_file(self, tmp_path, capsys):
+        target = tmp_path / "result.json"
+        assert main(["table1", "--json", str(target)]) == 0
+        import json
+        payload = json.loads(target.read_text())
+        assert len(payload["rows"]) == 6
+        assert "div_to_mul_ratio" in payload["extras"]

@@ -1,0 +1,90 @@
+"""Tests for MemoTableConfig validation and derived geometry."""
+
+import pytest
+
+from repro.core.config import (
+    PAPER_BASELINE,
+    MemoTableConfig,
+    OperandKind,
+    ReplacementKind,
+    TagMode,
+)
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_paper_baseline_geometry(self):
+        assert PAPER_BASELINE.entries == 32
+        assert PAPER_BASELINE.associativity == 4
+        assert PAPER_BASELINE.n_sets == 8
+        assert PAPER_BASELINE.index_bits == 3
+
+    def test_entries_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            MemoTableConfig(entries=24)
+
+    def test_entries_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            MemoTableConfig(entries=0)
+        with pytest.raises(ConfigurationError):
+            MemoTableConfig(entries=-8)
+
+    def test_associativity_must_divide_entries(self):
+        with pytest.raises(ConfigurationError):
+            MemoTableConfig(entries=32, associativity=5)
+
+    def test_associativity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            MemoTableConfig(entries=32, associativity=0)
+
+    def test_mantissa_tags_rejected_for_int_tables(self):
+        with pytest.raises(ConfigurationError):
+            MemoTableConfig(
+                operand_kind=OperandKind.INT, tag_mode=TagMode.MANTISSA
+            )
+
+    def test_fully_associative_allowed(self):
+        config = MemoTableConfig(entries=32, associativity=32)
+        assert config.is_fully_associative
+        assert config.n_sets == 1
+        assert config.index_bits == 0
+
+    def test_direct_mapped(self):
+        config = MemoTableConfig(entries=32, associativity=1)
+        assert config.is_direct_mapped
+        assert config.n_sets == 32
+
+
+class TestDerived:
+    def test_with_entries_preserves_other_fields(self):
+        config = MemoTableConfig(commutative=True).with_entries(64)
+        assert config.entries == 64
+        assert config.commutative
+
+    def test_with_associativity(self):
+        config = PAPER_BASELINE.with_associativity(8)
+        assert config.associativity == 8
+        assert config.n_sets == 4
+
+    def test_index_bits_match_sets(self):
+        for entries in (8, 16, 32, 64, 1024):
+            config = MemoTableConfig(entries=entries, associativity=4)
+            assert 2**config.index_bits == config.n_sets
+
+    def test_storage_bits_full_vs_mantissa(self):
+        full = MemoTableConfig(tag_mode=TagMode.FULL)
+        mantissa = MemoTableConfig(tag_mode=TagMode.MANTISSA)
+        assert full.storage_bits() == 32 * (128 + 64)
+        assert mantissa.storage_bits() == 32 * (104 + 64)
+        assert mantissa.storage_bits() < full.storage_bits()
+
+    def test_paper_size_claim(self):
+        # Section 2.4: a 32-entry table holds 96 doubles = 768 bytes.
+        assert PAPER_BASELINE.storage_bits() // 8 == 768
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_BASELINE.entries = 64
+
+    def test_replacement_default_lru(self):
+        assert PAPER_BASELINE.replacement is ReplacementKind.LRU

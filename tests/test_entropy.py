@@ -1,0 +1,88 @@
+"""Tests for image entropy measurement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.images.entropy import (
+    entropy_profile,
+    histogram_entropy,
+    uniform_entropy,
+    windowed_entropy,
+)
+
+
+class TestHistogramEntropy:
+    def test_constant_image_zero_entropy(self):
+        assert histogram_entropy(np.zeros((8, 8), dtype=np.int64)) == 0.0
+
+    def test_uniform_256_levels_is_8_bits(self):
+        """The paper's worked example: even 0..255 distribution -> 8 bits."""
+        image = np.arange(256, dtype=np.int64).reshape(16, 16)
+        assert histogram_entropy(image) == pytest.approx(8.0)
+
+    def test_two_equal_values_one_bit(self):
+        image = np.array([[0, 1], [1, 0]], dtype=np.int64)
+        assert histogram_entropy(image) == pytest.approx(1.0)
+
+    def test_skew_lowers_entropy(self):
+        even = np.array([0, 1] * 32, dtype=np.int64).reshape(8, 8)
+        skewed = np.array([0] * 60 + [1] * 4, dtype=np.int64).reshape(8, 8)
+        assert histogram_entropy(skewed) < histogram_entropy(even)
+
+    def test_multiband_included(self):
+        rgb = np.zeros((4, 4, 3), dtype=np.int64)
+        rgb[..., 1] = 1
+        rgb[..., 2] = 2
+        assert histogram_entropy(rgb) == pytest.approx(np.log2(3))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(WorkloadError):
+            histogram_entropy(np.zeros(10))
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=30)
+    def test_uniform_bound(self, levels):
+        """Entropy never exceeds log2 of the number of distinct values."""
+        rng = np.random.default_rng(levels)
+        image = rng.integers(0, levels, (16, 16))
+        assert histogram_entropy(image) <= np.log2(levels) + 1e-9
+
+
+class TestWindowedEntropy:
+    def test_windows_lower_or_equal(self):
+        """Small windows see fewer values: entropy must not increase."""
+        rng = np.random.default_rng(3)
+        smooth = np.cumsum(rng.integers(0, 2, (32, 32)), axis=1)
+        assert windowed_entropy(smooth, 8) <= histogram_entropy(smooth) + 1e-9
+
+    def test_constant_zero(self):
+        assert windowed_entropy(np.zeros((16, 16), dtype=int), 8) == 0.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            windowed_entropy(np.zeros((8, 8), dtype=int), 0)
+
+    def test_partial_edge_tiles_included(self):
+        image = np.arange(100, dtype=np.int64).reshape(10, 10)
+        value = windowed_entropy(image, 8)  # 8x8 + edge strips
+        assert value > 0
+
+    def test_profile_keys(self):
+        profile = entropy_profile(np.zeros((16, 16), dtype=int))
+        assert set(profile) == {"full", "16x16", "8x8"}
+
+
+class TestUniformEntropy:
+    def test_known_values(self):
+        assert uniform_entropy(256) == 8.0
+        assert uniform_entropy(2) == 1.0
+        assert uniform_entropy(1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            uniform_entropy(0)

@@ -1,0 +1,84 @@
+"""Smoke tests: every example script runs end to end.
+
+REPRO_EXAMPLE_SCALE shrinks the workloads so the whole file stays fast.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+_TINY_ENV = {**os.environ, "REPRO_EXAMPLE_SCALE": "0.06"}
+
+
+def _run(script: str, *args: str, cwd=None) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=_TINY_ENV,
+        cwd=cwd,
+    )
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 3
+
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "table hit ratio : 0.60" in result.stdout
+        assert "trivial" in result.stdout
+
+    def test_image_pipeline(self, tmp_path):
+        result = _run("image_pipeline.py", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        assert "speedup (Amdahl)" in result.stdout
+        assert (tmp_path / "pipeline_input.pgm").exists()
+        assert (tmp_path / "pipeline_edges.pgm").exists()
+
+    def test_design_space(self):
+        result = _run("design_space.py")
+        assert result.returncode == 0, result.stderr
+        assert "recommended geometry" in result.stdout
+
+    def test_entropy_study(self):
+        result = _run("entropy_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "% hit ratio per bit of entropy" in result.stdout
+        # The law must come out with the paper's sign.
+        for line in result.stdout.splitlines():
+            if "per bit of entropy" in line:
+                assert line.strip().split(":")[1].lstrip().startswith("-")
+
+    def test_custom_kernel(self):
+        result = _run("custom_kernel.py")
+        assert result.returncode == 0, result.stderr
+        assert "total reuse (infinite table)" in result.stdout
+
+    def test_assembly_program(self):
+        result = _run("assembly_program.py")
+        assert result.returncode == 0, result.stderr
+        assert "output verified against numpy" in result.stdout
+        assert "speedup" in result.stdout
+
+    def test_paper_walkthrough(self):
+        result = _run("paper_walkthrough.py")
+        assert result.returncode == 0, result.stderr
+        assert "Scorecard" in result.stdout
+        assert "average speedup" in result.stdout
+
+    def test_jpeg_study(self):
+        result = _run("jpeg_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "photograph" in result.stdout
+        assert "graphics" in result.stdout
+        assert "reusable in principle" in result.stdout

@@ -1,0 +1,244 @@
+"""Tests for the experiment drivers (every table and figure).
+
+Run at tiny scales: these assert structure and the paper's qualitative
+claims, not absolute values.
+"""
+
+import pytest
+
+from repro.core.operations import Operation
+from repro.errors import ExperimentError
+from repro.experiments import REGISTRY, experiment_names, run_experiment
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+    table10,
+    table11,
+    table13,
+)
+
+TINY = dict(scale=0.07)
+TINY_IMAGES = ("chroms", "fractal")
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        from repro.experiments.runner import PAPER_EXPERIMENTS
+
+        expected = {
+            "table1", "table5", "table6", "table7", "table8", "table9",
+            "table10", "table11", "table12", "table13",
+            "figure2", "figure3", "figure4",
+        }
+        assert set(PAPER_EXPERIMENTS) == expected
+        assert expected <= set(experiment_names())
+
+    def test_extensions_registered(self):
+        assert {"ext-dual-issue", "ext-future-ops", "ext-reuse-buffer"} <= set(
+            experiment_names()
+        )
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("table99")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("table1")
+        assert result.experiment == "table1"
+
+
+class TestTable1:
+    def test_six_rows_paper_values(self):
+        result = run_experiment("table1")
+        assert len(result.rows) == 6
+        assert result.row_by_label("Pentium Pro")[2] == 39
+
+    def test_render_contains_title(self):
+        text = run_experiment("table1").render()
+        assert text.startswith("Table 1")
+
+    def test_row_by_label_missing(self):
+        with pytest.raises(KeyError):
+            run_experiment("table1").row_by_label("Z80")
+
+    def test_column_accessor(self):
+        result = run_experiment("table1")
+        assert result.column("division") == [39, 31, 40, 31, 22, 31]
+
+
+class TestSuiteTables:
+    @pytest.fixture(scope="class")
+    def t5(self):
+        return table5.run(scale=0.4)
+
+    @pytest.fixture(scope="class")
+    def t7(self):
+        return table7.run(
+            scale=0.07, images=TINY_IMAGES, kernels=("vgauss", "vspatial", "vdiff")
+        )
+
+    def test_table5_has_all_apps_plus_average(self, t5):
+        assert len(t5.rows) == 10
+        assert t5.rows[-1][0] == "average"
+
+    def test_table5_infinite_bounds_finite(self, t5):
+        for app, ratios in t5.extras["ratios"].items():
+            for finite, infinite in zip(ratios[:3], ratios[3:]):
+                if finite is None or infinite is None:
+                    continue
+                assert infinite >= finite - 1e-9, app
+
+    def test_table5_mdg_has_no_imul(self, t5):
+        assert t5.row_by_label("MDG")[1] == "-"
+
+    def test_table6_structure(self):
+        result = table6.run(scale=0.4)
+        assert len(result.rows) == 11
+        assert result.row_by_label("su2cor")[2] == "-"  # no fp mult
+
+    def test_table7_dashes_match_registry(self, t7):
+        row = t7.row_by_label("vgauss")
+        assert row[1] == "-"  # vgauss has no imul
+
+    def test_table7_infinite_bounds_finite(self, t7):
+        for kernel, ratios in t7.extras["ratios"].items():
+            for finite, infinite in zip(ratios[:3], ratios[3:]):
+                if finite is None or infinite is None:
+                    continue
+                assert infinite >= finite - 1e-9, kernel
+
+    def test_mm_beats_scientific_at_32_entries(self, t5, t7):
+        """The paper's central claim (Tables 5 vs 7)."""
+        mm_fdiv = t7.extras["averages"][2]
+        perfect_fdiv = t5.extras["averages"][2]
+        assert mm_fdiv > perfect_fdiv
+
+
+class TestImageExperiments:
+    @pytest.fixture(scope="class")
+    def t8(self):
+        return table8.run(scale=0.1, kernels=("vgauss", "vdiff"))
+
+    def test_table8_all_images(self, t8):
+        assert len(t8.rows) == 14
+
+    def test_table8_float_images_have_no_entropy(self, t8):
+        row = t8.row_by_label("head")
+        assert row[4] == "-" and row[6] == "-"
+
+    def test_table8_window_entropy_below_full(self, t8):
+        for name, profile in t8.extras["profiles"].items():
+            full, e16, e8 = profile["entropy"]
+            if full is None:
+                continue
+            assert e8 <= e16 + 1e-9 <= full + 2e-9, name
+
+    def test_figure2_slopes_negative(self):
+        result = figure2.run(scale=0.1, kernels=("vgauss", "vdiff"))
+        for panel, fit in result.extras["panels"].items():
+            assert fit["slope"] < 0, panel
+            assert fit["pearson_r"] < 0, panel
+
+    def test_figure2_has_four_panels(self):
+        result = figure2.run(scale=0.08, kernels=("vgauss",))
+        assert len(result.rows) == 4
+
+
+class TestPolicyExperiments:
+    def test_table9_structure_and_trv_bounds(self):
+        result = table9.run(
+            scale=0.07, images=TINY_IMAGES, apps=("vgauss", "vdiff")
+        )
+        assert result.rows[-1][0] == "average"
+        for app, values in result.extras["values"].items():
+            for op_index in range(3):
+                trv = values[op_index * 4]
+                if trv is not None:
+                    assert 0.0 <= trv <= 1.0
+
+    def test_table9_integrated_beats_exclude_when_trivials_exist(self):
+        result = table9.run(scale=0.07, images=("fractal",), apps=("vgauss",))
+        values = result.extras["values"]["vgauss"]
+        fmul_trv, fmul_all, fmul_non, fmul_intgr = values[4:8]
+        if fmul_trv and fmul_trv > 0.05:
+            assert fmul_intgr >= fmul_non - 1e-9
+
+    def test_table10_mantissa_at_least_full(self):
+        result = table10.run(
+            scale=0.07, images=TINY_IMAGES, mm_kernels=("vgauss", "vslope")
+        )
+        for suite, (fmul_full, fmul_mant, fdiv_full, fdiv_mant) in result.extras[
+            "averages"
+        ].items():
+            if fmul_full is not None:
+                assert fmul_mant >= fmul_full - 1e-9, suite
+            if fdiv_full is not None:
+                assert fdiv_mant >= fdiv_full - 1e-9, suite
+
+
+class TestSweeps:
+    def test_figure3_monotone_in_size(self):
+        result = figure3.run(
+            scale=0.07,
+            images=("chroms",),
+            apps=("vgauss", "vspatial"),
+            sizes=(8, 32, 128, 1024),
+        )
+        series = result.extras["series"]
+        fmul_curve = [series[s]["fmul"][0] for s in (8, 32, 128, 1024)]
+        assert all(
+            later >= earlier - 1e-9
+            for earlier, later in zip(fmul_curve, fmul_curve[1:])
+        )
+
+    def test_figure4_structure(self):
+        result = figure4.run(
+            scale=0.07, images=("chroms",), apps=("vgauss",), associativities=(1, 4)
+        )
+        assert [row[0] for row in result.rows] == [1, 4]
+
+    def test_figure4_associativity_helps_or_neutral(self):
+        result = figure4.run(
+            scale=0.08,
+            images=("chroms", "fractal"),
+            apps=("vgauss", "vspatial", "vcost"),
+            associativities=(1, 4),
+        )
+        series = result.extras["series"]
+        assert series[4]["fdiv"][0] >= series[1]["fdiv"][0] - 0.05
+
+
+class TestSpeedupTables:
+    @pytest.fixture(scope="class")
+    def t11(self):
+        return table11.run(
+            scale=0.07, images=TINY_IMAGES, apps=("vsqrt", "vgauss")
+        )
+
+    def test_rows_and_average(self, t11):
+        assert [row[0] for row in t11.rows] == ["vsqrt", "vgauss", "average"]
+
+    def test_speedups_at_least_one(self, t11):
+        for app, rows in t11.extras["rows"].items():
+            for row in rows:
+                assert row.speedup >= 1.0, app
+                assert 0.0 <= row.fraction_enhanced <= 1.0
+                assert row.speedup_enhanced >= 1.0
+
+    def test_slow_divider_gains_more(self, t11):
+        for app, (fast, slow) in t11.extras["rows"].items():
+            assert slow.speedup >= fast.speedup - 1e-9, app
+
+    def test_combined_beats_either_alone(self):
+        kwargs = dict(scale=0.07, images=("fractal",), apps=("vgauss",))
+        div_only = table11.run(**kwargs)
+        combined = table13.run(**kwargs)
+        div_speedup = div_only.extras["averages"]["slow-fp"]["speedup"]
+        both_speedup = combined.extras["averages"]["slow-fp"]["speedup"]
+        assert both_speedup >= div_speedup - 1e-9

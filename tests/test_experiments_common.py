@@ -1,0 +1,94 @@
+"""Tests for the shared experiment machinery (caching, replay specs)."""
+
+import pytest
+
+from repro.core.config import MemoTableConfig, TrivialPolicy
+from repro.core.operations import Operation
+from repro.experiments.common import (
+    average_ratios,
+    clear_trace_cache,
+    hit_ratio_or_none,
+    record_mm_trace,
+    record_perfect_trace,
+    replay,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.trace import TraceEvent
+
+
+class TestTraceCache:
+    def test_same_parameters_return_cached_object(self):
+        clear_trace_cache()
+        first = record_mm_trace("vgauss", "chroms", scale=0.08)
+        second = record_mm_trace("vgauss", "chroms", scale=0.08)
+        assert first is second
+
+    def test_different_scale_not_shared(self):
+        first = record_mm_trace("vgauss", "chroms", scale=0.08)
+        second = record_mm_trace("vgauss", "chroms", scale=0.09)
+        assert first is not second
+
+    def test_cache_bypass(self):
+        cached = record_mm_trace("vgauss", "chroms", scale=0.08)
+        fresh = record_mm_trace("vgauss", "chroms", scale=0.08, cache=False)
+        assert fresh is not cached
+        assert fresh.events == cached.events  # deterministic workloads
+
+    def test_perfect_traces_cached_separately(self):
+        a = record_perfect_trace("QCD", scale=0.4)
+        b = record_perfect_trace("QCD", scale=0.4)
+        assert a is b
+
+
+class TestReplaySpecs:
+    def _trace(self):
+        return [TraceEvent(Opcode.FDIV, 9.0, 7.0, 9.0 / 7.0)] * 4
+
+    def test_default_is_paper_baseline(self):
+        report = replay(self._trace(), None)
+        stats = report.unit_stats[Operation.FP_DIV]
+        assert stats.table.lookups == 4
+        assert stats.hit_ratio == 0.75
+
+    def test_explicit_config(self):
+        report = replay(self._trace(), MemoTableConfig(entries=8))
+        assert report.hit_ratio(Operation.FP_DIV) == 0.75
+
+    def test_infinite_spec(self):
+        report = replay(self._trace(), "infinite")
+        assert report.hit_ratio(Operation.FP_DIV) == 0.75
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            replay(self._trace(), "bogus")
+
+    def test_trivial_policy_forwarded(self):
+        trivial = [TraceEvent(Opcode.FDIV, 9.0, 1.0, 9.0)] * 3
+        integrated = replay(
+            trivial, None, trivial_policy=TrivialPolicy.INTEGRATED
+        )
+        excluded = replay(trivial, None, trivial_policy=TrivialPolicy.EXCLUDE)
+        assert integrated.hit_ratio(Operation.FP_DIV) == 1.0
+        assert excluded.hit_ratio(Operation.FP_DIV) == 0.0
+
+    def test_fresh_bank_per_replay(self):
+        """Replays never leak table state into each other."""
+        replay(self._trace(), None)
+        report = replay(self._trace(), None)
+        assert report.unit_stats[Operation.FP_DIV].table.lookups == 4
+
+
+class TestHelpers:
+    def test_hit_ratio_or_none_absent_operation(self):
+        report = replay([TraceEvent(Opcode.IALU)], None)
+        assert hit_ratio_or_none(report, Operation.FP_DIV) is None
+
+    def test_hit_ratio_or_none_trivial_only_counts_as_present(self):
+        trivial = [TraceEvent(Opcode.FDIV, 9.0, 1.0, 9.0)]
+        report = replay(trivial, None)
+        assert hit_ratio_or_none(report, Operation.FP_DIV) is not None
+
+    def test_average_ratios(self):
+        assert average_ratios([0.2, None, 0.4]) == pytest.approx(0.3)
+        assert average_ratios([None, None]) is None
+        assert average_ratios([]) is None

@@ -1,0 +1,145 @@
+"""Tests for the extension experiments (beyond-the-paper studies)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments import ext_dual_issue, ext_future_ops, ext_reuse_buffer
+
+
+class TestDualIssueExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_dual_issue.run(
+            scale=0.08, images=("chroms",), apps=("vgauss", "vkmeans")
+        )
+
+    def test_structure(self, result):
+        assert result.rows[-1][0] == "average"
+        assert "average_speedup" in result.extras
+
+    def test_dual_issue_never_slower_than_serialized(self, result):
+        for app, values in result.extras["per_app"].items():
+            assert values["speedup"] >= 1.0, app
+            assert 0.0 <= values["second_slot_hit_ratio"] <= 1.0
+
+    def test_speedup_tracks_slot_hits(self, result):
+        """More second-slot hits means more issue bandwidth gained."""
+        per_app = result.extras["per_app"]
+        ordered = sorted(per_app.values(), key=lambda v: v["second_slot_hit_ratio"])
+        if len(ordered) >= 2:
+            assert ordered[-1]["speedup"] >= ordered[0]["speedup"] - 0.05
+
+    def test_runs_via_registry(self):
+        result = run_experiment(
+            "ext-dual-issue", scale=0.07, images=("fractal",), apps=("vgauss",)
+        )
+        assert result.experiment == "ext-dual-issue"
+
+
+class TestFutureOpsExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_future_ops.run(scale=0.08, images=("fractal",))
+
+    def test_each_workload_uses_expected_units(self, result):
+        per = result.extras["per_workload"]
+        assert per["log_compress(fractal)"]["ratios"]["flog"] is not None
+        assert per["log_compress(fractal)"]["ratios"]["fsin"] is None
+        assert per["texture_rotation(fractal)"]["ratios"]["fcos"] is not None
+
+    def test_low_entropy_input_memoizes_heavily(self, result):
+        per = result.extras["per_workload"]
+        assert per["log_compress(fractal)"]["ratios"]["flog"] > 0.8
+        assert per["texture_rotation(fractal)"]["best_se"] > 5.0
+
+    def test_se_at_least_one(self, result):
+        for name, values in result.extras["per_workload"].items():
+            assert values["best_se"] >= 1.0, name
+
+
+class TestHazardExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_hazard
+
+        return ext_hazard.run(
+            scale=0.08, images=("chroms",), apps=("vsqrt", "vgauss")
+        )
+
+    def test_structure(self, result):
+        assert result.rows[-1][0] == "average"
+        assert set(result.extras["per_app"]) == {"vsqrt", "vgauss"}
+
+    def test_speedups_at_least_one(self, result):
+        for app, values in result.extras["per_app"].items():
+            assert values["speedup_1w"] >= 1.0, app
+            assert values["speedup_2w"] >= 1.0, app
+
+    def test_stall_cuts_bounded(self, result):
+        for app, values in result.extras["per_app"].items():
+            assert values["raw_stall_cut"] <= 1.0
+            assert values["structural_stall_cut"] <= 1.0
+
+    def test_registry_dispatch(self):
+        result = run_experiment(
+            "ext-hazard", scale=0.07, images=("fractal",), apps=("vgauss",)
+        )
+        assert result.experiment == "ext-hazard"
+
+
+class TestMatrixExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_matrix
+
+        return ext_matrix.run(
+            scale=0.08,
+            images=("chroms", "fractal"),
+            kernels=("vgauss", "vdiff", "vkmeans"),
+            operation="fdiv",
+        )
+
+    def test_matrix_shape(self, result):
+        assert result.headers == ["kernel", "chroms", "fractal", "mean"]
+        assert len(result.rows) == 4  # 3 kernels + column-mean row
+
+    def test_dashes_for_kernels_without_the_op(self, result):
+        row = result.row_by_label("vdiff")
+        assert row[1] == "-" and row[3] == "-"  # vdiff has no fdiv
+
+    def test_low_entropy_column_dominates(self, result):
+        matrix = result.extras["matrix"]
+        for kernel, data in matrix.items():
+            chroms_value, fractal_value = data["values"]
+            if chroms_value is None or fractal_value is None:
+                continue
+            assert fractal_value >= chroms_value - 0.05, kernel
+
+    def test_unknown_operation_rejected(self):
+        from repro.experiments import ext_matrix
+
+        with pytest.raises(ValueError):
+            ext_matrix.run(operation="fsub")
+
+
+class TestReuseBufferExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_reuse_buffer.run(
+            scale=0.08, images=("chroms",), apps=("vgauss", "vgpwl")
+        )
+
+    def test_structure(self, result):
+        assert result.headers[2:] == [
+            "fmul.memo", "fmul.RB", "fdiv.memo", "fdiv.RB"
+        ]
+        assert len(result.rows) == 2
+
+    def test_dashes_for_missing_units(self, result):
+        row = result.row_by_label("vgpwl")
+        assert row[2] != "-"  # vgpwl multiplies
+        # vgauss has fdiv, vgpwl has fdiv: both populated
+        assert row[4] != "-"
+
+    def test_memo_competitive_with_32x_larger_rb(self, result):
+        assert result.extras["mean_memo_minus_rb"] >= -0.10

@@ -1,0 +1,77 @@
+"""Tests for curve fitting and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import LineFit, fit_line_lm, pearson_r
+from repro.analysis.tables import format_ratio, format_table
+
+
+class TestLineFit:
+    def test_recovers_exact_line(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [1.0, 0.95, 0.90, 0.85]
+        fit = fit_line_lm(xs, ys)
+        assert fit.slope == pytest.approx(-0.05, abs=1e-9)
+        assert fit.intercept == pytest.approx(1.0, abs=1e-9)
+        assert fit.percent_per_bit == pytest.approx(-5.0, abs=1e-6)
+
+    def test_noisy_line(self):
+        rng = np.random.default_rng(0)
+        xs = np.linspace(0, 8, 60)
+        ys = 0.9 - 0.05 * xs + rng.normal(0, 0.01, xs.size)
+        fit = fit_line_lm(xs, ys)
+        assert fit.slope == pytest.approx(-0.05, abs=0.01)
+
+    def test_predict(self):
+        fit = LineFit(slope=2.0, intercept=1.0, residual_norm=0.0)
+        assert fit.predict(3.0) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_line_lm([1.0], [2.0])
+        with pytest.raises(ValueError):
+            fit_line_lm([1.0, 2.0], [1.0])
+
+    def test_residual_norm_zero_for_exact(self):
+        fit = fit_line_lm([0, 1, 2], [3, 5, 7])
+        assert fit.residual_norm == pytest.approx(0.0, abs=1e-9)
+
+
+class TestPearson:
+    def test_perfect_anticorrelation(self):
+        assert pearson_r([0, 1, 2], [2, 1, 0]) == pytest.approx(-1.0)
+
+    def test_uncorrelated_constant(self):
+        assert pearson_r([0, 1, 2], [5, 5, 5]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson_r([1], [1])
+
+
+class TestFormatting:
+    def test_format_ratio_paper_style(self):
+        assert format_ratio(0.39) == ".39"
+        assert format_ratio(1.0) == "1.00"
+        assert format_ratio(0.0) == ".00"
+        assert format_ratio(None) == "-"
+        assert format_ratio(float("nan")) == "-"
+
+    def test_format_ratio_negative(self):
+        assert format_ratio(-0.05) == "-.05"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["app", "x"], [["vdiff", ".49"], ["vkmeans", ".58"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "app" in lines[1]
+        assert lines[2].startswith("-")
+        assert len(lines) == 5
+
+    def test_format_table_pads_columns(self):
+        text = format_table(["a"], [["longvalue"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("longvalue")

@@ -1,0 +1,124 @@
+"""Tests for the IEEE-754 bit manipulation substrate."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch import ieee754 as ie
+
+
+class TestBitsRoundtrip:
+    def test_float64_roundtrip_simple(self):
+        for value in (0.0, 1.0, -1.0, 0.5, 355.0 / 113.0, 1e308, 5e-324):
+            assert ie.bits_to_float64(ie.float64_to_bits(value)) == value
+
+    def test_float64_negative_zero_distinct(self):
+        assert ie.float64_to_bits(-0.0) != ie.float64_to_bits(0.0)
+        assert ie.float64_to_bits(-0.0) == 1 << 63
+
+    def test_float32_roundtrip(self):
+        for value in (0.0, 1.0, -2.5, 0.125):
+            assert ie.bits_to_float32(ie.float32_to_bits(value)) == value
+
+    def test_infinity_bits(self):
+        bits = ie.float64_to_bits(math.inf)
+        assert not ie.is_finite_bits64(bits)
+        assert ie.is_finite_bits64(ie.float64_to_bits(1.0))
+
+    def test_nan_is_not_finite(self):
+        assert not ie.is_finite_bits64(ie.float64_to_bits(math.nan))
+
+    @given(st.floats(allow_nan=False))
+    def test_roundtrip_property(self, value):
+        assert ie.bits_to_float64(ie.float64_to_bits(value)) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_bits_roundtrip_property(self, bits):
+        value = ie.bits_to_float64(bits)
+        if math.isnan(value):
+            return  # NaN payloads may not roundtrip identically
+        assert ie.float64_to_bits(value) == bits
+
+
+class TestDecompose:
+    def test_one(self):
+        parts = ie.decompose64(1.0)
+        assert parts.sign == 0
+        assert parts.exponent == 1023
+        assert parts.mantissa == 0
+
+    def test_minus_two(self):
+        parts = ie.decompose64(-2.0)
+        assert parts.sign == 1
+        assert parts.exponent == 1024
+        assert parts.mantissa == 0
+
+    def test_one_point_five_mantissa(self):
+        parts = ie.decompose64(1.5)
+        assert parts.mantissa == 1 << 51  # leading fraction bit
+
+    def test_compose_inverse(self):
+        for value in (3.14159, -0.001, 42.0, 6.02e23):
+            assert ie.compose64(ie.decompose64(value)) == value
+
+    def test_compose32_inverse(self):
+        for value in (1.0, -0.5, 128.0):
+            assert ie.compose32(ie.decompose32(value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_decompose_compose_property(self, value):
+        assert ie.compose64(ie.decompose64(value)) == value
+
+    def test_subnormal_exponent_zero(self):
+        assert ie.decompose64(5e-324).exponent == 0
+
+
+class TestMantissaAccess:
+    def test_mantissa_of_powers_of_two_is_zero(self):
+        for exponent in range(-5, 6):
+            assert ie.mantissa64(2.0**exponent) == 0
+
+    def test_mantissa_ignores_sign_and_exponent(self):
+        assert ie.mantissa64(1.5) == ie.mantissa64(-3.0)  # same fraction bits
+        assert ie.mantissa64(1.5) == ie.mantissa64(6.0)
+
+    def test_msbs_widths(self):
+        value = 1.5  # mantissa = 100...0
+        assert ie.mantissa_msbs64(value, 1) == 1
+        assert ie.mantissa_msbs64(value, 3) == 0b100
+        assert ie.mantissa_msbs64(value, 0) == 0
+
+    def test_msbs_full_width(self):
+        value = 1.0 + 2.0**-52
+        assert ie.mantissa_msbs64(value, 52) == 1
+        assert ie.mantissa_msbs64(value, 60) == 1  # clamped to 52
+
+    def test_msbs_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ie.mantissa_msbs64(1.0, -1)
+
+    def test_exponent_and_sign(self):
+        assert ie.exponent64(1.0) == 1023
+        assert ie.sign64(-1.0) == 1
+        assert ie.sign64(1.0) == 0
+        assert ie.sign64(-0.0) == 1
+
+
+class TestUlpDistance:
+    def test_zero_for_equal(self):
+        assert ie.ulp_distance64(1.0, 1.0) == 0
+
+    def test_adjacent(self):
+        import sys
+        next_up = math.nextafter(1.0, 2.0)
+        assert ie.ulp_distance64(1.0, next_up) == 1
+
+    def test_across_zero(self):
+        tiny = 5e-324
+        assert ie.ulp_distance64(-tiny, tiny) == 2
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ie.ulp_distance64(math.nan, 1.0)

@@ -1,0 +1,89 @@
+"""Tests for set-index hashing and tag construction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import MemoTableConfig, OperandKind, TagMode
+from repro.core.indexing import float_set_index, index_function, int_set_index
+from repro.core.tags import (
+    float_full_tag,
+    float_mantissa_tag,
+    int_tag,
+    tag_function,
+)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestIntIndex:
+    def test_xor_of_low_bits(self):
+        # 8 sets -> 3 bits; 0b101 ^ 0b011 = 0b110
+        assert int_set_index(0b101, 0b011, 8) == 0b110
+
+    def test_single_set(self):
+        assert int_set_index(12345, 67890, 1) == 0
+
+    def test_order_insensitive(self):
+        assert int_set_index(17, 99, 16) == int_set_index(99, 17, 16)
+
+    @given(st.integers(), st.integers(), st.sampled_from([1, 2, 8, 64]))
+    def test_in_range(self, a, b, n_sets):
+        assert 0 <= int_set_index(a, b, n_sets) < n_sets
+
+
+class TestFloatIndex:
+    def test_same_value_indexes_to_zero_xor(self):
+        # XOR of identical mantissa bits is zero -> set 0.
+        assert float_set_index(3.75, 3.75, 8) == 0
+
+    def test_order_insensitive(self):
+        assert float_set_index(1.25, 9.5, 8) == float_set_index(9.5, 1.25, 8)
+
+    def test_exponent_does_not_change_index(self):
+        # 1.5 and 3.0 share mantissa bits; index depends on mantissa only.
+        assert float_set_index(1.5, 7.25, 8) == float_set_index(3.0, 7.25, 8)
+
+    @given(finite_floats, finite_floats, st.sampled_from([1, 4, 8, 256]))
+    def test_in_range(self, a, b, n_sets):
+        assert 0 <= float_set_index(a, b, n_sets) < n_sets
+
+    def test_index_function_dispatch(self):
+        int_config = MemoTableConfig(operand_kind=OperandKind.INT)
+        float_config = MemoTableConfig(operand_kind=OperandKind.FLOAT)
+        assert index_function(int_config)(3, 5) == int_set_index(3, 5, 8)
+        assert index_function(float_config)(1.5, 2.5) == float_set_index(
+            1.5, 2.5, 8
+        )
+
+
+class TestTags:
+    def test_full_tag_uses_bit_patterns(self):
+        assert float_full_tag(0.0, 1.0) != float_full_tag(-0.0, 1.0)
+
+    def test_full_tag_order_sensitive(self):
+        assert float_full_tag(1.0, 2.0) != float_full_tag(2.0, 1.0)
+
+    def test_mantissa_tag_ignores_exponent(self):
+        assert float_mantissa_tag(1.5, 5.0) == float_mantissa_tag(3.0, 5.0)
+
+    def test_mantissa_tag_ignores_sign(self):
+        assert float_mantissa_tag(1.5, 2.0) == float_mantissa_tag(-1.5, 2.0)
+
+    def test_mantissa_tag_distinguishes_mantissas(self):
+        assert float_mantissa_tag(1.5, 2.0) != float_mantissa_tag(1.25, 2.0)
+
+    def test_int_tag_exact(self):
+        assert int_tag(2**40, 3) == (2**40, 3)
+
+    def test_tag_function_dispatch(self):
+        full = tag_function(MemoTableConfig(tag_mode=TagMode.FULL))
+        mantissa = tag_function(MemoTableConfig(tag_mode=TagMode.MANTISSA))
+        assert full(1.5, 2.0) == float_full_tag(1.5, 2.0)
+        assert mantissa(1.5, 2.0) == float_mantissa_tag(1.5, 2.0)
+
+    @given(finite_floats, finite_floats)
+    def test_full_tag_injective_on_pairs(self, a, b):
+        # Equal tags imply bit-identical operand pairs.
+        tag = float_full_tag(a, b)
+        assert float_full_tag(a, b) == tag

@@ -1,0 +1,107 @@
+"""Tests for integer division (SPARC sdiv) across the stack."""
+
+import pytest
+
+from repro.core.bank import MemoTableBank
+from repro.core.config import TrivialPolicy
+from repro.core.operations import Operation, compute, int_div
+from repro.core.unit import DEFAULT_LATENCIES, MemoizedUnit
+from repro.isa.machine import Machine, assemble
+from repro.isa.opcodes import Opcode, opcode_to_operation
+from repro.simulator.shade import ShadeSimulator
+from repro.workloads.recorder import OperationRecorder
+from hypothesis import given
+from hypothesis import strategies as st
+
+
+class TestSemantics:
+    def test_truncates_toward_zero(self):
+        assert int_div(7, 2) == 3
+        assert int_div(-7, 2) == -3
+        assert int_div(7, -2) == -3
+        assert int_div(-7, -2) == 3
+
+    def test_divide_by_zero_yields_zero(self):
+        # The real instruction traps; the model returns 0 (traces of
+        # live programs never contain the trapping case).
+        assert int_div(5, 0) == 0
+
+    def test_compute_dispatch(self):
+        assert compute(Operation.INT_DIV, 100, 7) == 14
+
+    @given(
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.integers(min_value=-(2**40), max_value=2**40).filter(lambda x: x),
+    )
+    def test_matches_c_semantics(self, a, b):
+        quotient = int_div(a, b)
+        assert abs(quotient) == abs(a) // abs(b)
+        if quotient != 0:
+            assert (quotient < 0) == ((a < 0) != (b < 0))
+
+    def test_enum_properties(self):
+        assert not Operation.INT_DIV.commutative
+        assert Operation.INT_DIV.operand_kind.value == "int"
+        assert DEFAULT_LATENCIES[Operation.INT_DIV] >= 13
+
+
+class TestMemoizedIntDivUnit:
+    def test_hit_behaviour(self):
+        unit = MemoizedUnit(Operation.INT_DIV, latency=20)
+        first = unit.execute(1000, 7)
+        again = unit.execute(1000, 7)
+        assert first.value == again.value == 142
+        assert again.hit and again.cycles == 1
+
+    def test_order_matters(self):
+        unit = MemoizedUnit(Operation.INT_DIV)
+        unit.execute(100, 4)
+        assert not unit.execute(4, 100).hit
+
+    def test_trivial_rules(self):
+        unit = MemoizedUnit(Operation.INT_DIV)
+        assert unit.execute(42, 1).trivial
+        assert unit.execute(0, 9).trivial
+        assert not unit.execute(9, 3).trivial
+
+    def test_integrated_policy(self):
+        unit = MemoizedUnit(
+            Operation.INT_DIV, trivial_policy=TrivialPolicy.INTEGRATED
+        )
+        outcome = unit.execute(42, -1)
+        assert outcome.hit and outcome.value == -42
+
+
+class TestThroughTheStack:
+    def test_recorder_idiv(self):
+        recorder = OperationRecorder()
+        assert recorder.idiv(100, 7) == 14
+        event = recorder.trace[0]
+        assert event.opcode is Opcode.IDIV
+        assert opcode_to_operation(Opcode.IDIV) is Operation.INT_DIV
+
+    def test_shade_counts_idiv_when_supported(self):
+        recorder = OperationRecorder()
+        for _ in range(4):
+            recorder.idiv(100, 7)
+        bank = MemoTableBank.paper_baseline(operations=(Operation.INT_DIV,))
+        report = ShadeSimulator(bank).run(recorder.trace)
+        assert report.hit_ratio(Operation.INT_DIV) == 0.75
+
+    def test_machine_sdiv(self):
+        machine = Machine(
+            assemble("set 100, %r1\nset 7, %r2\nsdiv %r1, %r2, %r3\nhalt\n")
+        )
+        machine.run()
+        assert machine.int_regs[3] == 14
+        idivs = machine.trace.filter(Opcode.IDIV)
+        assert len(idivs) == 1 and idivs[0].result == 14
+
+    def test_venhpatch_emits_idiv(self, small_image):
+        from repro.workloads.khoros import run_kernel
+
+        recorder = OperationRecorder()
+        run_kernel("venhpatch", recorder, small_image)
+        counts = recorder.breakdown()
+        assert counts.get(Opcode.IDIV, 0) > 0
+        assert counts.get(Opcode.FDIV, 0) == 0  # Table 7: '-' for fdiv

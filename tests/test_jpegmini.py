@@ -1,0 +1,135 @@
+"""Tests for the miniature JPEG pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.bank import MemoTableBank
+from repro.core.operations import Operation
+from repro.errors import WorkloadError
+from repro.isa.opcodes import Opcode
+from repro.simulator.shade import ShadeSimulator
+from repro.workloads.jpegmini import BLOCK, jpeg_roundtrip, quant_table
+from repro.workloads.recorder import OperationRecorder
+
+
+class TestQuantTable:
+    def test_quality_50_is_base_table(self):
+        table = quant_table(50)
+        assert table[0][0] == 16.0
+        assert table[7][7] == 99.0
+
+    def test_higher_quality_smaller_steps(self):
+        q25 = quant_table(25)
+        q90 = quant_table(90)
+        assert all(
+            q90[u][v] <= q25[u][v] for u in range(8) for v in range(8)
+        )
+
+    def test_steps_at_least_one(self):
+        table = quant_table(100)
+        assert min(min(row) for row in table) >= 1.0
+
+    def test_quality_bounds(self):
+        with pytest.raises(WorkloadError):
+            quant_table(0)
+        with pytest.raises(WorkloadError):
+            quant_table(101)
+
+
+class TestRoundtrip:
+    def _image(self, seed=0, side=16):
+        rng = np.random.default_rng(seed)
+        smooth = np.cumsum(rng.integers(-3, 4, (side, side)), axis=1) + 128
+        return np.clip(smooth, 0, 255).astype(np.float64)
+
+    def test_shape_validation(self):
+        with pytest.raises(WorkloadError):
+            jpeg_roundtrip(OperationRecorder(), np.zeros(16))
+        with pytest.raises(WorkloadError):
+            jpeg_roundtrip(OperationRecorder(), np.zeros((4, 4)))
+
+    def test_high_quality_reconstructs_closely(self):
+        image = self._image()
+        recorder = OperationRecorder()
+        reconstructed, _ = jpeg_roundtrip(recorder, image, quality=95)
+        error = np.abs(reconstructed - image).mean()
+        assert error < 3.0
+
+    def test_quality_controls_rate_and_distortion(self):
+        image = self._image()
+        results = {}
+        for quality in (10, 90):
+            recorder = OperationRecorder()
+            reconstructed, nonzeros = jpeg_roundtrip(recorder, image, quality)
+            results[quality] = (
+                nonzeros,
+                float(np.abs(reconstructed - image).mean()),
+            )
+        low_rate, low_error = results[10]
+        high_rate, high_error = results[90]
+        assert low_rate < high_rate        # fewer coefficients kept
+        assert low_error > high_error      # and worse reconstruction
+
+    def test_constant_block_compresses_to_dc(self):
+        image = np.full((8, 8), 200.0)
+        recorder = OperationRecorder()
+        reconstructed, nonzeros = jpeg_roundtrip(recorder, image, quality=50)
+        assert nonzeros == 1  # DC only
+        assert np.allclose(reconstructed, 200.0, atol=2.0)
+
+    def test_odd_sizes_cropped_to_blocks(self):
+        image = self._image(side=19)
+        recorder = OperationRecorder()
+        reconstructed, _ = jpeg_roundtrip(recorder, image)
+        assert reconstructed.shape == (16, 16)
+
+
+class TestMemoization:
+    def test_quantization_working_set_is_one_block(self):
+        """Figure 3's lesson on a real pipeline: a JPEG block's 64
+        quantization divisions just outrun a 32-entry LRU table, but fit
+        a 128-entry one when blocks repeat."""
+        from repro.core.config import MemoTableConfig
+        from repro.experiments.common import replay
+
+        tile = np.floor(np.random.default_rng(1).random((8, 8)) * 4) * 64
+        image = np.tile(tile, (4, 4))  # 16 identical blocks
+        recorder = OperationRecorder()
+        jpeg_roundtrip(recorder, image, quality=50)
+        counts = recorder.breakdown()
+        assert counts[Opcode.FDIV] == 16 * 64
+
+        # Stack-distance analysis: the per-block working set of distinct
+        # division pairs sits between table sizes, so capacity decides.
+        from repro.analysis.reuse import reuse_profile
+
+        profile = reuse_profile(recorder.trace, Operation.FP_DIV)
+        working_set = profile.total - profile.reused  # distinct pairs
+        assert working_set <= 64
+
+        small = replay(recorder.trace, MemoTableConfig(entries=32))
+        large = replay(recorder.trace, MemoTableConfig(entries=128))
+        # Once a whole block's pairs fit, hits dominate (the residue is
+        # XOR-hash conflict misses -- the same pathology section 3.2
+        # blames for direct-mapped losses)...
+        assert large.hit_ratio(Operation.FP_DIV) > 0.7
+        # ...and capacity can only help (Figure 3's monotonicity).
+        assert large.hit_ratio(Operation.FP_DIV) >= small.hit_ratio(
+            Operation.FP_DIV
+        )
+        # The stack-distance profile predicts the fully associative
+        # 128-entry table exactly.
+        fa = replay(
+            recorder.trace, MemoTableConfig(entries=128, associativity=128)
+        )
+        assert fa.hit_ratio(Operation.FP_DIV) == pytest.approx(
+            profile.hit_ratio(128)
+        )
+
+    def test_dequant_multiplications_memoize(self):
+        image = np.zeros((16, 16))  # all-zero codes after the DC
+        recorder = OperationRecorder()
+        jpeg_roundtrip(recorder, image, quality=50)
+        bank = MemoTableBank.infinite()
+        report = ShadeSimulator(bank).run(recorder.trace)
+        assert report.hit_ratio(Operation.FP_MUL) > 0.9

@@ -1,0 +1,126 @@
+"""Tests for the Multi-Media kernel suite."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.opcodes import Opcode
+from repro.workloads.khoros import (
+    KERNELS,
+    SAMPLE_APPS,
+    SPEEDUP_APPS,
+    TABLE7_ORDER,
+    TABLE9_APPS,
+    get_kernel,
+    kernel_names,
+    run_kernel,
+)
+from repro.workloads.recorder import OperationRecorder
+
+
+class TestRegistry:
+    def test_eighteen_kernels(self):
+        assert len(KERNELS) == 18
+
+    def test_table7_rows(self):
+        assert len(TABLE7_ORDER) == 17
+        assert "vsqrt" not in TABLE7_ORDER
+
+    def test_speedup_and_sample_sets(self):
+        assert len(SPEEDUP_APPS) == 9
+        assert len(SAMPLE_APPS) == 5
+        assert len(TABLE9_APPS) == 8
+        assert set(SPEEDUP_APPS) <= set(KERNELS)
+        assert set(SAMPLE_APPS) <= set(KERNELS)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_kernel("vnothing")
+        with pytest.raises(WorkloadError):
+            run_kernel("vnothing", OperationRecorder(), np.zeros((8, 8)))
+
+    def test_names_cover_registry(self):
+        assert set(kernel_names()) == set(KERNELS)
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+class TestEveryKernel:
+    def test_runs_and_records(self, name, small_image):
+        recorder = OperationRecorder()
+        output = run_kernel(name, recorder, small_image)
+        assert isinstance(output, np.ndarray)
+        assert np.all(np.isfinite(output.astype(np.float64)))
+        assert len(recorder.trace) > 0
+
+    def test_operation_presence_matches_table7(self, name, small_image):
+        """The imul/fdiv dashes of Table 7 are structural facts."""
+        info = KERNELS[name]
+        recorder = OperationRecorder()
+        run_kernel(name, recorder, small_image)
+        counts = recorder.breakdown()
+        assert (counts.get(Opcode.IMUL, 0) > 0) == info.uses_imul, name
+        assert (counts.get(Opcode.FDIV, 0) > 0) == info.uses_fdiv, name
+        assert counts.get(Opcode.FMUL, 0) > 0  # every kernel multiplies
+
+    def test_memory_traffic_recorded(self, name, small_image):
+        recorder = OperationRecorder()
+        run_kernel(name, recorder, small_image)
+        counts = recorder.breakdown()
+        assert counts.get(Opcode.LOAD, 0) > 0
+        assert counts.get(Opcode.STORE, 0) > 0
+
+    def test_deterministic(self, name, small_image):
+        first = OperationRecorder()
+        second = OperationRecorder()
+        out1 = run_kernel(name, first, small_image)
+        out2 = run_kernel(name, second, small_image)
+        assert np.array_equal(out1, out2)
+        assert len(first.trace) == len(second.trace)
+
+
+class TestKernelSemantics:
+    def test_vsqrt_approximates_sqrt(self, flat_image):
+        recorder = OperationRecorder()
+        output = run_kernel("vsqrt", recorder, flat_image)
+        assert output[3, 3] == pytest.approx(np.sqrt(7.0), rel=1e-3)
+
+    def test_vgauss_peak_at_mean(self, recorder):
+        image = np.array([[128, 0], [128, 255]], dtype=np.int64)
+        output = run_kernel("vgauss", recorder, image)
+        assert output[0, 0] > output[0, 1]
+        assert output[0, 0] > output[1, 1]
+
+    def test_vdiff_flat_image_zero_edges(self, recorder, flat_image):
+        output = run_kernel("vdiff", recorder, flat_image)
+        assert np.all(output[1:-1, 1:-1] == 0.0)
+
+    def test_vdetilt_removes_plane(self, recorder):
+        rows = np.arange(10, dtype=np.float64)
+        plane = np.add.outer(2.0 * rows, 3.0 * rows)
+        output = run_kernel("vdetilt", recorder, plane)
+        assert float(np.abs(output).max()) < 1e-6
+
+    def test_vkmeans_labels_in_range(self, recorder, small_image):
+        labels = run_kernel("vkmeans", recorder, small_image, k=3)
+        assert set(np.unique(labels)) <= {0, 1, 2}
+
+    def test_vgpwl_preserves_endpoints(self, recorder, gradient_image):
+        output = run_kernel("vgpwl", recorder, gradient_image)
+        # On a linear ramp, the piecewise-linear fit is exact.
+        assert np.allclose(output, gradient_image.astype(float))
+
+    def test_venhpatch_output_in_byte_range(self, recorder, small_image):
+        output = run_kernel("venhpatch", recorder, small_image)
+        assert output.min() >= 0.0
+        assert output.max() <= 255.0
+
+    def test_vspatial_mean_feature(self, recorder, flat_image):
+        features = run_kernel("vspatial", recorder, flat_image)
+        assert features[0, 0] == pytest.approx(7.0)   # mean of constant tile
+        assert features[0, 1] == pytest.approx(0.0)   # variance
+
+    def test_rgb_image_accepted(self, recorder):
+        rgb = np.zeros((8, 8, 3), dtype=np.int64)
+        rgb[:, :, 0] = 9
+        output = run_kernel("vgauss", recorder, rgb)
+        assert output.shape == (8, 8)

@@ -1,0 +1,135 @@
+"""Edge-case and parameter tests for the MM kernels."""
+
+import numpy as np
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.workloads.khoros import KERNELS, run_kernel
+from repro.workloads.recorder import OperationRecorder
+
+
+@pytest.fixture
+def zeros():
+    """All-zero image: maximal trivial-operation density."""
+    return np.zeros((10, 10), dtype=np.int64)
+
+
+@pytest.fixture
+def extremes():
+    """Alternating 0/255 checkerboard: maximal local contrast."""
+    image = np.zeros((10, 10), dtype=np.int64)
+    image[::2, 1::2] = 255
+    image[1::2, ::2] = 255
+    return image
+
+
+class TestDegenerateImages:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_all_zero_image_survives(self, name, zeros):
+        recorder = OperationRecorder()
+        output = run_kernel(name, recorder, zeros)
+        assert np.all(np.isfinite(output.astype(np.float64)))
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_checkerboard_survives(self, name, extremes):
+        recorder = OperationRecorder()
+        output = run_kernel(name, recorder, extremes)
+        assert np.all(np.isfinite(output.astype(np.float64)))
+
+    def test_minimum_size_image(self):
+        tiny = np.arange(64, dtype=np.int64).reshape(8, 8)
+        for name in ("vgauss", "vdiff", "vspatial", "vgpwl"):
+            recorder = OperationRecorder()
+            output = run_kernel(name, recorder, tiny)
+            assert output.size > 0
+
+    def test_non_square_images(self):
+        wide = np.arange(8 * 20, dtype=np.int64).reshape(8, 20)
+        tall = wide.T.copy()
+        for image in (wide, tall):
+            for name in ("vdiff", "vcost", "venhance", "vbrf"):
+                recorder = OperationRecorder()
+                output = run_kernel(name, recorder, image)
+                assert np.all(np.isfinite(output.astype(np.float64)))
+
+    def test_zero_image_yields_trivial_multiplications(self, zeros):
+        from repro.core.config import TrivialPolicy
+        from repro.experiments.common import replay
+
+        recorder = OperationRecorder()
+        run_kernel("vdiff", recorder, zeros)
+        report = replay(
+            recorder.trace, None, trivial_policy=TrivialPolicy.EXCLUDE
+        )
+        from repro.core.operations import Operation
+        stats = report.unit_stats[Operation.FP_MUL]
+        assert stats.trivial > 0  # weights x 0.0 pixels
+
+
+class TestParameters:
+    def test_vgauss_sigma_changes_output(self, gradient_image):
+        outs = []
+        for sigma in (10.0, 100.0):
+            recorder = OperationRecorder()
+            outs.append(run_kernel("vgauss", recorder, gradient_image, sigma=sigma))
+        assert not np.allclose(outs[0], outs[1])
+
+    def test_vkmeans_k_bounds_labels(self, small_image):
+        for k in (2, 6):
+            recorder = OperationRecorder()
+            labels = run_kernel("vkmeans", recorder, small_image, k=k)
+            assert labels.max() < k
+
+    def test_vspatial_tile_size(self, small_image):
+        recorder = OperationRecorder()
+        features_4 = run_kernel("vspatial", recorder, small_image, tile=4)
+        recorder = OperationRecorder()
+        features_8 = run_kernel("vspatial", recorder, small_image, tile=8)
+        assert features_4.shape[0] > features_8.shape[0]
+
+    def test_vgpwl_segment_length(self, gradient_image):
+        recorder = OperationRecorder()
+        out = run_kernel("vgpwl", recorder, gradient_image, segment=4)
+        assert np.allclose(out, gradient_image.astype(float))
+
+    def test_vsqrt_more_iterations_more_accurate(self, flat_image):
+        errors = []
+        for iterations in (1, 4):
+            recorder = OperationRecorder()
+            out = run_kernel("vsqrt", recorder, flat_image, iterations=iterations)
+            errors.append(abs(out[2, 2] - np.sqrt(7.0)))
+        assert errors[1] <= errors[0]
+
+    def test_vcost_seed_pixel(self, small_image):
+        recorder = OperationRecorder()
+        out = run_kernel("vcost", recorder, small_image, seed_pixel=(1, 1))
+        assert np.all(np.isfinite(out))
+
+    def test_venhance_gain_clamped(self, zeros):
+        recorder = OperationRecorder()
+        out = run_kernel("venhance", recorder, zeros, max_gain=2.0)
+        # Flat tiles have zero variance: the gain clamp must hold.
+        assert np.all(np.isfinite(out))
+
+
+class TestTraceComposition:
+    def test_loop_overhead_present_everywhere(self, small_image):
+        for name in sorted(KERNELS):
+            recorder = OperationRecorder()
+            run_kernel(name, recorder, small_image)
+            counts = recorder.breakdown()
+            assert counts.get(Opcode.IALU, 0) > 0, name
+            assert counts.get(Opcode.BRANCH, 0) > 0, name
+
+    def test_fp_never_dominates_completely(self, small_image):
+        """Traces keep a realistic non-FP fraction (loads, overhead)."""
+        for name in ("vgauss", "vkmeans", "vsqrt"):
+            recorder = OperationRecorder()
+            run_kernel(name, recorder, small_image)
+            counts = recorder.breakdown()
+            total = sum(counts.values())
+            fp = sum(
+                counts.get(op, 0)
+                for op in (Opcode.FMUL, Opcode.FDIV, Opcode.FADD, Opcode.FSQRT)
+            )
+            assert fp / total < 0.9, name

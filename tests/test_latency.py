@@ -1,0 +1,60 @@
+"""Tests for processor latency models (Table 1 data)."""
+
+import pytest
+
+from repro.arch.latency import (
+    FAST_DESIGN,
+    SLOW_DESIGN,
+    TABLE1_PROCESSORS,
+    ProcessorModel,
+    by_name,
+    paper_design_points,
+)
+from repro.core.operations import Operation
+
+
+class TestTable1Data:
+    def test_six_processors(self):
+        assert len(TABLE1_PROCESSORS) == 6
+
+    def test_paper_values(self):
+        expected = {
+            "Pentium Pro": (3, 39),
+            "Alpha 21164": (4, 31),
+            "MIPS R10000": (2, 40),
+            "PPC 604e": (5, 31),
+            "UltraSparc-II": (3, 22),
+            "PA 8000": (5, 31),
+        }
+        for model in TABLE1_PROCESSORS:
+            assert (model.fp_mul, model.fp_div) == expected[model.name]
+
+    def test_division_always_slower_than_multiplication(self):
+        for model in TABLE1_PROCESSORS:
+            assert model.fp_div > model.fp_mul
+
+    def test_design_points(self):
+        fast, slow = paper_design_points()
+        assert (fast.fp_mul, fast.fp_div) == (3, 13)
+        assert (slow.fp_mul, slow.fp_div) == (5, 39)
+
+    def test_no_processor_divides_under_13_cycles(self):
+        # The paper's justification for the 13-cycle assumption.
+        assert all(m.fp_div >= 13 for m in TABLE1_PROCESSORS)
+
+
+class TestProcessorModel:
+    def test_latency_lookup(self):
+        assert FAST_DESIGN.latency(Operation.FP_DIV) == 13
+        assert FAST_DESIGN.latency(Operation.FP_MUL) == 3
+        assert SLOW_DESIGN.latency(Operation.FP_RECIP) == 39
+
+    def test_latencies_map_covers_all_operations(self):
+        table = FAST_DESIGN.latencies()
+        assert set(table) == set(Operation)
+
+    def test_by_name(self):
+        assert by_name("pentium pro").fp_div == 39
+        assert by_name("fast-fp") is FAST_DESIGN
+        with pytest.raises(KeyError):
+            by_name("z80")

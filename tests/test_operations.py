@@ -1,0 +1,92 @@
+"""Tests for operation semantics (IEEE-faithful compute)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import OperandKind
+from repro.core.operations import (
+    Operation,
+    compute,
+    ieee_div,
+    ieee_recip,
+    ieee_sqrt,
+)
+
+
+class TestOperationEnum:
+    def test_commutativity_flags(self):
+        assert Operation.INT_MUL.commutative
+        assert Operation.FP_MUL.commutative
+        assert not Operation.FP_DIV.commutative
+        assert not Operation.FP_SQRT.commutative
+
+    def test_operand_kinds(self):
+        assert Operation.INT_MUL.operand_kind is OperandKind.INT
+        assert Operation.FP_DIV.operand_kind is OperandKind.FLOAT
+
+    def test_arity(self):
+        assert Operation.FP_SQRT.is_unary
+        assert Operation.FP_RECIP.is_unary
+        assert not Operation.FP_MUL.is_unary
+
+    def test_from_mnemonic(self):
+        assert Operation.from_mnemonic("fdiv") is Operation.FP_DIV
+        with pytest.raises(ValueError):
+            Operation.from_mnemonic("bogus")
+
+    def test_mnemonics_unique(self):
+        names = [op.mnemonic for op in Operation]
+        assert len(names) == len(set(names))
+
+
+class TestIEEEDiv:
+    def test_ordinary(self):
+        assert ieee_div(10.0, 4.0) == 2.5
+
+    def test_divide_by_zero_gives_signed_inf(self):
+        assert ieee_div(1.0, 0.0) == math.inf
+        assert ieee_div(-1.0, 0.0) == -math.inf
+        assert ieee_div(1.0, -0.0) == -math.inf
+
+    def test_zero_over_zero_nan(self):
+        assert math.isnan(ieee_div(0.0, 0.0))
+
+    def test_nan_propagates(self):
+        assert math.isnan(ieee_div(math.nan, 0.0))
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.floats(allow_nan=False, allow_infinity=False).filter(lambda x: x != 0),
+    )
+    def test_matches_python_for_nonzero_divisor(self, a, b):
+        assert ieee_div(a, b) == a / b
+
+
+class TestIEEESqrtRecip:
+    def test_sqrt_ordinary(self):
+        assert ieee_sqrt(9.0) == 3.0
+
+    def test_sqrt_negative_nan(self):
+        assert math.isnan(ieee_sqrt(-1.0))
+
+    def test_recip(self):
+        assert ieee_recip(4.0) == 0.25
+        assert ieee_recip(0.0) == math.inf
+
+
+class TestCompute:
+    def test_int_mul_exact_bignum(self):
+        assert compute(Operation.INT_MUL, 2**40, 2**15) == 2**55
+
+    def test_fp_mul(self):
+        assert compute(Operation.FP_MUL, 1.5, 2.0) == 3.0
+
+    def test_fp_div(self):
+        assert compute(Operation.FP_DIV, 1.0, 8.0) == 0.125
+
+    def test_unary_ops_ignore_b(self):
+        assert compute(Operation.FP_SQRT, 16.0, 999.0) == 4.0
+        assert compute(Operation.FP_RECIP, 2.0, 999.0) == 0.5

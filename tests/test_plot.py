@@ -1,0 +1,94 @@
+"""Tests for terminal plotting and the figure renderers."""
+
+import pytest
+
+from repro.analysis.plot import line_plot, scatter_plot, sparkline
+from repro.experiments import figure3, figure4, table1
+from repro.experiments.plots import render_plot
+
+
+class TestSparkline:
+    def test_monotone_shape(self):
+        line = sparkline([0.0, 0.25, 0.5, 0.75, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 5
+
+    def test_handles_none_gaps(self):
+        line = sparkline([0.0, None, 1.0])
+        assert line[1] == " "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        line = sparkline([0.4, 0.4, 0.4])
+        assert len(set(line)) == 1
+
+
+class TestLinePlot:
+    def test_contains_markers_and_legend(self):
+        chart = line_plot(
+            [1.0, 2.0, 3.0],
+            [("fmul", [0.1, 0.2, 0.3]), ("fdiv", [0.3, 0.2, 0.1])],
+            title="T",
+        )
+        assert chart.startswith("T")
+        assert "*" in chart and "+" in chart
+        assert "fmul" in chart and "fdiv" in chart
+
+    def test_axis_labels(self):
+        chart = line_plot([0.0, 8.0], [("s", [0.2, 0.8])])
+        assert "0.80" in chart  # y max
+        assert "0.20" in chart  # y min
+        assert "8.00" in chart  # x max
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([], [("s", [])])
+        with pytest.raises(ValueError):
+            line_plot([1.0], [("s", [None])])
+
+    def test_none_points_skipped(self):
+        chart = line_plot([1.0, 2.0, 3.0], [("s", [0.1, None, 0.3])])
+        body = chart.rsplit("\n", 1)[0]  # drop the legend line
+        assert body.count("*") == 2
+
+
+class TestScatterPlot:
+    def test_points_plotted(self):
+        chart = scatter_plot([(1.0, 0.9), (7.0, 0.3)], title="S")
+        assert chart.count("*") == 2
+
+    def test_fit_line_overlay(self):
+        chart = scatter_plot(
+            [(0.0, 1.0), (10.0, 0.0)], fit=(-0.1, 1.0)
+        )
+        assert "." in chart  # the fitted line
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_plot([])
+
+    def test_degenerate_single_point(self):
+        chart = scatter_plot([(2.0, 2.0)])
+        assert "*" in chart
+
+
+class TestFigureRenderers:
+    def test_tables_render_none(self):
+        assert render_plot(table1.run()) is None
+
+    def test_figure4_renders(self):
+        result = figure4.run(
+            scale=0.07, images=("chroms",), apps=("vgauss",), associativities=(1, 4)
+        )
+        chart = render_plot(result)
+        assert chart is not None
+        assert "associativity" in chart
+
+    def test_figure3_renders(self):
+        result = figure3.run(
+            scale=0.07, images=("chroms",), apps=("vgauss",), sizes=(8, 64)
+        )
+        chart = render_plot(result)
+        assert "log2" in chart

@@ -1,0 +1,57 @@
+"""Tests for PGM/PPM image I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.images.pnm import read_pnm, write_pnm
+
+
+class TestRoundtrip:
+    def test_pgm(self, tmp_path):
+        image = np.arange(48, dtype=np.uint8).reshape(6, 8)
+        path = tmp_path / "grey.pgm"
+        write_pnm(image, path)
+        assert np.array_equal(read_pnm(path), image)
+
+    def test_ppm(self, tmp_path):
+        rng = np.random.default_rng(0)
+        image = rng.integers(0, 256, (5, 7, 3)).astype(np.uint8)
+        path = tmp_path / "colour.ppm"
+        write_pnm(image, path)
+        assert np.array_equal(read_pnm(path), image)
+
+    def test_clipping(self, tmp_path):
+        image = np.array([[-5, 300]], dtype=np.int64)
+        path = tmp_path / "clip.pgm"
+        write_pnm(image, path)
+        assert read_pnm(path).tolist() == [[0, 255]]
+
+    def test_comment_in_header(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_bytes(b"P5\n# a comment\n2 1\n255\n\x07\x09")
+        assert read_pnm(path).tolist() == [[7, 9]]
+
+
+class TestErrors:
+    def test_bad_shape(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            write_pnm(np.zeros((2, 2, 4)), tmp_path / "x.pnm")
+
+    def test_truncated_body(self, tmp_path):
+        path = tmp_path / "t.pgm"
+        path.write_bytes(b"P5\n4 4\n255\nxx")
+        with pytest.raises(WorkloadError):
+            read_pnm(path)
+
+    def test_unsupported_magic(self, tmp_path):
+        path = tmp_path / "m.pnm"
+        path.write_bytes(b"P4\n2 2\n1\n\x00")
+        with pytest.raises(WorkloadError):
+            read_pnm(path)
+
+    def test_deep_maxval_rejected(self, tmp_path):
+        path = tmp_path / "d.pgm"
+        path.write_bytes(b"P5\n1 1\n65535\n\x00\x00")
+        with pytest.raises(WorkloadError):
+            read_pnm(path)

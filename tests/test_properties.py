@@ -1,0 +1,168 @@
+"""Cross-cutting property-based tests over the whole stack."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bank import MemoTableBank
+from repro.core.config import MemoTableConfig, TrivialPolicy
+from repro.core.operations import Operation, compute
+from repro.core.unit import MemoizedUnit
+from repro.isa.opcodes import Opcode
+from repro.isa.trace import TraceEvent, dumps, loads
+from repro.simulator.cache import Cache
+from repro.simulator.pipeline import CycleModel
+from repro.arch.latency import FAST_DESIGN
+
+operands = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+small_positive = st.floats(min_value=0.001, max_value=1e6, allow_nan=False)
+
+
+class TestUnitValueCorrectness:
+    """Memoization must be semantically invisible, for every operation."""
+
+    @given(st.lists(st.tuples(operands, operands), max_size=50))
+    @settings(max_examples=40)
+    def test_fp_mul_unit(self, pairs):
+        unit = MemoizedUnit(Operation.FP_MUL, config=MemoTableConfig(entries=8))
+        for a, b in pairs:
+            assert unit.execute(a, b).value == a * b
+
+    @given(st.lists(st.tuples(operands, operands), max_size=50))
+    @settings(max_examples=40)
+    def test_fp_div_unit(self, pairs):
+        unit = MemoizedUnit(Operation.FP_DIV, config=MemoTableConfig(entries=8))
+        for a, b in pairs:
+            value = unit.execute(a, b).value
+            if b != 0:
+                assert value == a / b
+
+    @given(st.lists(small_positive, max_size=50))
+    @settings(max_examples=40)
+    def test_unary_units(self, values):
+        sqrt_unit = MemoizedUnit(Operation.FP_SQRT)
+        log_unit = MemoizedUnit(Operation.FP_LOG)
+        for a in values:
+            assert sqrt_unit.execute(a).value == math.sqrt(a)
+            assert log_unit.execute(a).value == math.log(a)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-(2**40), max_value=2**40),
+                st.integers(min_value=-(2**40), max_value=2**40),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=40)
+    def test_int_mul_exact(self, pairs):
+        unit = MemoizedUnit(Operation.INT_MUL, config=MemoTableConfig(entries=8))
+        for a, b in pairs:
+            assert unit.execute(a, b).value == a * b
+
+    @given(
+        st.lists(st.tuples(operands, operands), max_size=50),
+        st.sampled_from(list(TrivialPolicy)),
+    )
+    @settings(max_examples=30)
+    def test_policies_never_change_values(self, pairs, policy):
+        unit = MemoizedUnit(
+            Operation.FP_MUL,
+            config=MemoTableConfig(entries=8),
+            trivial_policy=policy,
+        )
+        for a, b in pairs:
+            assert unit.execute(a, b).value == a * b
+
+
+class TestCycleInvariants:
+    @given(st.lists(st.tuples(operands, operands), min_size=1, max_size=60))
+    @settings(max_examples=30)
+    def test_memo_cycles_never_exceed_base(self, pairs):
+        unit = MemoizedUnit(Operation.FP_DIV, latency=13)
+        for a, b in pairs:
+            outcome = unit.execute(a, b)
+            assert 1 <= outcome.cycles <= outcome.base_cycles
+        assert unit.stats.cycles_memo <= unit.stats.cycles_base
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    TraceEvent(Opcode.IALU),
+                    TraceEvent(Opcode.BRANCH),
+                    TraceEvent(Opcode.FADD, 1.0, 2.0, 3.0),
+                    TraceEvent(Opcode.LOAD, address=0x40),
+                    TraceEvent(Opcode.FMUL, 2.5, 3.5, 8.75),
+                    TraceEvent(Opcode.FDIV, 9.0, 4.0, 2.25),
+                ]
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=30)
+    def test_pipeline_totals_consistent(self, events):
+        bank = MemoTableBank.paper_baseline()
+        model = CycleModel(FAST_DESIGN, bank=bank)
+        report = model.run(events)
+        assert report.instructions == len(events)
+        assert report.memo_cycles <= report.base_cycles
+        assert report.base_cycles == sum(report.cycles_by_opcode.values())
+        assert report.speedup >= 1.0 or report.base_cycles == 0
+
+
+class TestTraceRoundtripFuzz:
+    @given(
+        st.lists(
+            st.one_of(
+                st.sampled_from(
+                    [
+                        TraceEvent(Opcode.IALU),
+                        TraceEvent(Opcode.BRANCH),
+                        TraceEvent(Opcode.NOP),
+                    ]
+                ),
+                st.builds(
+                    lambda addr: TraceEvent(Opcode.LOAD, address=addr),
+                    st.integers(min_value=0, max_value=2**48),
+                ),
+                st.builds(
+                    lambda a, b: TraceEvent(Opcode.FDIV, a, b, 0.25),
+                    st.floats(allow_nan=False, allow_infinity=False),
+                    st.floats(allow_nan=False, allow_infinity=False),
+                ),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40)
+    def test_any_trace_roundtrips(self, events):
+        assert loads(dumps(events)).events == events
+
+
+class TestCacheInvariants:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=200),
+        st.sampled_from([(1024, 32, 1), (1024, 32, 2), (4096, 64, 4)]),
+    )
+    @settings(max_examples=30)
+    def test_counters_and_capacity(self, addresses, geometry):
+        size, line, ways = geometry
+        cache = Cache("c", size, line, ways)
+        for address in addresses:
+            cache.access(address)
+        assert cache.accesses == len(addresses)
+        assert 0 <= cache.hits <= cache.accesses
+        resident = sum(len(s) for s in cache._sets)
+        assert resident <= size // line
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), max_size=100))
+    @settings(max_examples=30)
+    def test_repeat_of_resident_line_hits(self, addresses):
+        cache = Cache("c", 4096, 32, 4)
+        for address in addresses:
+            cache.access(address)
+            assert cache.access(address)  # immediately after, it's resident

@@ -1,0 +1,62 @@
+"""Tests for victim-selection policies."""
+
+import pytest
+
+from repro.core.config import ReplacementKind
+from repro.core.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        policy = LRUPolicy()
+        assert policy.victim(last_used=[5, 2, 9, 4], inserted=[0, 1, 2, 3]) == 1
+
+    def test_single_way(self):
+        assert LRUPolicy().victim([7], [0]) == 0
+
+    def test_ignores_insertion_order(self):
+        assert LRUPolicy().victim([1, 2], [9, 0]) == 0
+
+
+class TestFIFO:
+    def test_evicts_oldest_inserted(self):
+        policy = FIFOPolicy()
+        assert policy.victim(last_used=[9, 9, 9], inserted=[3, 1, 2]) == 1
+
+    def test_ignores_recency(self):
+        assert FIFOPolicy().victim([0, 100], [5, 1]) == 1
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(seed=7)
+        b = RandomPolicy(seed=7)
+        picks_a = [a.victim([0] * 4, [0] * 4) for _ in range(20)]
+        picks_b = [b.victim([0] * 4, [0] * 4) for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_in_range(self):
+        policy = RandomPolicy(seed=1)
+        for _ in range(100):
+            assert 0 <= policy.victim([0] * 4, [0] * 4) < 4
+
+    def test_covers_all_ways(self):
+        policy = RandomPolicy(seed=3)
+        picks = {policy.victim([0] * 4, [0] * 4) for _ in range(200)}
+        assert picks == {0, 1, 2, 3}
+
+
+class TestFactory:
+    def test_make_policy_kinds(self):
+        assert isinstance(make_policy(ReplacementKind.LRU), LRUPolicy)
+        assert isinstance(make_policy(ReplacementKind.FIFO), FIFOPolicy)
+        assert isinstance(make_policy(ReplacementKind.RANDOM, seed=2), RandomPolicy)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("nonsense")  # type: ignore[arg-type]

@@ -1,0 +1,93 @@
+"""Tests for ExperimentResult helpers and JSON sanitization."""
+
+import enum
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.operations import Operation
+from repro.experiments.base import ExperimentResult, jsonable, ratio_cell
+
+
+class TestRatioCell:
+    def test_value_and_none(self):
+        assert ratio_cell(0.47) == ".47"
+        assert ratio_cell(None) == "-"
+
+    def test_digits(self):
+        assert ratio_cell(0.4567, digits=3) == ".457"
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment="x",
+            title="X",
+            headers=["app", "value"],
+            rows=[["a", 1], ["b", 2]],
+            notes="note",
+        )
+
+    def test_render_contains_everything(self):
+        text = self._result().render()
+        assert text.startswith("X")
+        assert "note" in text
+        assert "app" in text
+
+    def test_row_by_label(self):
+        assert self._result().row_by_label("b") == ["b", 2]
+        with pytest.raises(KeyError):
+            self._result().row_by_label("zzz")
+
+    def test_column(self):
+        assert self._result().column("value") == [1, 2]
+        with pytest.raises(ValueError):
+            self._result().column("missing")
+
+    def test_to_dict_is_json_clean(self):
+        result = self._result()
+        result.extras["op"] = {Operation.FP_DIV: 0.5}
+        result.extras["array"] = np.float64(1.25)
+        payload = json.dumps(result.to_dict())
+        assert "FP_DIV" in payload
+
+
+class TestJsonable:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert jsonable(value) == value
+
+    def test_enum_to_name(self):
+        assert jsonable(Operation.FP_MUL) == "FP_MUL"
+
+    def test_enum_keys(self):
+        assert jsonable({Operation.FP_MUL: 1}) == {"FP_MUL": 1}
+
+    def test_dataclass(self):
+        @dataclass
+        class Point:
+            x: int
+            y: float
+
+        assert jsonable(Point(1, 2.5)) == {"x": 1, "y": 2.5}
+
+    def test_tuples_and_sets_to_lists(self):
+        assert jsonable((1, 2)) == [1, 2]
+        assert sorted(jsonable({3, 1})) == [1, 3]
+
+    def test_numpy_scalar(self):
+        assert jsonable(np.int64(7)) == 7
+        assert jsonable(np.float64(0.5)) == 0.5
+
+    def test_nested(self):
+        value = {"a": [(Operation.FP_DIV, np.float32(1.5))]}
+        assert jsonable(value) == {"a": [["FP_DIV", 1.5]]}
+
+    def test_fallback_to_str(self):
+        class Weird:
+            def __repr__(self):
+                return "weird"
+
+        assert isinstance(jsonable(Weird()), str)

@@ -1,0 +1,126 @@
+"""Tests for reuse-distance analysis."""
+
+import pytest
+
+from repro.analysis.reuse import (
+    RegisterInstanceStats,
+    hit_ratio_for_capacity,
+    register_instance_stats,
+    reuse_profile,
+)
+from repro.core.config import MemoTableConfig
+from repro.core.memo_table import MemoTable
+from repro.core.operations import Operation
+from repro.isa.opcodes import Opcode
+from repro.isa.trace import TraceEvent
+
+
+def _mul(a, b):
+    return TraceEvent(Opcode.FMUL, a, b, a * b)
+
+
+def _div(a, b):
+    return TraceEvent(Opcode.FDIV, a, b, a / b)
+
+
+class TestReuseProfile:
+    def test_all_distinct_pairs(self):
+        trace = [_div(float(i) + 0.5, 2.0) for i in range(10)]
+        profile = reuse_profile(trace, Operation.FP_DIV)
+        assert profile.total == 10
+        assert profile.first_uses == 10
+        assert profile.reuse_fraction == 0.0
+        assert profile.mean_distance() is None
+
+    def test_immediate_repeat_distance_zero(self):
+        trace = [_div(3.0, 2.0), _div(3.0, 2.0)]
+        profile = reuse_profile(trace, Operation.FP_DIV)
+        assert profile.histogram == {0: 1}
+        assert profile.hit_ratio(1) == 0.5
+
+    def test_stack_distance_counts_distinct_intervening(self):
+        trace = [
+            _div(3.0, 2.0),
+            _div(5.0, 2.0),
+            _div(5.0, 2.0),   # repeats don't widen the stack
+            _div(3.0, 2.0),   # distance 1 (only 5/2 in between)
+        ]
+        profile = reuse_profile(trace, Operation.FP_DIV)
+        assert profile.histogram == {0: 1, 1: 1}
+
+    def test_commutative_canonicalizes(self):
+        trace = [_mul(3.0, 5.0), _mul(5.0, 3.0)]
+        commutative = reuse_profile(trace, Operation.FP_MUL)
+        ordered = reuse_profile(trace, Operation.FP_MUL, commutative=False)
+        assert commutative.reused == 1
+        assert ordered.reused == 0
+
+    def test_other_opcodes_ignored(self):
+        trace = [_mul(2.0, 3.0), TraceEvent(Opcode.IALU), _div(2.0, 3.0)]
+        profile = reuse_profile(trace, Operation.FP_MUL)
+        assert profile.total == 1
+
+    def test_hit_ratio_monotone_in_capacity(self):
+        import random
+        rng = random.Random(0)
+        trace = [
+            _div(float(rng.randrange(30)) + 0.5, 2.0) for _ in range(500)
+        ]
+        profile = reuse_profile(trace, Operation.FP_DIV)
+        ratios = [profile.hit_ratio(c) for c in (1, 4, 16, 64)]
+        assert ratios == sorted(ratios)
+        assert profile.hit_ratio(10**9) == pytest.approx(profile.reuse_fraction)
+
+
+class TestPredictsActualTable:
+    def test_matches_fully_associative_lru(self):
+        """Stack-distance prediction equals a real LRU table's hits."""
+        import random
+        rng = random.Random(7)
+        pairs = [
+            (float(rng.randrange(25)) + 1.5, float(rng.randrange(4)) + 2.5)
+            for _ in range(800)
+        ]
+        trace = [_div(a, b) for a, b in pairs]
+        for capacity in (4, 16, 64):
+            profile = reuse_profile(trace, Operation.FP_DIV)
+            predicted = profile.hit_ratio(capacity)
+            table = MemoTable(
+                MemoTableConfig(entries=capacity, associativity=capacity)
+            )
+            for a, b in pairs:
+                table.access(a, b, lambda x, y: x / y)
+            assert table.stats.hit_ratio == pytest.approx(predicted)
+
+
+class TestRegisterInstances:
+    def test_single_use_fraction(self):
+        trace = [_mul(1.5, 2.5), _mul(3.5, 2.5), _mul(1.5, 2.5)]
+        stats = register_instance_stats(trace, Operation.FP_MUL)
+        assert stats.instances == 2
+        assert stats.single_use == 1
+        assert stats.single_use_fraction == 0.5
+        assert stats.mean_uses == 1.5
+
+    def test_empty(self):
+        stats = register_instance_stats([], Operation.FP_MUL)
+        assert stats.instances == 0
+        assert stats.single_use_fraction == 0.0
+
+    def test_franklin_sohi_regime_on_scientific_code(self):
+        """Scientific surrogates: most value instances used ~once."""
+        from repro.workloads.perfect import run_perfect
+        from repro.workloads.recorder import OperationRecorder
+
+        recorder = OperationRecorder()
+        run_perfect("QCD", recorder, scale=0.5)
+        stats = register_instance_stats(recorder.trace, Operation.FP_MUL)
+        assert stats.single_use_fraction > 0.8
+        assert stats.mean_uses < 2.5
+
+
+class TestCapacitySweep:
+    def test_helper_shape(self):
+        trace = [_div(3.0, 2.0)] * 5
+        sweep = hit_ratio_for_capacity(trace, Operation.FP_DIV, (1, 8))
+        assert sweep[1] == sweep[8] == 0.8

@@ -1,0 +1,115 @@
+"""Tests for the Sodani & Sohi Reuse Buffer comparison."""
+
+import pytest
+
+from repro.core.config import MemoTableConfig
+from repro.core.memo_table import MemoTable
+from repro.core.reuse_buffer import ReuseBuffer, run_reuse_buffer
+from repro.errors import ConfigurationError
+from repro.isa.opcodes import Opcode
+from repro.isa.trace import TraceEvent
+from repro.workloads.recorder import OperationRecorder
+
+
+class TestReuseBufferMechanics:
+    def test_geometry_validated(self):
+        with pytest.raises(ConfigurationError):
+            ReuseBuffer(entries=12)
+        with pytest.raises(ConfigurationError):
+            ReuseBuffer(entries=16, associativity=3)
+
+    def test_pc_and_operand_match_required(self):
+        rb = ReuseBuffer(entries=16, associativity=4)
+        assert not rb.access(0x100, 2.0, 3.0, 6.0)
+        assert rb.access(0x100, 2.0, 3.0, 6.0)          # same pc + operands
+        assert not rb.access(0x104, 2.0, 3.0, 6.0)      # same operands, new pc
+        assert not rb.access(0x100, 2.0, 4.0, 8.0)      # same pc, new operands
+
+    def test_same_pc_new_operands_replaces(self):
+        rb = ReuseBuffer(entries=16, associativity=4)
+        rb.access(0x100, 2.0, 3.0, 6.0)
+        rb.access(0x100, 2.0, 4.0, 8.0)
+        assert rb.access(0x100, 2.0, 4.0, 8.0)
+
+    def test_lru_eviction_within_set(self):
+        rb = ReuseBuffer(entries=2, associativity=2)  # 1 set
+        rb.access(0x100, 1.0, 1.0, 1.0)
+        rb.access(0x104, 2.0, 2.0, 4.0)
+        rb.access(0x100, 1.0, 1.0, 1.0)   # touch
+        rb.access(0x108, 3.0, 3.0, 9.0)   # evicts 0x104
+        assert rb.access(0x100, 1.0, 1.0, 1.0)
+        assert not rb.access(0x104, 2.0, 2.0, 4.0)
+
+    def test_stats(self):
+        rb = ReuseBuffer(entries=16, associativity=4)
+        rb.access(0x100, 1.0, 2.0, 2.0)
+        rb.access(0x100, 1.0, 2.0, 2.0)
+        assert rb.stats.hit_ratio == 0.5
+        assert len(rb) == 1
+
+
+class TestTraceDriver:
+    def test_requires_pc_stamped_trace(self):
+        events = [TraceEvent(Opcode.FMUL, 2.0, 3.0, 6.0)]  # no pc
+        _, report = run_reuse_buffer(events)
+        assert report.skipped_no_pc == 1
+        assert report.hit_ratio(Opcode.FMUL) == 0.0
+
+    def test_recorded_sites_flow_through(self):
+        recorder = OperationRecorder(record_sites=True)
+        for _ in range(4):
+            recorder.fmul(2.5, 3.5)   # one static site, repeated
+        _, report = run_reuse_buffer(recorder.trace)
+        assert report.hit_ratio(Opcode.FMUL) == 0.75
+
+    def test_single_cycle_ops_can_bump_multicycle(self):
+        """The paper's first objection to a unified buffer."""
+        recorder = OperationRecorder(record_sites=True)
+        recorder.fdiv(9.0, 7.0)
+        # A torrent of distinct-operand adds from many sites.
+        for i in range(64):
+            recorder.fadd(float(i), 1.0)
+            recorder.fadd(float(i), 2.0)
+            recorder.fadd(float(i), 3.0)
+            recorder.fadd(float(i), 4.0)
+        recorder.fdiv(9.0, 7.0)
+        rb = ReuseBuffer(entries=4, associativity=4)
+        _, report = run_reuse_buffer(recorder.trace, rb)
+        assert report.hit_ratio(Opcode.FDIV) == 0.0  # bumped by the adds
+
+    def test_unrolled_loop_defeats_pc_keying(self):
+        """The paper's second objection: "if the compiler unrolls a
+        loop, our scheme will have more hits" -- value-keyed tables see
+        one computation, PC-keyed buffers see four."""
+
+        def rolled(recorder):
+            for _ in range(64):
+                recorder.fmul(13.0, 17.0)  # one static site
+
+        def unrolled(recorder):
+            for _ in range(16):
+                recorder.fmul(13.0, 17.0)  # four static sites
+                recorder.fmul(13.0, 17.0)
+                recorder.fmul(13.0, 17.0)
+                recorder.fmul(13.0, 17.0)
+
+        ratios = {}
+        for name, body in (("rolled", rolled), ("unrolled", unrolled)):
+            recorder = OperationRecorder(record_sites=True)
+            body(recorder)
+            _, rb_report = run_reuse_buffer(
+                recorder.trace, ReuseBuffer(entries=2, associativity=2)
+            )
+            table = MemoTable(MemoTableConfig(commutative=True))
+            for event in recorder.trace:
+                if event.opcode is Opcode.FMUL:
+                    table.access(event.a, event.b, lambda x, y: x * y)
+            ratios[name] = (
+                rb_report.hit_ratio(Opcode.FMUL),
+                table.stats.hit_ratio,
+            )
+
+        # Memo-table: indifferent to unrolling (63/64 both ways).
+        assert ratios["rolled"][1] == ratios["unrolled"][1]
+        # A small RB loses hits when the sites multiply beyond its ways.
+        assert ratios["unrolled"][0] < ratios["rolled"][0]

@@ -1,0 +1,112 @@
+"""Tests for the Perfect and SPEC CFP95 surrogate suites."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.opcodes import Opcode
+from repro.workloads.perfect import PERFECT_APPS, perfect_names, run_perfect
+from repro.workloads.recorder import OperationRecorder
+from repro.workloads.speccfp import SPECCFP_APPS, run_speccfp, speccfp_names
+
+
+class TestRegistries:
+    def test_perfect_has_nine_apps(self):
+        assert len(PERFECT_APPS) == 9
+        assert list(perfect_names())[0] == "ADM"
+
+    def test_spec_has_ten_apps(self):
+        assert len(SPECCFP_APPS) == 10
+        assert "tomcatv" in speccfp_names()
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(WorkloadError):
+            run_perfect("NOPE", OperationRecorder())
+        with pytest.raises(WorkloadError):
+            run_speccfp("nope", OperationRecorder())
+
+
+@pytest.mark.parametrize("name", sorted(PERFECT_APPS))
+class TestPerfectApps:
+    def test_runs_and_records(self, name):
+        recorder = OperationRecorder()
+        run_perfect(name, recorder, scale=0.5)
+        assert len(recorder.trace) > 50
+
+    def test_imul_presence_matches_registry(self, name):
+        recorder = OperationRecorder()
+        run_perfect(name, recorder, scale=0.5)
+        counts = recorder.breakdown()
+        assert (counts.get(Opcode.IMUL, 0) > 0) == PERFECT_APPS[name].has_imul
+
+    def test_deterministic(self, name):
+        a, b = OperationRecorder(), OperationRecorder()
+        run_perfect(name, a, scale=0.5)
+        run_perfect(name, b, scale=0.5)
+        assert a.trace.events == b.trace.events
+
+
+@pytest.mark.parametrize("name", sorted(SPECCFP_APPS))
+class TestSpecApps:
+    def test_runs_and_records(self, name):
+        recorder = OperationRecorder()
+        run_speccfp(name, recorder, scale=0.5)
+        assert len(recorder.trace) > 50
+
+    def test_fp_presence_matches_registry(self, name):
+        recorder = OperationRecorder()
+        run_speccfp(name, recorder, scale=0.5)
+        counts = recorder.breakdown()
+        has_fp = counts.get(Opcode.FMUL, 0) > 0
+        assert has_fp == SPECCFP_APPS[name].has_fp
+
+    def test_deterministic(self, name):
+        a, b = OperationRecorder(), OperationRecorder()
+        run_speccfp(name, a, scale=0.5)
+        run_speccfp(name, b, scale=0.5)
+        assert a.trace.events == b.trace.events
+
+
+class TestValueLocalityRegimes:
+    """The property the suites exist to exhibit (Tables 5/6 vs 7)."""
+
+    def _hit_ratios(self, record, names, scale=0.5):
+        from repro.experiments.common import hit_ratio_or_none, replay
+        from repro.core.operations import Operation
+
+        finite, infinite = [], []
+        for name in names:
+            recorder = OperationRecorder()
+            record(name, recorder, scale=scale)
+            fin = replay(recorder.trace, None)
+            inf = replay(recorder.trace, "infinite")
+            for report, bucket in ((fin, finite), (inf, infinite)):
+                value = hit_ratio_or_none(report, Operation.FP_MUL)
+                if value is not None:
+                    bucket.append(value)
+        return (
+            sum(finite) / len(finite),
+            sum(infinite) / len(infinite),
+        )
+
+    def test_infinite_dominates_finite_perfect(self):
+        finite, infinite = self._hit_ratios(run_perfect, perfect_names())
+        assert infinite >= finite
+
+    def test_qcd_has_negligible_reuse(self):
+        from repro.experiments.common import replay
+        from repro.core.operations import Operation
+
+        recorder = OperationRecorder()
+        run_perfect("QCD", recorder, scale=0.5)
+        report = replay(recorder.trace, "infinite")
+        assert report.hit_ratio(Operation.FP_MUL) < 0.1
+
+    def test_hydro2d_is_the_spec_outlier(self):
+        """hydro2d's quantised state hits even in a 32-entry table."""
+        from repro.experiments.common import replay
+        from repro.core.operations import Operation
+
+        recorder = OperationRecorder()
+        run_speccfp("hydro2d", recorder, scale=0.7)
+        report = replay(recorder.trace, None)
+        assert report.hit_ratio(Operation.FP_MUL) > 0.3

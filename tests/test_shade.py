@@ -1,0 +1,83 @@
+"""Tests for the trace-driven memo-table simulator (Shade substitute)."""
+
+import pytest
+
+from repro.core.bank import MemoTableBank
+from repro.core.operations import Operation
+from repro.isa.opcodes import Opcode
+from repro.isa.trace import Trace, TraceEvent
+from repro.simulator.shade import ShadeSimulator
+
+
+def _mul(a, b):
+    return TraceEvent(Opcode.FMUL, a, b, a * b)
+
+
+class TestFrequencyBreakdown:
+    def test_counts_every_instruction(self):
+        trace = [
+            TraceEvent(Opcode.IALU),
+            TraceEvent(Opcode.IALU),
+            TraceEvent(Opcode.BRANCH),
+            _mul(2.0, 3.0),
+        ]
+        report = ShadeSimulator().run(trace)
+        assert report.instructions == 4
+        assert report.breakdown[Opcode.IALU] == 2
+        assert report.frequency(Opcode.IALU) == 0.5
+        assert report.frequency(Opcode.FMUL) == 0.25
+
+    def test_empty_trace(self):
+        report = ShadeSimulator().run([])
+        assert report.instructions == 0
+        assert report.frequency(Opcode.IALU) == 0.0
+
+
+class TestMemoStatistics:
+    def test_repeat_operands_hit(self):
+        trace = [_mul(2.5, 3.5)] * 4
+        report = ShadeSimulator().run(trace)
+        assert report.hit_ratio(Operation.FP_MUL) == 0.75
+        assert report.operation_count(Operation.FP_MUL) == 4
+
+    def test_unsupported_operations_skipped(self):
+        bank = MemoTableBank.paper_baseline(operations=(Operation.FP_DIV,))
+        trace = [_mul(2.5, 3.5), _mul(2.5, 3.5)]
+        report = ShadeSimulator(bank).run(trace)
+        assert report.operation_count(Operation.FP_MUL) == 0
+        assert Operation.FP_MUL not in report.unit_stats
+
+    def test_tables_persist_across_runs(self):
+        simulator = ShadeSimulator()
+        simulator.run([_mul(2.5, 3.5)])
+        report = simulator.run([_mul(2.5, 3.5)])
+        assert report.unit_stats[Operation.FP_MUL].table.hits == 1
+
+    def test_int_and_fp_streams_separate(self):
+        trace = [
+            TraceEvent(Opcode.IMUL, 3, 5, 15),
+            TraceEvent(Opcode.IMUL, 3, 5, 15),
+            _mul(3.0, 5.0),
+        ]
+        report = ShadeSimulator().run(trace)
+        assert report.hit_ratio(Operation.INT_MUL) == 0.5
+        assert report.hit_ratio(Operation.FP_MUL) == 0.0
+
+
+class TestValidation:
+    def test_consistent_trace_has_no_mismatches(self):
+        trace = [_mul(2.5, 3.5)] * 3 + [
+            TraceEvent(Opcode.FDIV, 9.0, 2.0, 4.5)
+        ]
+        report = ShadeSimulator(validate=True).run(trace)
+        assert report.mismatches == 0
+
+    def test_corrupted_result_detected(self):
+        trace = [TraceEvent(Opcode.FMUL, 2.0, 3.0, 999.0)]
+        report = ShadeSimulator(validate=True).run(trace)
+        assert report.mismatches == 1
+
+    def test_validation_off_by_default(self):
+        trace = [TraceEvent(Opcode.FMUL, 2.0, 3.0, 999.0)]
+        report = ShadeSimulator().run(trace)
+        assert report.mismatches == 0

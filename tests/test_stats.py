@@ -1,0 +1,72 @@
+"""Tests for the statistics containers."""
+
+from repro.core.stats import MemoStats, UnitStats
+
+
+class TestMemoStats:
+    def test_empty_ratio_zero(self):
+        assert MemoStats().hit_ratio == 0.0
+
+    def test_hit_ratio(self):
+        stats = MemoStats(lookups=10, hits=4)
+        assert stats.hit_ratio == 0.4
+        assert stats.misses == 6
+
+    def test_merge(self):
+        a = MemoStats(lookups=10, hits=4, insertions=6, evictions=1)
+        b = MemoStats(lookups=2, hits=2)
+        a.merge(b)
+        assert a.lookups == 12 and a.hits == 6
+        assert a.insertions == 6 and a.evictions == 1
+
+    def test_reset(self):
+        stats = MemoStats(lookups=5, hits=2, commutative_hits=1)
+        stats.reset()
+        assert stats.lookups == 0 and stats.hits == 0
+        assert stats.commutative_hits == 0
+
+    def test_as_dict_keys(self):
+        d = MemoStats(lookups=4, hits=1).as_dict()
+        assert d["hit_ratio"] == 0.25
+        assert d["misses"] == 3
+
+
+class TestUnitStats:
+    def test_hit_ratio_plain(self):
+        stats = UnitStats()
+        stats.table.lookups = 10
+        stats.table.hits = 3
+        assert stats.hit_ratio == 0.3
+
+    def test_hit_ratio_with_integrated_trivials(self):
+        # INTEGRATED: trivial ops count as hits without table lookups.
+        stats = UnitStats(trivial_hits=5)
+        stats.table.lookups = 5
+        stats.table.hits = 0
+        assert stats.hit_ratio == 0.5
+
+    def test_empty_ratio(self):
+        assert UnitStats().hit_ratio == 0.0
+
+    def test_trivial_fraction(self):
+        stats = UnitStats(operations=20, trivial=5)
+        assert stats.trivial_fraction == 0.25
+        assert stats.non_trivial == 15
+
+    def test_cycles_saved(self):
+        stats = UnitStats(cycles_base=100, cycles_memo=64)
+        assert stats.cycles_saved == 36
+
+    def test_merge_combines_everything(self):
+        a = UnitStats(operations=10, trivial=2, cycles_base=50, cycles_memo=40)
+        a.table.lookups = 8
+        b = UnitStats(operations=5, trivial=1, cycles_base=20, cycles_memo=20)
+        b.table.lookups = 4
+        a.merge(b)
+        assert a.operations == 15 and a.trivial == 3
+        assert a.cycles_base == 70 and a.table.lookups == 12
+
+    def test_as_dict_nests_table(self):
+        d = UnitStats().as_dict()
+        assert "table_hit_ratio" in d
+        assert "trivial_fraction" in d

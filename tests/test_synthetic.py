@@ -1,0 +1,127 @@
+"""Tests for the synthetic Table 8 image catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.images import (
+    IMAGE_CATALOG,
+    catalog_names,
+    equalize_to_levels,
+    generate,
+    histogram_entropy,
+    smooth_field,
+    windowed_entropy,
+)
+
+
+class TestBuildingBlocks:
+    def test_smooth_field_range(self):
+        field = smooth_field((32, 32), correlation=4, seed=0)
+        assert field.min() >= 0.0 and field.max() <= 1.0
+        assert field.shape == (32, 32)
+
+    def test_smooth_field_deterministic(self):
+        a = smooth_field((16, 16), 4, seed=7)
+        b = smooth_field((16, 16), 4, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_smooth_field_seeds_differ(self):
+        a = smooth_field((16, 16), 4, seed=7)
+        b = smooth_field((16, 16), 4, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_smooth_field_is_smooth(self):
+        """Larger correlation must reduce neighbour differences."""
+        rough = smooth_field((64, 64), 1, seed=3)
+        smooth = smooth_field((64, 64), 16, seed=3)
+        assert np.abs(np.diff(smooth, axis=1)).mean() < np.abs(
+            np.diff(rough, axis=1)
+        ).mean()
+
+    def test_smooth_field_validation(self):
+        with pytest.raises(WorkloadError):
+            smooth_field((8, 8), 0, seed=0)
+
+    def test_equalize_levels_uniform(self):
+        rng = np.random.default_rng(0)
+        field = rng.random((64, 64))
+        quantized = equalize_to_levels(field, 16)
+        values, counts = np.unique(quantized, return_counts=True)
+        assert len(values) == 16
+        assert counts.max() - counts.min() <= 1  # rank equalization
+
+    def test_equalize_entropy_is_log2_levels(self):
+        rng = np.random.default_rng(1)
+        quantized = equalize_to_levels(rng.random((64, 64)), 32)
+        assert histogram_entropy(quantized) == pytest.approx(5.0, abs=0.01)
+
+    def test_equalize_validation(self):
+        with pytest.raises(WorkloadError):
+            equalize_to_levels(np.zeros((4, 4)), 0)
+
+
+class TestCatalogue:
+    def test_fourteen_images(self):
+        assert len(IMAGE_CATALOG) == 14
+        assert len(catalog_names()) == 14
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate("not-an-image")
+
+    def test_shapes_and_types(self):
+        for image in IMAGE_CATALOG:
+            data = image.generate(scale=0.1)
+            if image.bands == 3:
+                assert data.ndim == 3 and data.shape[2] == 3
+            else:
+                assert data.ndim == 2
+            if image.pixel_type == "FLOAT":
+                assert data.dtype == np.float32
+
+    def test_scale_changes_size(self):
+        small = generate("mandrill", scale=0.1)
+        smaller = generate("mandrill", scale=0.05)
+        assert small.shape[0] > smaller.shape[0]
+
+    def test_scale_validation(self):
+        with pytest.raises(WorkloadError):
+            generate("mandrill", scale=0.0)
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            generate("chroms", scale=0.2), generate("chroms", scale=0.2)
+        )
+
+    def test_entropies_near_paper_targets(self):
+        """Full-image entropy within half a bit of Table 8 (byte images)."""
+        for image in IMAGE_CATALOG:
+            if image.paper_entropy is None or image.name in ("fractal", "lablabel"):
+                continue
+            data = image.generate(scale=0.25)
+            measured = histogram_entropy(data)
+            assert measured == pytest.approx(image.paper_entropy, abs=0.5), image.name
+
+    def test_low_entropy_images_are_low(self):
+        assert histogram_entropy(generate("fractal", scale=0.25)) < 3.0
+        assert histogram_entropy(generate("lablabel", scale=0.25)) < 4.0
+
+    def test_entropy_ordering_matches_paper(self):
+        """mandrill > airport1 > fractal, as in Table 8."""
+        entropies = {
+            name: histogram_entropy(generate(name, scale=0.25))
+            for name in ("mandrill", "airport1", "fractal")
+        }
+        assert entropies["mandrill"] > entropies["airport1"] > entropies["fractal"]
+
+    def test_window_entropy_below_full(self):
+        """The paper's locality claim: 8x8 windows have lower entropy."""
+        for name in ("mandrill", "Muppet1", "airport1"):
+            data = generate(name, scale=0.25)
+            grey = data if data.ndim == 2 else data[:, :, 0]
+            assert windowed_entropy(grey, 8) < histogram_entropy(data)
+
+    def test_minimum_size_respected(self):
+        data = generate("chroms", scale=0.01)
+        assert data.shape[0] >= 8 and data.shape[1] >= 8

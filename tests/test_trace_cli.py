@@ -1,0 +1,64 @@
+"""Tests for the repro-trace command line tool."""
+
+import pytest
+
+from repro.trace_cli import main
+
+
+class TestRecordAndInspect:
+    def test_record_binary_then_stats_and_simulate(self, tmp_path, capsys):
+        target = tmp_path / "k.trc"
+        assert main(
+            ["record", "vgauss", "chroms", str(target), "--scale", "0.1"]
+        ) == 0
+        assert target.exists()
+        capsys.readouterr()
+
+        assert main(["stats", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "fmul" in out and "events" in out
+
+        assert main(["simulate", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "hit ratio" in out and "fdiv" in out
+
+    def test_record_text_format(self, tmp_path, capsys):
+        target = tmp_path / "k.trace"
+        assert main(
+            ["record", "vgpwl", "fractal", str(target), "--scale", "0.08"]
+        ) == 0
+        text = target.read_text()
+        assert "fdiv" in text  # greppable text format
+
+    def test_simulate_options(self, tmp_path, capsys):
+        target = tmp_path / "k.trc"
+        main(["record", "vgauss", "fractal", str(target), "--scale", "0.08"])
+        capsys.readouterr()
+        assert main(
+            ["simulate", str(target), "--entries", "8", "--ways", "2",
+             "--mantissa"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "8-entry 2-way" in out and "mantissa" in out
+
+
+class TestAssemblyCommands:
+    def test_programs_listing(self, capsys):
+        assert main(["programs"]) == 0
+        out = capsys.readouterr().out
+        assert "saxpy" in out and "vector_normalize" in out
+
+    def test_asm_roundtrip(self, tmp_path, capsys):
+        target = tmp_path / "prog.trc"
+        assert main(["asm", "gamma_lut", str(target), "--n", "16"]) == 0
+        capsys.readouterr()
+        assert main(["simulate", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "fdiv" in out
+
+    def test_asm_unknown_program(self, capsys):
+        assert main(["asm", "nonsense", "x.trc"]) == 2
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["record", "not-a-kernel", "chroms", "x.trc"])

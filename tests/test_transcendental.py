@@ -1,0 +1,119 @@
+"""Tests for the future-work operations (log/sin/cos memoization)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bank import MemoTableBank
+from repro.core.operations import Operation, compute, ieee_log
+from repro.core.unit import DEFAULT_LATENCIES, MemoizedUnit
+from repro.errors import WorkloadError
+from repro.isa.opcodes import Opcode
+from repro.simulator.shade import ShadeSimulator
+from repro.workloads.recorder import OperationRecorder
+from repro.workloads.transcendental import (
+    TRANSCENDENTAL_KERNELS,
+    log_compress,
+    run_transcendental,
+    sine_synthesis,
+    texture_rotation,
+)
+
+
+class TestOperationSemantics:
+    def test_log(self):
+        assert compute(Operation.FP_LOG, math.e) == pytest.approx(1.0)
+        assert ieee_log(0.0) == -math.inf
+        assert math.isnan(ieee_log(-1.0))
+
+    def test_trig(self):
+        assert compute(Operation.FP_SIN, 0.0) == 0.0
+        assert compute(Operation.FP_COS, 0.0) == 1.0
+        assert compute(Operation.FP_SIN, math.pi / 2) == pytest.approx(1.0)
+
+    def test_latencies_defined(self):
+        for op in (Operation.FP_LOG, Operation.FP_SIN, Operation.FP_COS):
+            assert DEFAULT_LATENCIES[op] >= 20
+
+    def test_memoized_log_unit(self):
+        unit = MemoizedUnit(Operation.FP_LOG)
+        first = unit.execute(42.0)
+        again = unit.execute(42.0)
+        assert again.hit and again.value == first.value
+        assert again.cycles == 1
+
+    def test_trivial_log_of_one(self):
+        unit = MemoizedUnit(Operation.FP_LOG)
+        outcome = unit.execute(1.0)
+        assert outcome.trivial and outcome.value == 0.0
+
+    def test_trivial_trig_of_zero(self):
+        sin_unit = MemoizedUnit(Operation.FP_SIN)
+        cos_unit = MemoizedUnit(Operation.FP_COS)
+        assert sin_unit.execute(0.0).value == 0.0
+        assert cos_unit.execute(0.0).value == 1.0
+        assert sin_unit.execute(0.0).trivial
+
+
+class TestRecorderSupport:
+    def test_flog_fsin_fcos_recorded(self, recorder):
+        assert recorder.flog(math.e) == pytest.approx(1.0)
+        assert recorder.fsin(0.5) == pytest.approx(math.sin(0.5))
+        assert recorder.fcos(0.5) == pytest.approx(math.cos(0.5))
+        opcodes = [e.opcode for e in recorder.trace]
+        assert opcodes == [Opcode.FLOG, Opcode.FSIN, Opcode.FCOS]
+
+
+class TestKernels:
+    def test_registry(self):
+        assert set(TRANSCENDENTAL_KERNELS) == {
+            "log_compress",
+            "sine_synthesis",
+            "texture_rotation",
+        }
+        with pytest.raises(WorkloadError):
+            run_transcendental("tan_everything", OperationRecorder())
+
+    def test_log_compress_values(self, recorder):
+        image = np.array([[0, 255]], dtype=np.int64)
+        out = log_compress(recorder, image)
+        assert out[0, 0] == pytest.approx(0.0)
+        assert out[0, 1] == pytest.approx(255.0, rel=1e-6)
+
+    def test_log_compress_shape_validation(self, recorder):
+        with pytest.raises(WorkloadError):
+            log_compress(recorder, np.zeros(5))
+
+    def test_sine_synthesis_bounded(self, recorder):
+        wave = sine_synthesis(recorder, samples=64, partials=3)
+        assert np.all(np.abs(wave) <= 3.0)
+        assert recorder.breakdown()[Opcode.FSIN] == 64 * 3
+
+    def test_sine_synthesis_validation(self, recorder):
+        with pytest.raises(WorkloadError):
+            sine_synthesis(recorder, samples=0)
+
+    def test_texture_rotation_unit_vectors(self, recorder, small_image):
+        out = texture_rotation(recorder, small_image)
+        norms = out[..., 0] ** 2 + out[..., 1] ** 2
+        assert np.allclose(norms, 1.0)
+
+    def test_quantised_args_memoize_well(self, small_image):
+        """The future-work claim: these units hit like mul/div do."""
+        recorder = OperationRecorder()
+        texture_rotation(recorder, small_image, angle_levels=16)
+        bank = MemoTableBank.paper_baseline(
+            operations=(Operation.FP_SIN, Operation.FP_COS)
+        )
+        report = ShadeSimulator(bank).run(recorder.trace)
+        assert report.hit_ratio(Operation.FP_SIN) > 0.8
+        assert report.hit_ratio(Operation.FP_COS) > 0.8
+
+    def test_log_compress_memoizes_on_bytes(self, small_image):
+        recorder = OperationRecorder()
+        log_compress(recorder, small_image)
+        bank = MemoTableBank.paper_baseline(operations=(Operation.FP_LOG,))
+        report = ShadeSimulator(bank).run(recorder.trace)
+        # <= 256 distinct arguments, strong locality on a smooth image.
+        assert report.hit_ratio(Operation.FP_LOG) > 0.3

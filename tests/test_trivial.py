@@ -1,0 +1,80 @@
+"""Tests for trivial-operation detection (Table 9 machinery)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.trivial import (
+    is_trivial_div,
+    is_trivial_mul,
+    is_trivial_sqrt,
+    trivial_div_result,
+    trivial_mul_result,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestMultiplication:
+    @pytest.mark.parametrize("a,b", [(0.0, 3.3), (3.3, 0.0), (1.0, 9.9),
+                                     (9.9, 1.0), (-1.0, 2.0), (2.0, -1.0),
+                                     (-0.0, 5.0)])
+    def test_trivial_cases(self, a, b):
+        assert is_trivial_mul(a, b)
+        assert trivial_mul_result(a, b) == a * b
+
+    @pytest.mark.parametrize("a,b", [(2.0, 3.0), (0.5, 0.25), (-7.0, 13.0)])
+    def test_non_trivial_cases(self, a, b):
+        assert not is_trivial_mul(a, b)
+        assert trivial_mul_result(a, b) is None
+
+    def test_signed_zero_result(self):
+        result = trivial_mul_result(-0.0, 5.0)
+        assert result == 0.0 and math.copysign(1, result) == -1.0
+
+    @given(finite, finite)
+    def test_detector_and_result_agree(self, a, b):
+        result = trivial_mul_result(a, b)
+        assert (result is not None) == is_trivial_mul(a, b)
+        if result is not None:
+            assert result == a * b
+
+
+class TestDivision:
+    @pytest.mark.parametrize("a,b", [(7.0, 1.0), (7.0, -1.0), (0.0, 3.0),
+                                     (-0.0, 3.0)])
+    def test_trivial_cases(self, a, b):
+        assert is_trivial_div(a, b)
+        assert trivial_div_result(a, b) == a / b
+
+    @pytest.mark.parametrize("a,b", [(7.0, 2.0), (1.0, 3.0), (5.0, 0.0)])
+    def test_non_trivial_cases(self, a, b):
+        assert not is_trivial_div(a, b)
+        assert trivial_div_result(a, b) is None
+
+    def test_zero_over_zero_not_trivial(self):
+        # 0/0 must reach the divider and produce NaN there, not a
+        # "trivial" forwarded zero.
+        assert not is_trivial_div(0.0, 0.0)
+        assert trivial_div_result(0.0, 0.0) is None
+
+    def test_signed_zero_dividend(self):
+        result = trivial_div_result(-0.0, 2.0)
+        assert result == 0.0 and math.copysign(1, result) == -1.0
+
+    @given(finite, finite)
+    def test_detector_and_result_agree(self, a, b):
+        result = trivial_div_result(a, b)
+        assert (result is not None) == is_trivial_div(a, b)
+
+
+class TestSqrt:
+    def test_trivial(self):
+        assert is_trivial_sqrt(0.0)
+        assert is_trivial_sqrt(1.0)
+
+    def test_non_trivial(self):
+        assert not is_trivial_sqrt(2.0)
+        assert not is_trivial_sqrt(-1.0)

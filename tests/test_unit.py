@@ -1,0 +1,205 @@
+"""Tests for memoized computation units (section 2.2 semantics)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MemoTableConfig, TagMode, TrivialPolicy
+from repro.core.memo_table import InfiniteMemoTable, MemoTable
+from repro.core.operations import Operation
+from repro.core.unit import DEFAULT_LATENCIES, MemoizedUnit, PlainUnit
+from repro.errors import ConfigurationError
+
+
+class TestCycleSemantics:
+    def test_miss_costs_full_latency(self):
+        unit = MemoizedUnit(Operation.FP_DIV, latency=13)
+        outcome = unit.execute(355.0, 113.0)
+        assert outcome.cycles == 13 and not outcome.hit
+
+    def test_hit_costs_one_cycle(self):
+        unit = MemoizedUnit(Operation.FP_DIV, latency=13)
+        unit.execute(355.0, 113.0)
+        outcome = unit.execute(355.0, 113.0)
+        assert outcome.cycles == 1 and outcome.hit
+        assert outcome.saved == 12
+
+    def test_miss_has_no_penalty(self):
+        """Section 2.2: a failed lookup costs nothing extra."""
+        unit = MemoizedUnit(Operation.FP_DIV, latency=13)
+        outcome = unit.execute(9.0, 7.0)
+        assert outcome.cycles == outcome.base_cycles == 13
+
+    def test_values_identical_to_direct_computation(self):
+        unit = MemoizedUnit(Operation.FP_DIV, latency=13)
+        first = unit.execute(355.0, 113.0)
+        second = unit.execute(355.0, 113.0)
+        assert second.value == first.value == 355.0 / 113.0
+
+    def test_default_latency_from_table(self):
+        unit = MemoizedUnit(Operation.FP_MUL)
+        assert unit.latency == DEFAULT_LATENCIES[Operation.FP_MUL]
+
+    def test_latency_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemoizedUnit(Operation.FP_MUL, latency=0)
+
+    def test_table_and_config_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            MemoizedUnit(
+                Operation.FP_MUL,
+                table=InfiniteMemoTable(),
+                config=MemoTableConfig(),
+            )
+
+    def test_unit_table_inherits_operation_properties(self):
+        unit = MemoizedUnit(Operation.FP_MUL)
+        assert unit.table.config.commutative
+        unit = MemoizedUnit(Operation.FP_DIV)
+        assert not unit.table.config.commutative
+
+    def test_commutative_hit_through_unit(self):
+        unit = MemoizedUnit(Operation.FP_MUL, latency=3)
+        unit.execute(3.5, 7.25)
+        outcome = unit.execute(7.25, 3.5)
+        assert outcome.hit and outcome.cycles == 1
+
+    def test_cycle_accumulation(self):
+        unit = MemoizedUnit(Operation.FP_DIV, latency=10)
+        unit.execute(9.0, 7.0)   # miss: 10/10
+        unit.execute(9.0, 7.0)   # hit: 1/10
+        assert unit.stats.cycles_memo == 11
+        assert unit.stats.cycles_base == 20
+
+    def test_reset_stats(self):
+        unit = MemoizedUnit(Operation.FP_DIV, latency=10)
+        unit.execute(9.0, 7.0)
+        unit.reset_stats()
+        assert unit.stats.operations == 0
+        assert unit.table.stats.lookups == 0
+
+
+class TestTrivialPolicies:
+    def test_exclude_bypasses_table(self):
+        unit = MemoizedUnit(
+            Operation.FP_MUL, latency=3, trivial_policy=TrivialPolicy.EXCLUDE
+        )
+        outcome = unit.execute(1.0, 9.0)
+        assert outcome.trivial and not outcome.hit
+        assert outcome.value == 9.0
+        assert unit.table.stats.lookups == 0
+        assert unit.stats.trivial == 1
+
+    def test_exclude_trivial_not_in_hit_ratio(self):
+        unit = MemoizedUnit(
+            Operation.FP_MUL, latency=3, trivial_policy=TrivialPolicy.EXCLUDE
+        )
+        unit.execute(1.0, 9.0)
+        unit.execute(2.0, 9.0)
+        unit.execute(2.0, 9.0)
+        assert unit.hit_ratio == 0.5  # one hit over two table lookups
+
+    def test_integrated_counts_trivial_as_hit(self):
+        unit = MemoizedUnit(
+            Operation.FP_MUL, latency=3, trivial_policy=TrivialPolicy.INTEGRATED
+        )
+        outcome = unit.execute(0.0, 5.0)
+        assert outcome.hit and outcome.trivial
+        assert outcome.cycles == 1
+        assert unit.hit_ratio == 1.0
+        assert unit.table.stats.lookups == 0  # never stored
+
+    def test_cache_all_sends_trivial_through_table(self):
+        unit = MemoizedUnit(
+            Operation.FP_MUL, latency=3, trivial_policy=TrivialPolicy.CACHE_ALL
+        )
+        unit.execute(1.0, 9.0)
+        outcome = unit.execute(1.0, 9.0)
+        assert outcome.hit
+        assert unit.table.stats.lookups == 2
+
+    def test_trivial_division_result(self):
+        unit = MemoizedUnit(Operation.FP_DIV, latency=13)
+        outcome = unit.execute(42.0, 1.0)
+        assert outcome.trivial and outcome.value == 42.0
+
+    def test_zero_over_zero_reaches_divider(self):
+        unit = MemoizedUnit(Operation.FP_DIV, latency=13)
+        outcome = unit.execute(0.0, 0.0)
+        assert not outcome.trivial
+        assert math.isnan(outcome.value)
+
+    def test_trivial_cheaper_than_unit(self):
+        unit = MemoizedUnit(
+            Operation.FP_DIV, latency=13, trivial_latency=2,
+            trivial_policy=TrivialPolicy.EXCLUDE,
+        )
+        outcome = unit.execute(5.0, 1.0)
+        assert outcome.cycles == 2
+
+
+class TestMantissaFixup:
+    def _unit(self):
+        return MemoizedUnit(
+            Operation.FP_MUL,
+            config=MemoTableConfig(tag_mode=TagMode.MANTISSA),
+            latency=3,
+        )
+
+    def test_exponent_adjusted_hit_is_exact(self):
+        unit = self._unit()
+        unit.execute(1.5, 2.5)       # stores 3.75 under mantissas
+        outcome = unit.execute(3.0, 5.0)  # same mantissas, x2 exponents
+        assert outcome.hit
+        assert outcome.value == 15.0
+
+    def test_sign_adjusted_hit(self):
+        unit = self._unit()
+        unit.execute(1.5, 2.5)
+        outcome = unit.execute(-1.5, 2.5)
+        assert outcome.hit
+        assert outcome.value == -3.75
+
+    def test_division_exponent_fixup(self):
+        unit = MemoizedUnit(
+            Operation.FP_DIV,
+            config=MemoTableConfig(tag_mode=TagMode.MANTISSA),
+            latency=13,
+        )
+        unit.execute(3.0, 2.0)           # 1.5
+        outcome = unit.execute(6.0, 2.0)  # mantissas equal, exponent +1
+        assert outcome.hit
+        assert outcome.value == 3.0
+
+    @given(
+        # Strictly inside (1, 2): x1.0 operands would be trivial and
+        # bypass the table under the default EXCLUDE policy.
+        st.floats(min_value=1.001, max_value=1.999),
+        st.floats(min_value=1.001, max_value=1.999),
+        st.integers(min_value=-8, max_value=8),
+        st.integers(min_value=-8, max_value=8),
+    )
+    @settings(max_examples=60)
+    def test_fixup_matches_direct_multiply(self, ma, mb, ea, eb):
+        unit = self._unit()
+        unit.execute(ma, mb)
+        a = ma * 2.0**ea
+        b = mb * 2.0**eb
+        outcome = unit.execute(a, b)
+        assert outcome.hit
+        assert outcome.value == pytest.approx(a * b, rel=1e-12)
+
+
+class TestPlainUnit:
+    def test_always_full_latency(self):
+        unit = PlainUnit(Operation.FP_DIV, latency=13)
+        for _ in range(3):
+            outcome = unit.execute(355.0, 113.0)
+            assert outcome.cycles == 13 and not outcome.hit
+
+    def test_default_latency(self):
+        assert PlainUnit(Operation.FP_MUL).latency == DEFAULT_LATENCIES[
+            Operation.FP_MUL
+        ]
