@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce compare examples clean
+.PHONY: install test bench reproduce compare corpus examples clean
+
+# Parallelism and corpus location for the corpus/reproduce targets.
+JOBS ?= 4
+CORPUS_DIR ?= $(HOME)/.cache/repro/corpus
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +24,13 @@ reproduce:
 # Same, with paper-vs-measured columns where reference data exists.
 compare:
 	$(PYTHON) -m repro.cli all --compare
+
+# Pre-record every trace the experiments replay into the persistent
+# corpus, then verify the store.  Later `repro all` runs (serial or
+# --jobs N) replay from disk instead of re-recording.
+corpus:
+	$(PYTHON) -m repro.cli corpus record --jobs $(JOBS) --dir $(CORPUS_DIR)
+	$(PYTHON) -m repro.cli corpus verify --dir $(CORPUS_DIR)
 
 examples:
 	for script in examples/*.py; do \

@@ -5,6 +5,12 @@ Regenerates any table or figure of the paper on the terminal::
     repro table7 --scale 0.2
     repro figure3
     repro all
+    repro all --jobs 4 --corpus-dir ~/.cache/repro/corpus
+
+``--jobs N`` fans the experiments (and the traces they need) out across
+a worker pool; ``--corpus-dir`` persists recorded traces so later runs
+replay them from disk.  ``repro corpus record|ls|verify|gc`` maintains
+the store (see :mod:`repro.corpus.cli`).
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ import sys
 import time
 from typing import List, Optional
 
-from .experiments import experiment_names, run_experiment
+from .experiments import experiment_names, run_experiment, run_experiments
 from .experiments.plots import render_plot
 from .experiments.reference import compare_to_paper
 
@@ -58,37 +64,83 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print paper-vs-measured comparison where reference data exists",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for multi-experiment runs (1 = serial)",
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        metavar="PATH",
+        default=None,
+        help="persist/replay traces through an on-disk corpus at PATH",
+    )
     return parser
 
 
+def _print_result(result, args) -> None:
+    print(result.render())
+    if args.plot:
+        chart = render_plot(result)
+        if chart is not None:
+            print()
+            print(chart)
+    if args.compare:
+        comparison = compare_to_paper(result)
+        if comparison is not None:
+            print()
+            print(comparison.render())
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "corpus":
+        from .corpus.cli import main as corpus_main
+
+        return corpus_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in experiment_names():
             print(name)
         return 0
     names = list(experiment_names()) if args.experiment == "all" else [args.experiment]
+    if args.corpus_dir is not None:
+        from .corpus import set_active_corpus
+
+        set_active_corpus(args.corpus_dir)
     documents = []
-    for name in names:
+    if args.jobs > 1:
         kwargs = {}
-        if args.scale is not None and name != "table1":
+        if args.scale is not None:
             kwargs["scale"] = args.scale
-        started = time.time()
-        result = run_experiment(name, **kwargs)
-        print(result.render())
-        if args.plot:
-            chart = render_plot(result)
-            if chart is not None:
-                print()
-                print(chart)
-        if args.compare:
-            comparison = compare_to_paper(result)
-            if comparison is not None:
-                print()
-                print(comparison.render())
-        print(f"[{name} in {time.time() - started:.1f}s]")
+        batch = run_experiments(
+            names, jobs=args.jobs, corpus_dir=args.corpus_dir, **kwargs
+        )
+        for name, result in batch.results:
+            _print_result(result, args)
+            print(f"[{name}]")
+            print()
+            documents.append(result.to_dict())
+        stats = batch.corpus_stats
+        print(
+            f"[{len(names)} experiment(s) in {batch.elapsed:.1f}s with "
+            f"{batch.jobs} jobs; corpus: {batch.recorded} recorded, "
+            f"{stats.get('disk_hits', 0)} disk hits, "
+            f"{stats.get('memory_hits', 0)} memory hits]"
+        )
         print()
-        documents.append(result.to_dict())
+    else:
+        for name in names:
+            kwargs = {}
+            if args.scale is not None and name != "table1":
+                kwargs["scale"] = args.scale
+            started = time.time()
+            result = run_experiment(name, **kwargs)
+            _print_result(result, args)
+            print(f"[{name} in {time.time() - started:.1f}s]")
+            print()
+            documents.append(result.to_dict())
     if args.json is not None:
         payload = json.dumps(
             documents[0] if len(documents) == 1 else documents, indent=2

@@ -1,0 +1,54 @@
+"""Persistent trace corpus + parallel experiment execution.
+
+``repro.corpus`` turns the paper's record-once / replay-many
+methodology into an artifact cache that survives the process:
+
+* :class:`TraceCorpus` -- content-addressed, checksum-verified,
+  size-bounded on-disk store of recorded traces (see
+  :mod:`repro.corpus.store`);
+* :func:`run_experiments` / :func:`prefetch_traces` -- a
+  ``multiprocessing`` fan-out engine over (experiment x application x
+  input) work items with deterministic result merging (see
+  :mod:`repro.corpus.engine`).
+
+Point the whole library at a store with one call (or set
+``$REPRO_CORPUS_DIR``)::
+
+    from repro.corpus import set_active_corpus, run_experiments
+    set_active_corpus("~/.cache/repro/corpus")
+    batch = run_experiments(["table5", "table7"], jobs=4)
+"""
+
+from .store import (
+    RECORDER_VERSION,
+    CorpusEntry,
+    CorpusStats,
+    TraceCorpus,
+    TraceKey,
+    active_corpus,
+    default_corpus_dir,
+    set_active_corpus,
+)
+from .engine import (
+    ExperimentBatch,
+    prefetch_traces,
+    record_trace_for_key,
+    run_experiments,
+    trace_plan,
+)
+
+__all__ = [
+    "RECORDER_VERSION",
+    "CorpusEntry",
+    "CorpusStats",
+    "TraceCorpus",
+    "TraceKey",
+    "active_corpus",
+    "default_corpus_dir",
+    "set_active_corpus",
+    "ExperimentBatch",
+    "prefetch_traces",
+    "record_trace_for_key",
+    "run_experiments",
+    "trace_plan",
+]

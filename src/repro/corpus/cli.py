@@ -1,0 +1,175 @@
+"""Corpus maintenance subcommands (``repro corpus ...``).
+
+::
+
+    repro corpus record [EXPERIMENT ...] [--scale S] [--jobs N]
+        Pre-record every trace the named experiments (default: all)
+        will replay, fanning misses out across a worker pool.
+
+    repro corpus ls        List stored traces (LRU order, oldest first).
+    repro corpus verify    Re-hash and re-parse every object; exit 1 on damage.
+    repro corpus gc        Evict least-recently-used traces to a size bound.
+
+All subcommands take ``--dir PATH`` (default: ``$REPRO_CORPUS_DIR`` or
+``~/.cache/repro/corpus``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional
+
+from ..analysis.tables import format_table
+from .engine import prefetch_traces, trace_plan
+from .store import TraceCorpus, default_corpus_dir
+
+__all__ = ["main"]
+
+
+def _add_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dir",
+        default=None,
+        help="corpus directory (default: $REPRO_CORPUS_DIR or ~/.cache/repro/corpus)",
+    )
+
+
+def _corpus(args, **kwargs) -> TraceCorpus:
+    return TraceCorpus(args.dir or default_corpus_dir(), **kwargs)
+
+
+def _fmt_size(size: int) -> str:
+    if size >= 1 << 20:
+        return f"{size / (1 << 20):.1f}M"
+    if size >= 1 << 10:
+        return f"{size / (1 << 10):.1f}K"
+    return f"{size}B"
+
+
+def _cmd_record(args) -> int:
+    from ..experiments import experiment_names
+
+    known = list(experiment_names())
+    unknown = [name for name in args.experiments if name not in known]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"choose from: {', '.join(known)}"
+        )
+        return 2
+    names = args.experiments or known
+    plan = trace_plan(names, scale=args.scale)
+    if not plan:
+        print("nothing to record: the selected experiments keep no traces")
+        return 0
+    corpus = _corpus(args)
+    started = time.perf_counter()
+    stats = prefetch_traces(plan, jobs=args.jobs, corpus_dir=str(corpus.root))
+    elapsed = time.perf_counter() - started
+    print(
+        f"{len(plan)} traces planned for {len(names)} experiment(s): "
+        f"{stats.recorded} recorded, "
+        f"{stats.disk_hits + stats.memory_hits} already cached "
+        f"[{elapsed:.1f}s, jobs={args.jobs}]"
+    )
+    print(f"corpus {corpus.root}: {len(corpus)} traces, "
+          f"{_fmt_size(corpus.total_bytes())}")
+    return 0
+
+
+def _cmd_ls(args) -> int:
+    corpus = _corpus(args)
+    entries = corpus.entries()
+    rows = [
+        [
+            entry.key.digest[:12],
+            entry.suite,
+            entry.name,
+            entry.variant or "-",
+            f"{entry.scale:g}",
+            entry.events,
+            _fmt_size(entry.size),
+        ]
+        for entry in entries
+    ]
+    print(
+        format_table(
+            ["digest", "suite", "app", "input", "scale", "events", "size"],
+            rows,
+            title=(
+                f"{corpus.root}: {len(entries)} traces, "
+                f"{_fmt_size(corpus.total_bytes())}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    corpus = _corpus(args)
+    report = corpus.verify()
+    bad = [(entry, reason) for entry, ok, reason in report if not ok]
+    for entry, ok, reason in report:
+        marker = "ok  " if ok else "BAD "
+        print(f"{marker} {entry.key.digest[:12]}  {entry.key.describe():40} {reason}")
+    print(f"{len(report) - len(bad)}/{len(report)} entries verified clean")
+    return 1 if bad else 0
+
+
+def _cmd_gc(args) -> int:
+    corpus = _corpus(args)
+    before = corpus.total_bytes()
+    max_bytes = int(args.max_mb * (1 << 20)) if args.max_mb is not None else None
+    evicted = corpus.gc(max_bytes)
+    for entry in evicted:
+        print(f"evicted {entry.key.describe()} ({_fmt_size(entry.size)})")
+    print(
+        f"{len(evicted)} evicted; {_fmt_size(before)} -> "
+        f"{_fmt_size(corpus.total_bytes())}"
+        + (f" (bound {_fmt_size(max_bytes)})" if max_bytes is not None else "")
+    )
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro corpus",
+        description="Maintain the persistent trace corpus store.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    record = commands.add_parser(
+        "record", help="pre-record the traces an experiment selection needs"
+    )
+    record.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (default: every registered experiment)",
+    )
+    record.add_argument("--scale", type=float, default=None)
+    record.add_argument("--jobs", type=int, default=1)
+    _add_dir(record)
+    record.set_defaults(func=_cmd_record)
+
+    ls = commands.add_parser("ls", help="list stored traces")
+    _add_dir(ls)
+    ls.set_defaults(func=_cmd_ls)
+
+    verify = commands.add_parser("verify", help="check every entry's integrity")
+    _add_dir(verify)
+    verify.set_defaults(func=_cmd_verify)
+
+    gc = commands.add_parser("gc", help="evict LRU traces to a size bound")
+    gc.add_argument(
+        "--max-mb", type=float, default=None,
+        help="size bound in MiB (default: sweep orphans only)",
+    )
+    _add_dir(gc)
+    gc.set_defaults(func=_cmd_gc)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,307 @@
+"""Parallel experiment execution over the trace corpus.
+
+Two fan-out layers, both feeding the persistent store:
+
+1. :func:`trace_plan` enumerates every :class:`TraceKey` an experiment
+   selection will replay -- the (suite x application x input x scale)
+   work items of the paper's methodology -- and
+   :func:`prefetch_traces` records the cache-missing ones across a
+   ``multiprocessing`` worker pool.  The store's per-entry locks make
+   each recording happen exactly once no matter how many workers race.
+2. :func:`run_experiments` then fans the experiments themselves out
+   across the same pool.  Every worker replays from the (now warm)
+   corpus, results come back as the ordinary :class:`ExperimentResult`
+   objects in the order requested, and per-worker corpus counters are
+   merged so a warm run can prove it re-recorded nothing.
+
+Everything degrades gracefully: ``jobs=1`` (or a pool that cannot be
+created) runs serially through the exact same code paths.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .store import (
+    CorpusStats,
+    TraceCorpus,
+    TraceKey,
+    active_corpus,
+    default_corpus_dir,
+    set_active_corpus,
+)
+from ..errors import CorpusError
+
+__all__ = [
+    "ExperimentBatch",
+    "trace_plan",
+    "record_trace_for_key",
+    "prefetch_traces",
+    "run_experiments",
+]
+
+#: Default workload scales of the experiment drivers (mirrors each
+#: ``run()`` signature); used when the caller does not pass ``--scale``.
+_MM_SCALE = 0.15
+_SUITE_SCALE = 1.0
+
+
+@dataclass
+class ExperimentBatch:
+    """Outcome of one (possibly parallel) multi-experiment run."""
+
+    #: (name, result) pairs in the order requested -- identical to what
+    #: a serial loop over :func:`repro.experiments.run_experiment` yields.
+    results: List[Tuple[str, Any]] = field(default_factory=list)
+    #: Corpus counters summed over the prefetch phase and every worker.
+    corpus_stats: Dict[str, int] = field(default_factory=dict)
+    #: Worker processes used (1 = serial).
+    jobs: int = 1
+    #: Trace keys the plan covered.
+    planned: int = 0
+    #: Traces actually recorded this run (0 on a fully warm corpus).
+    recorded: int = 0
+    elapsed: float = 0.0
+
+
+def _mm_keys(
+    apps: Iterable[str], images: Iterable[str], scale: float
+) -> List[TraceKey]:
+    return [
+        TraceKey("mm", app, image, scale) for app in apps for image in images
+    ]
+
+
+def trace_plan(
+    names: Sequence[str], scale: Optional[float] = None
+) -> List[TraceKey]:
+    """Every trace key the named experiments will replay, deduplicated.
+
+    ``scale`` overrides each driver's default workload scale, exactly as
+    the CLI's ``--scale`` flag does.  Experiments that record through
+    their own specialized recorders (table1, ext-future-ops,
+    ext-reuse-buffer) contribute nothing: they never hit the store.
+    """
+    from ..experiments.common import DEFAULT_IMAGE_SET
+    from ..experiments.table8 import DEFAULT_KERNEL_SET
+    from ..images import IMAGE_CATALOG
+    from ..workloads.khoros import (
+        SAMPLE_APPS,
+        SPEEDUP_APPS,
+        TABLE7_ORDER,
+        TABLE9_APPS,
+    )
+    from ..workloads.perfect import perfect_names
+    from ..workloads.speccfp import speccfp_names
+
+    mm = _MM_SCALE if scale is None else scale
+    suite = _SUITE_SCALE if scale is None else scale
+    sweep_images = ("Muppet1", "chroms", "fractal")
+    catalogue = tuple(img.name for img in IMAGE_CATALOG)
+    nonfloat = tuple(
+        img.name for img in IMAGE_CATALOG if img.pixel_type != "FLOAT"
+    )
+    plans: Dict[str, List[TraceKey]] = {
+        "table5": [TraceKey("perfect", app, "", suite) for app in perfect_names()],
+        "table6": [TraceKey("spec", app, "", suite) for app in speccfp_names()],
+        "table7": _mm_keys(TABLE7_ORDER, DEFAULT_IMAGE_SET, mm),
+        "table8": _mm_keys(DEFAULT_KERNEL_SET, catalogue, mm),
+        "table9": _mm_keys(TABLE9_APPS, DEFAULT_IMAGE_SET, mm),
+        # table10 always records the Perfect suite at its default scale.
+        "table10": [
+            TraceKey("perfect", app, "", _SUITE_SCALE) for app in perfect_names()
+        ]
+        + _mm_keys(TABLE7_ORDER[:8], DEFAULT_IMAGE_SET[:3], mm),
+        "table11": _mm_keys(SPEEDUP_APPS, DEFAULT_IMAGE_SET, mm),
+        "table12": _mm_keys(SPEEDUP_APPS, DEFAULT_IMAGE_SET, mm),
+        "table13": _mm_keys(SPEEDUP_APPS, DEFAULT_IMAGE_SET, mm),
+        "figure2": _mm_keys(DEFAULT_KERNEL_SET, nonfloat, mm),
+        "figure3": _mm_keys(SAMPLE_APPS, sweep_images, mm),
+        "figure4": _mm_keys(SAMPLE_APPS, sweep_images, mm),
+        "ext-dual-issue": _mm_keys(SPEEDUP_APPS, DEFAULT_IMAGE_SET[:3], mm),
+        "ext-hazard": _mm_keys(
+            SPEEDUP_APPS,
+            DEFAULT_IMAGE_SET[:3],
+            0.12 if scale is None else scale,
+        ),
+        "ext-matrix": _mm_keys(
+            TABLE7_ORDER,
+            DEFAULT_IMAGE_SET,
+            0.12 if scale is None else scale,
+        ),
+    }
+    seen = set()
+    keys: List[TraceKey] = []
+    for name in names:
+        for key in plans.get(name, ()):
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+    return keys
+
+
+def record_trace_for_key(key: TraceKey):
+    """Record (or fetch, via the active corpus) the trace behind ``key``."""
+    from ..experiments import common
+
+    if key.suite == "mm":
+        return common.record_mm_trace(key.name, key.variant, scale=key.scale)
+    if key.suite == "perfect":
+        return common.record_perfect_trace(key.name, scale=key.scale)
+    if key.suite == "spec":
+        return common.record_speccfp_trace(key.name, scale=key.scale)
+    raise CorpusError(f"no recorder for suite {key.suite!r}")
+
+
+# -- worker-pool plumbing --------------------------------------------------
+#
+# Top-level functions (spawn-safe); each worker opens its own view of the
+# shared corpus directory in the initializer.
+
+
+def _pool_init(corpus_dir: Optional[str], max_bytes: Optional[int]) -> None:
+    if corpus_dir is not None:
+        set_active_corpus(TraceCorpus(corpus_dir, max_bytes=max_bytes))
+
+
+def _stats_snapshot() -> Optional[CorpusStats]:
+    corpus = active_corpus()
+    if corpus is None:
+        return None
+    return CorpusStats(**corpus.stats.as_dict())
+
+
+def _stats_delta(before: Optional[CorpusStats]) -> Dict[str, int]:
+    corpus = active_corpus()
+    if corpus is None or before is None:
+        return {}
+    return corpus.stats.diff(before)
+
+
+def _prefetch_one(key: TraceKey) -> Dict[str, int]:
+    before = _stats_snapshot()
+    record_trace_for_key(key)
+    return _stats_delta(before)
+
+
+def _run_one(item: Tuple[str, Dict[str, Any]]):
+    from ..experiments import run_experiment
+
+    name, kwargs = item
+    before = _stats_snapshot()
+    result = run_experiment(name, **kwargs)
+    return name, result, _stats_delta(before)
+
+
+def _make_pool(jobs: int, corpus_dir: Optional[str], max_bytes: Optional[int]):
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    return context.Pool(
+        processes=jobs,
+        initializer=_pool_init,
+        initargs=(corpus_dir, max_bytes),
+    )
+
+
+def prefetch_traces(
+    keys: Sequence[TraceKey],
+    jobs: int = 1,
+    corpus_dir: Union[str, None] = None,
+    max_bytes: Optional[int] = None,
+) -> CorpusStats:
+    """Ensure every key is in the corpus, recording misses in parallel.
+
+    Returns the summed corpus counters of the phase (``recorded`` says
+    how many traces were actually cold).
+    """
+    total = CorpusStats()
+    keys = list(keys)
+    if not keys:
+        return total
+    if corpus_dir is not None:
+        set_active_corpus(TraceCorpus(corpus_dir, max_bytes=max_bytes))
+    if jobs <= 1 or len(keys) == 1:
+        for key in keys:
+            total.add(_prefetch_one(key))
+        return total
+    corpus = active_corpus()
+    root = str(corpus.root) if corpus is not None else None
+    try:
+        pool = _make_pool(min(jobs, len(keys)), root, max_bytes)
+    except (OSError, ImportError, ValueError):
+        for key in keys:
+            total.add(_prefetch_one(key))
+        return total
+    with pool:
+        for delta in pool.imap_unordered(_prefetch_one, keys, chunksize=1):
+            total.add(delta)
+    return total
+
+
+def run_experiments(
+    names: Sequence[str],
+    jobs: int = 1,
+    corpus_dir: Union[str, None] = None,
+    max_bytes: Optional[int] = None,
+    prefetch: bool = True,
+    **kwargs,
+) -> ExperimentBatch:
+    """Run experiments, optionally across a worker pool.
+
+    Results are merged deterministically: ``batch.results`` holds the
+    usual :class:`ExperimentResult` objects in the order ``names`` was
+    given, so ``--jobs 4`` output is byte-identical to a serial run.
+    With ``jobs > 1`` and no explicit ``corpus_dir``, the active corpus
+    (or the default corpus directory) is used so workers share traces.
+    """
+    names = list(names)
+    jobs = max(1, int(jobs))
+    started = time.perf_counter()
+    batch = ExperimentBatch(jobs=jobs)
+    total = CorpusStats()
+
+    if corpus_dir is None and jobs > 1:
+        corpus = active_corpus()
+        corpus_dir = str(corpus.root) if corpus else str(default_corpus_dir())
+    if corpus_dir is not None:
+        set_active_corpus(TraceCorpus(str(corpus_dir), max_bytes=max_bytes))
+
+    plan = trace_plan(
+        names, scale=kwargs.get("scale")
+    ) if prefetch and jobs > 1 else []
+    batch.planned = len(plan)
+    items = [(name, dict(kwargs)) for name in names]
+
+    pool = None
+    if jobs > 1:
+        try:
+            pool = _make_pool(jobs, corpus_dir, max_bytes)
+        except (OSError, ImportError, ValueError):
+            pool = None  # no worker pool available: degrade to serial
+
+    if pool is None:
+        for item in items:
+            name, result, delta = _run_one(item)
+            total.add(delta)
+            batch.results.append((name, result))
+    else:
+        with pool:
+            if plan:
+                for delta in pool.imap_unordered(
+                    _prefetch_one, plan, chunksize=1
+                ):
+                    total.add(delta)
+            for name, result, delta in pool.map(_run_one, items, chunksize=1):
+                total.add(delta)
+                batch.results.append((name, result))
+
+    batch.corpus_stats = total.as_dict()
+    batch.recorded = total.recorded
+    batch.elapsed = time.perf_counter() - started
+    return batch

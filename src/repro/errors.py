@@ -26,3 +26,11 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was asked for something it cannot produce."""
+
+
+class CorpusError(ReproError):
+    """The persistent trace corpus store hit an unrecoverable problem."""
+
+
+class CorpusLockError(CorpusError):
+    """A corpus lock could not be acquired within its timeout."""

@@ -8,6 +8,12 @@ them::
 """
 
 from .base import ExperimentResult
-from .runner import REGISTRY, experiment_names, run_experiment
+from .runner import REGISTRY, experiment_names, run_experiment, run_experiments
 
-__all__ = ["ExperimentResult", "REGISTRY", "experiment_names", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "REGISTRY",
+    "experiment_names",
+    "run_experiment",
+    "run_experiments",
+]

@@ -10,17 +10,26 @@ The pattern every hit-ratio experiment follows:
    policies) -- replaying one recorded trace is much cheaper than
    re-running the kernel;
 3. average the per-input hit ratios.
+
+Step 1 is cached in two tiers.  A bounded in-process LRU keeps the hot
+traces of the current run; when a corpus is active (see
+:mod:`repro.corpus`), traces are also persisted to the on-disk store,
+so a second invocation -- or a whole pool of worker processes --
+replays them without paying the recording cost again.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+import os
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.bank import MemoTableBank, PAPER_OPERATIONS
 from ..core.config import MemoTableConfig, TrivialPolicy
 from ..core.operations import Operation
+from ..corpus.store import TraceKey, active_corpus
 from ..images import generate
 from ..isa.trace import Trace
 from ..simulator.shade import ShadeSimulator, SimulationReport
@@ -35,6 +44,9 @@ __all__ = [
     "record_mm_trace",
     "record_perfect_trace",
     "record_speccfp_trace",
+    "clear_trace_cache",
+    "set_trace_cache_limit",
+    "trace_cache_len",
     "replay",
     "hit_ratio_or_none",
     "average_ratios",
@@ -54,51 +66,90 @@ DEFAULT_IMAGE_SET: Tuple[str, ...] = (
 #: experiments.
 SPEEDUP_IMAGE = "Muppet1"
 
-_trace_cache: Dict[Tuple, Trace] = {}
+#: Entry bound of the in-process trace LRU.  Long-lived processes (the
+#: parallel workers, the test suite) would otherwise hold every trace
+#: they ever recorded.
+_DEFAULT_CACHE_ENTRIES = int(os.environ.get("REPRO_TRACE_CACHE_ENTRIES", "128"))
+
+_trace_cache: "OrderedDict[TraceKey, Trace]" = OrderedDict()
+_trace_cache_limit = _DEFAULT_CACHE_ENTRIES
+
+
+def clear_trace_cache() -> None:
+    """Drop every trace held by the in-process LRU."""
+    _trace_cache.clear()
+
+
+def set_trace_cache_limit(entries: int) -> None:
+    """Bound the in-process trace LRU to ``entries`` traces (>= 0)."""
+    global _trace_cache_limit
+    _trace_cache_limit = max(0, int(entries))
+    while len(_trace_cache) > _trace_cache_limit:
+        _trace_cache.popitem(last=False)
+
+
+def trace_cache_len() -> int:
+    return len(_trace_cache)
+
+
+def _cached_record(
+    key: TraceKey, record: Callable[[], Trace], cache: bool
+) -> Trace:
+    """Two-tier trace lookup: in-process LRU, then the active corpus.
+
+    ``cache=False`` bypasses both tiers and records fresh.  Freshly
+    recorded traces are pushed to the corpus so later processes replay
+    them from disk.
+    """
+    if not cache:
+        return record()
+    trace = _trace_cache.get(key)
+    if trace is not None:
+        _trace_cache.move_to_end(key)
+        return trace
+    corpus = active_corpus()
+    if corpus is not None:
+        trace = corpus.get_or_record(key, record)
+    else:
+        trace = record()
+    if _trace_cache_limit > 0:
+        _trace_cache[key] = trace
+        while len(_trace_cache) > _trace_cache_limit:
+            _trace_cache.popitem(last=False)
+    return trace
 
 
 def record_mm_trace(
     kernel: str, image_name: str, scale: float = 0.15, cache: bool = True
 ) -> Trace:
     """Trace of one MM kernel on one catalogue image."""
-    key = ("mm", kernel, image_name, scale)
-    if cache and key in _trace_cache:
-        return _trace_cache[key]
-    recorder = OperationRecorder()
-    image = generate(image_name, scale=scale)
-    run_kernel(kernel, recorder, image)
-    trace = recorder.trace
-    if cache:
-        _trace_cache[key] = trace
-    return trace
+
+    def record() -> Trace:
+        recorder = OperationRecorder()
+        run_kernel(kernel, recorder, generate(image_name, scale=scale))
+        return recorder.trace
+
+    return _cached_record(
+        TraceKey("mm", kernel, image_name, scale), record, cache
+    )
 
 
 def record_perfect_trace(app: str, scale: float = 1.0, cache: bool = True) -> Trace:
-    key = ("perfect", app, scale)
-    if cache and key in _trace_cache:
-        return _trace_cache[key]
-    recorder = OperationRecorder()
-    run_perfect(app, recorder, scale=scale)
-    trace = recorder.trace
-    if cache:
-        _trace_cache[key] = trace
-    return trace
+    def record() -> Trace:
+        recorder = OperationRecorder()
+        run_perfect(app, recorder, scale=scale)
+        return recorder.trace
+
+    return _cached_record(TraceKey("perfect", app, "", scale), record, cache)
 
 
 def record_speccfp_trace(app: str, scale: float = 1.0, cache: bool = True) -> Trace:
-    key = ("spec", app, scale)
-    if cache and key in _trace_cache:
-        return _trace_cache[key]
-    recorder = OperationRecorder()
-    run_speccfp(app, recorder, scale=scale)
-    trace = recorder.trace
-    if cache:
-        _trace_cache[key] = trace
-    return trace
+    def record() -> Trace:
+        recorder = OperationRecorder()
+        run_speccfp(app, recorder, scale=scale)
+        return recorder.trace
 
-
-def clear_trace_cache() -> None:
-    _trace_cache.clear()
+    return _cached_record(TraceKey("spec", app, "", scale), record, cache)
 
 
 BankSpec = Union[str, MemoTableConfig, None]

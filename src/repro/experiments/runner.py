@@ -27,7 +27,13 @@ from . import (
     table13,
 )
 
-__all__ = ["REGISTRY", "PAPER_EXPERIMENTS", "experiment_names", "run_experiment"]
+__all__ = [
+    "REGISTRY",
+    "PAPER_EXPERIMENTS",
+    "experiment_names",
+    "run_experiment",
+    "run_experiments",
+]
 
 #: Every table and figure of the paper's evaluation, by id.
 PAPER_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -74,3 +80,23 @@ def run_experiment(name: str, **kwargs) -> ExperimentResult:
             f"unknown experiment {name!r}; available: {', '.join(REGISTRY)}"
         ) from None
     return driver(**kwargs)
+
+
+def run_experiments(names: Sequence[str], jobs: int = 1, **kwargs):
+    """Run several experiments, optionally across a worker pool.
+
+    Thin facade over :func:`repro.corpus.engine.run_experiments`: with
+    ``jobs > 1`` the (experiment x application x input) trace plan is
+    recorded in parallel into the corpus, then the experiments fan out
+    over the same pool.  Returns an
+    :class:`repro.corpus.engine.ExperimentBatch` whose ``results`` are
+    ordinary (name, :class:`ExperimentResult`) pairs in request order.
+    """
+    for name in names:
+        if name not in REGISTRY:
+            raise ExperimentError(
+                f"unknown experiment {name!r}; available: {', '.join(REGISTRY)}"
+            )
+    from ..corpus.engine import run_experiments as _run
+
+    return _run(names, jobs=jobs, **kwargs)

@@ -14,10 +14,13 @@ import numpy as np
 
 from ..core.operations import Operation
 from ..images import IMAGE_CATALOG, histogram_entropy, windowed_entropy
-from ..workloads.khoros import run_kernel
-from ..workloads.recorder import OperationRecorder
 from .base import ExperimentResult, ratio_cell
-from .common import average_ratios, hit_ratio_or_none, replay
+from .common import (
+    average_ratios,
+    hit_ratio_or_none,
+    record_mm_trace,
+    replay,
+)
 
 __all__ = ["run", "DEFAULT_KERNEL_SET", "image_hit_profile"]
 
@@ -32,12 +35,10 @@ def image_hit_profile(
     image, scale: float, kernels: Sequence[str]
 ) -> list:
     """Average (imul, fmul, fdiv) 32/4 hit ratios of ``kernels`` on ``image``."""
-    data = image.generate(scale=scale)
     per_op: list = [[] for _ in _OPS]
     for kernel in kernels:
-        recorder = OperationRecorder()
-        run_kernel(kernel, recorder, data)
-        report = replay(recorder.trace, None)
+        trace = record_mm_trace(kernel, image.name, scale=scale)
+        report = replay(trace, None)
         for index, op in enumerate(_OPS):
             per_op[index].append(hit_ratio_or_none(report, op))
     return [average_ratios(values) for values in per_op]

@@ -18,6 +18,20 @@ address       8  load/store address
 Integer-multiply operands are stored as two's-complement int64 (flag
 bit 2 marks them), float operands as raw IEEE-754 bits, so round-trips
 are exact.  A 8-byte magic + version header guards the format.
+
+Two on-disk versions exist:
+
+* **v1** (``RPROTRC1``) is the fixed 34-byte record above.  It archives
+  value streams only -- dataflow (``dst``/``srcs``) and PC annotations
+  are dropped, the same information Shade recorded.
+* **v2** (``RPROTRC2``) appends optional variable-length annotation
+  fields after the fixed record, marked by three extra flag bits: a
+  synthetic PC (bit 3), a dataflow destination id (bit 4) and a
+  source-id list (bit 5: one count byte then that many ids).  v2 exists
+  so the trace corpus can persist *exactly* what the recorder produced;
+  PC-indexed schemes (the Reuse Buffer) and the hazard-aware pipeline
+  replay identically from disk.  Readers accept both versions
+  transparently; writers default to v1 for compatibility.
 """
 
 from __future__ import annotations
@@ -30,17 +44,28 @@ from .opcodes import Opcode
 from .trace import TraceEvent
 from ..arch.ieee754 import bits_to_float64, float64_to_bits
 
-__all__ = ["write_binary_trace", "read_binary_trace", "BINARY_MAGIC"]
+__all__ = [
+    "write_binary_trace",
+    "read_binary_trace",
+    "BINARY_MAGIC",
+    "BINARY_MAGIC_V2",
+]
 
 BINARY_MAGIC = b"RPROTRC1"
+BINARY_MAGIC_V2 = b"RPROTRC2"
 
 _RECORD = struct.Struct("<BBqqqq")
+_QWORD = struct.Struct("<q")
 _OPCODES = list(Opcode)
 _OPCODE_INDEX = {opcode: i for i, opcode in enumerate(_OPCODES)}
 
 _FLAG_OPERANDS = 1
 _FLAG_ADDRESS = 2
 _FLAG_INT_OPERANDS = 4
+# v2-only annotation flags.
+_FLAG_PC = 8
+_FLAG_DST = 16
+_FLAG_SRCS = 32
 
 _INT64_MIN = -(1 << 63)
 _INT64_MAX = (1 << 63) - 1
@@ -51,28 +76,52 @@ def _signed(bits: int) -> int:
     return bits - (1 << 64) if bits >> 63 else bits
 
 
-def write_binary_trace(events: Iterable[TraceEvent], stream: BinaryIO) -> int:
+def write_binary_trace(
+    events: Iterable[TraceEvent], stream: BinaryIO, version: int = 1
+) -> int:
     """Serialize events; returns the number written.
 
-    Dataflow (dst/srcs) and PC annotations are not archived -- binary
-    traces are value streams, the same information Shade recorded.
-    Integer-multiply operands outside int64 range are rejected (they
-    could not exist in a real register trace).
+    ``version=1`` archives the value stream only (dataflow and PC
+    annotations dropped); ``version=2`` appends the annotations so the
+    round-trip is lossless.  Integer-multiply operands outside int64
+    range are rejected (they could not exist in a real register trace).
     """
-    stream.write(BINARY_MAGIC)
+    if version == 1:
+        stream.write(BINARY_MAGIC)
+    elif version == 2:
+        stream.write(BINARY_MAGIC_V2)
+    else:
+        raise TraceFormatError(f"unknown binary trace version {version!r}")
+    annotate = version == 2
     count = 0
     pack = _RECORD.pack
+    pack_q = _QWORD.pack
     for event in events:
         flags = 0
         a = b = result = address = 0
-        if event.opcode.is_memoizable:
+        # v1 archives operands of memoizable opcodes only (the value
+        # stream Shade kept); v2 keeps any operands the recorder
+        # attached -- e.g. fp-add values -- so round-trips are lossless.
+        has_operands = event.opcode.is_memoizable or (
+            annotate
+            and not (event.a == 0 and event.b == 0 and event.result == 0)
+        )
+        if has_operands:
             flags |= _FLAG_OPERANDS
-            if event.opcode is Opcode.IMUL:
+            as_int = (
+                event.opcode is Opcode.IMUL
+                if not annotate
+                else all(
+                    isinstance(v, int) and not isinstance(v, bool)
+                    for v in (event.a, event.b, event.result)
+                )
+            )
+            if as_int:
                 flags |= _FLAG_INT_OPERANDS
                 for value in (event.a, event.b, event.result):
                     if not _INT64_MIN <= int(value) <= _INT64_MAX:
                         raise TraceFormatError(
-                            f"imul operand {value} exceeds int64 range"
+                            f"integer operand {value} exceeds int64 range"
                         )
                 a, b, result = int(event.a), int(event.b), int(event.result)
             else:
@@ -82,22 +131,53 @@ def write_binary_trace(events: Iterable[TraceEvent], stream: BinaryIO) -> int:
         elif event.opcode.is_memory:
             flags |= _FLAG_ADDRESS
             address = event.address or 0
+        tail = b""
+        if annotate:
+            if event.pc is not None:
+                flags |= _FLAG_PC
+                tail += pack_q(event.pc)
+            if event.dst is not None:
+                flags |= _FLAG_DST
+                tail += pack_q(event.dst)
+            if event.srcs:
+                if len(event.srcs) > 255:
+                    raise TraceFormatError(
+                        f"event has {len(event.srcs)} sources; v2 caps at 255"
+                    )
+                flags |= _FLAG_SRCS
+                tail += bytes((len(event.srcs),))
+                for src in event.srcs:
+                    tail += pack_q(src)
         stream.write(
             pack(_OPCODE_INDEX[event.opcode], flags, a, b, result, address)
+            + tail
         )
         count += 1
     return count
 
 
+def _read_exact(stream: BinaryIO, size: int, what: str) -> bytes:
+    blob = stream.read(size)
+    if len(blob) != size:
+        raise TraceFormatError(f"truncated binary trace {what}")
+    return blob
+
+
 def read_binary_trace(stream: BinaryIO) -> Iterator[TraceEvent]:
-    """Parse events written by :func:`write_binary_trace`."""
+    """Parse events written by :func:`write_binary_trace` (v1 or v2)."""
     magic = stream.read(len(BINARY_MAGIC))
-    if magic != BINARY_MAGIC:
+    if magic == BINARY_MAGIC:
+        annotated = False
+    elif magic == BINARY_MAGIC_V2:
+        annotated = True
+    else:
         raise TraceFormatError(
-            f"bad magic {magic!r}; not a binary trace (expected {BINARY_MAGIC!r})"
+            f"bad magic {magic!r}; not a binary trace (expected "
+            f"{BINARY_MAGIC!r} or {BINARY_MAGIC_V2!r})"
         )
     record_size = _RECORD.size
     unpack = _RECORD.unpack
+    unpack_q = _QWORD.unpack
     while True:
         blob = stream.read(record_size)
         if not blob:
@@ -111,17 +191,37 @@ def read_binary_trace(stream: BinaryIO) -> Iterator[TraceEvent]:
             raise TraceFormatError(
                 f"unknown opcode index {opcode_index}"
             ) from None
+        pc = dst = None
+        srcs: tuple = ()
+        if annotated:
+            if flags & _FLAG_PC:
+                pc = unpack_q(_read_exact(stream, 8, "pc field"))[0]
+            if flags & _FLAG_DST:
+                dst = unpack_q(_read_exact(stream, 8, "dst field"))[0]
+            if flags & _FLAG_SRCS:
+                n = _read_exact(stream, 1, "srcs count")[0]
+                srcs = tuple(
+                    unpack_q(_read_exact(stream, 8, "src field"))[0]
+                    for _ in range(n)
+                )
+        elif flags & (_FLAG_PC | _FLAG_DST | _FLAG_SRCS):
+            raise TraceFormatError(
+                "annotation flags present in a v1 binary trace record"
+            )
         if flags & _FLAG_OPERANDS:
             if flags & _FLAG_INT_OPERANDS:
-                yield TraceEvent(opcode, a, b, result)
+                yield TraceEvent(opcode, a, b, result, dst=dst, srcs=srcs, pc=pc)
             else:
                 yield TraceEvent(
                     opcode,
                     bits_to_float64(a & 0xFFFFFFFFFFFFFFFF),
                     bits_to_float64(b & 0xFFFFFFFFFFFFFFFF),
                     bits_to_float64(result & 0xFFFFFFFFFFFFFFFF),
+                    dst=dst,
+                    srcs=srcs,
+                    pc=pc,
                 )
         elif flags & _FLAG_ADDRESS:
-            yield TraceEvent(opcode, address=address)
+            yield TraceEvent(opcode, address=address, dst=dst, srcs=srcs, pc=pc)
         else:
-            yield TraceEvent(opcode)
+            yield TraceEvent(opcode, dst=dst, srcs=srcs, pc=pc)

@@ -2,9 +2,12 @@
 
 Subcommands::
 
-    repro-trace record vgauss mandrill out.trc [--scale S]
+    repro-trace record vgauss mandrill out.trc [--scale S] [--v2] [--pc]
         Record one MM kernel on one catalogue image.  ``.trc`` writes the
-        compact binary format; any other extension writes text.
+        compact binary format; any other extension writes text.  ``--v2``
+        archives the versioned v2 records (dataflow + PC annotations
+        kept); ``--pc`` additionally stamps events with synthetic call
+        sites (useful for PC-indexed schemes like the Reuse Buffer).
 
     repro-trace stats out.trc
         Instruction frequency breakdown of an archived trace.
@@ -46,10 +49,10 @@ def _is_binary(path: Path) -> bool:
     return path.suffix in (".trc", ".bin")
 
 
-def _save(trace, path: Path) -> int:
+def _save(trace, path: Path, version: int = 1) -> int:
     if _is_binary(path):
         with path.open("wb") as stream:
-            return write_binary_trace(trace, stream)
+            return write_binary_trace(trace, stream, version=version)
     with path.open("w", encoding="ascii") as stream:
         return write_trace(trace, stream)
 
@@ -63,10 +66,11 @@ def _load(path: Path) -> Trace:
 
 
 def _cmd_record(args) -> int:
-    recorder = OperationRecorder()
+    recorder = OperationRecorder(record_sites=args.pc)
     image = generate(args.image, scale=args.scale)
     run_kernel(args.kernel, recorder, image)
-    written = _save(recorder.trace, Path(args.output))
+    version = 2 if (args.v2 or args.pc) else 1
+    written = _save(recorder.trace, Path(args.output), version=version)
     print(f"recorded {written} events from {args.kernel} on {args.image} "
           f"-> {args.output}")
     return 0
@@ -153,6 +157,14 @@ def _build_parser() -> argparse.ArgumentParser:
     record.add_argument("image", choices=list(catalog_names()))
     record.add_argument("output")
     record.add_argument("--scale", type=float, default=0.15)
+    record.add_argument(
+        "--v2", action="store_true",
+        help="archive v2 binary records (annotations kept)",
+    )
+    record.add_argument(
+        "--pc", action="store_true",
+        help="stamp events with synthetic call-site PCs (implies --v2)",
+    )
     record.set_defaults(func=_cmd_record)
 
     stats = commands.add_parser("stats", help="instruction breakdown")

@@ -10,16 +10,21 @@ from hypothesis import strategies as st
 from repro.core.bank import MemoTableBank
 from repro.core.operations import Operation
 from repro.errors import ConfigurationError, TraceFormatError
-from repro.isa.binfmt import BINARY_MAGIC, read_binary_trace, write_binary_trace
+from repro.isa.binfmt import (
+    BINARY_MAGIC,
+    BINARY_MAGIC_V2,
+    read_binary_trace,
+    write_binary_trace,
+)
 from repro.isa.opcodes import Opcode
 from repro.isa.trace import TraceEvent
 from repro.simulator.sampling import SamplingPlan, estimate_hit_ratios
 from repro.simulator.shade import ShadeSimulator
 
 
-def _roundtrip(events):
+def _roundtrip(events, version=1):
     buffer = io.BytesIO()
-    write_binary_trace(events, buffer)
+    write_binary_trace(events, buffer, version=version)
     buffer.seek(0)
     return list(read_binary_trace(buffer))
 
@@ -95,6 +100,75 @@ class TestBinaryFormat:
         assert replayed.hit_ratio(Operation.FP_MUL) == direct.hit_ratio(
             Operation.FP_MUL
         )
+        assert replayed.breakdown == direct.breakdown
+
+
+class TestBinaryFormatV2:
+    def _annotated(self):
+        return [
+            TraceEvent(Opcode.FMUL, 1.5, 2.0, 3.0, dst=9, srcs=(1, 2), pc=0x40),
+            TraceEvent(Opcode.IMUL, -7, 2**40, -7 * 2**40, dst=3, srcs=(3,)),
+            TraceEvent(Opcode.LOAD, address=0xDEADBEEF, dst=4, pc=0x44),
+            TraceEvent(Opcode.STORE, address=0x10, srcs=(4, 9)),
+            TraceEvent(Opcode.BRANCH, pc=0x48),
+            TraceEvent(Opcode.FDIV, 1.0, 3.0, 1.0 / 3.0),
+        ]
+
+    def test_v2_preserves_annotations(self):
+        assert _roundtrip(self._annotated(), version=2) == self._annotated()
+
+    def test_v2_magic(self):
+        buffer = io.BytesIO()
+        write_binary_trace([TraceEvent(Opcode.NOP)], buffer, version=2)
+        assert buffer.getvalue().startswith(BINARY_MAGIC_V2)
+
+    def test_v1_reader_still_works_alongside_v2(self):
+        events = [TraceEvent(Opcode.FMUL, 0.5, 4.0, 2.0)]
+        assert _roundtrip(events, version=1) == events
+
+    def test_v2_preserves_non_memoizable_operands(self):
+        # FADD operands are dropped by v1 but matter to dual-issue style
+        # experiments; v2 keeps them.
+        event = TraceEvent(Opcode.FADD, 1.25, 2.5, 3.75)
+        assert _roundtrip([event], version=1)[0].a == 0.0
+        assert _roundtrip([event], version=2)[0] == event
+
+    def test_v2_negative_zero_and_inf_exact(self):
+        events = [TraceEvent(Opcode.FMUL, -0.0, math.inf, -math.inf,
+                             dst=1, pc=8)]
+        restored = _roundtrip(events, version=2)[0]
+        assert math.copysign(1.0, restored.a) == -1.0
+        assert restored.b == math.inf
+        assert restored.pc == 8
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(TraceFormatError, match="version"):
+            write_binary_trace([], io.BytesIO(), version=3)
+
+    def test_truncated_v2_tail_rejected(self):
+        buffer = io.BytesIO()
+        write_binary_trace(self._annotated(), buffer, version=2)
+        clipped = io.BytesIO(buffer.getvalue()[:-3])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(read_binary_trace(clipped))
+
+    def test_v1_record_with_annotation_flags_rejected(self):
+        buffer = io.BytesIO()
+        write_binary_trace(self._annotated(), buffer, version=2)
+        mixed = BINARY_MAGIC + buffer.getvalue()[len(BINARY_MAGIC_V2):]
+        with pytest.raises(TraceFormatError):
+            list(read_binary_trace(io.BytesIO(mixed)))
+
+    def test_statistics_preserved_through_v2(self, small_image):
+        from repro.workloads.khoros import run_kernel
+        from repro.workloads.recorder import OperationRecorder
+
+        recorder = OperationRecorder()
+        run_kernel("vgauss", recorder, small_image)
+        restored = _roundtrip(recorder.trace.events, version=2)
+        assert restored == list(recorder.trace.events)
+        direct = ShadeSimulator().run(recorder.trace)
+        replayed = ShadeSimulator().run(restored)
         assert replayed.breakdown == direct.breakdown
 
 

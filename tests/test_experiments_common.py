@@ -11,6 +11,8 @@ from repro.experiments.common import (
     record_mm_trace,
     record_perfect_trace,
     replay,
+    set_trace_cache_limit,
+    trace_cache_len,
 )
 from repro.isa.opcodes import Opcode
 from repro.isa.trace import TraceEvent
@@ -38,6 +40,50 @@ class TestTraceCache:
         a = record_perfect_trace("QCD", scale=0.4)
         b = record_perfect_trace("QCD", scale=0.4)
         assert a is b
+
+
+class TestTraceCacheBound:
+    @pytest.fixture(autouse=True)
+    def restore_limit(self):
+        yield
+        set_trace_cache_limit(128)
+        clear_trace_cache()
+
+    def test_limit_evicts_least_recently_used(self):
+        clear_trace_cache()
+        set_trace_cache_limit(2)
+        first = record_mm_trace("vgauss", "chroms", scale=0.06)
+        record_mm_trace("vgauss", "fractal", scale=0.06)
+        record_mm_trace("vgauss", "chroms", scale=0.06)  # refresh recency
+        record_mm_trace("vgauss", "Muppet1", scale=0.06)  # evicts fractal
+        assert trace_cache_len() == 2
+        assert record_mm_trace("vgauss", "chroms", scale=0.06) is first
+        fresh = record_mm_trace("vgauss", "fractal", scale=0.06)
+        assert fresh is not None  # re-recorded after eviction
+
+    def test_zero_limit_disables_caching(self):
+        clear_trace_cache()
+        set_trace_cache_limit(0)
+        a = record_mm_trace("vgauss", "chroms", scale=0.06)
+        b = record_mm_trace("vgauss", "chroms", scale=0.06)
+        assert trace_cache_len() == 0
+        assert a is not b
+        assert a.events == b.events
+
+    def test_shrinking_limit_trims_existing_entries(self):
+        clear_trace_cache()
+        set_trace_cache_limit(8)
+        for image in ("chroms", "fractal", "Muppet1"):
+            record_mm_trace("vgauss", image, scale=0.06)
+        assert trace_cache_len() == 3
+        set_trace_cache_limit(1)
+        assert trace_cache_len() == 1
+
+    def test_clear_trace_cache(self):
+        record_mm_trace("vgauss", "chroms", scale=0.06)
+        assert trace_cache_len() > 0
+        clear_trace_cache()
+        assert trace_cache_len() == 0
 
 
 class TestReplaySpecs:
