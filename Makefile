@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce compare corpus examples clean
+.PHONY: install test bench reproduce compare corpus examples lint analyze clean
 
 # Parallelism and corpus location for the corpus/reproduce targets.
 JOBS ?= 4
@@ -37,6 +37,16 @@ examples:
 		echo "== $$script"; \
 		$(PYTHON) $$script || exit 1; \
 	done
+
+# Repo-invariant linter (always available) plus ruff/mypy when installed.
+lint:
+	$(PYTHON) -m repro.cli lint
+	-$(PYTHON) -m ruff check src tests || true
+	-$(PYTHON) -m mypy || true
+
+# Static dataflow analysis with dynamic cross-validation (the CI gate).
+analyze:
+	$(PYTHON) -m repro.cli analyze --check
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks

@@ -10,7 +10,7 @@ entropy.  We use SciPy's Levenberg-Marquardt implementation
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 from scipy.optimize import least_squares

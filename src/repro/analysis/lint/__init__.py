@@ -1,0 +1,38 @@
+"""Repo-invariant linter: AST rules guarding determinism and soundness.
+
+The corpus/engine subsystem silently depends on invariants no generic
+linter checks: traces must be bit-reproducible (so workload kernels may
+not consult unseeded RNGs or the wall clock), MEMO-TABLE keying must
+compare bit patterns rather than float values, fork-pool callbacks must
+not mutate parent-process globals, and the interpreter/latency tables
+must stay exhaustive over the opcode set.  ``repro lint`` enforces all
+of them.
+"""
+
+from .rules import (
+    ALL_RULES,
+    FloatEqualityRule,
+    LintRule,
+    LintViolation,
+    OpcodeExhaustivenessRule,
+    PoolCallbackMutationRule,
+    UnseededRandomRule,
+    WallClockRule,
+    default_target,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "LintRule",
+    "LintViolation",
+    "UnseededRandomRule",
+    "WallClockRule",
+    "FloatEqualityRule",
+    "PoolCallbackMutationRule",
+    "OpcodeExhaustivenessRule",
+    "default_target",
+    "lint_paths",
+    "lint_source",
+]

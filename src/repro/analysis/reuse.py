@@ -14,11 +14,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence
 
 from ..core.operations import Operation
 from ..core.tags import float_full_tag, int_tag
-from ..isa.opcodes import Opcode
 from ..isa.trace import TraceEvent
 
 __all__ = [

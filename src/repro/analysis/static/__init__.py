@@ -1,0 +1,59 @@
+"""Static dataflow analysis over ISA programs.
+
+The paper measures *dynamic* operand value locality by tracing real
+executions; much of that locality is visible in the program text alone.
+This package builds a control-flow graph over assembled
+:class:`~repro.isa.machine.Program` objects, runs classic iterative
+dataflow passes over it (reaching definitions, sparse constant
+propagation, operand value-range analysis, local value numbering), and
+composes them into a *memo-opportunity* pass that classifies every
+static multiply/divide site and bounds the MEMO-TABLE hit ratio the
+dynamic simulator can observe.
+"""
+
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .dataflow import DataflowProblem, solve
+from .passes import (
+    ConstantLattice,
+    Interval,
+    constant_propagation,
+    local_value_numbers,
+    reaching_definitions,
+    value_ranges,
+)
+from .memo import (
+    REFERENCE_N,
+    CheckResult,
+    MemoSite,
+    ProgramAnalysis,
+    SiteClass,
+    StaticBounds,
+    analyze_program,
+    analyze_source,
+    check_program,
+    reference_machine,
+)
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "DataflowProblem",
+    "solve",
+    "ConstantLattice",
+    "Interval",
+    "constant_propagation",
+    "local_value_numbers",
+    "reaching_definitions",
+    "value_ranges",
+    "REFERENCE_N",
+    "CheckResult",
+    "MemoSite",
+    "ProgramAnalysis",
+    "SiteClass",
+    "StaticBounds",
+    "analyze_program",
+    "analyze_source",
+    "check_program",
+    "reference_machine",
+]

@@ -1,0 +1,110 @@
+"""A small iterative dataflow framework.
+
+Classic worklist solver over a :class:`ControlFlowGraph`: a problem
+supplies the lattice (initial value, boundary value at the entry, a join
+operator) and a per-block transfer function; :func:`solve` iterates to a
+fixed point.  Forward problems only -- every pass this package needs
+flows with execution order.
+
+The lattice values are opaque to the solver; problems must provide value
+equality via ``==`` so the solver can detect convergence, and the join
+must be monotone for termination (the solver additionally enforces an
+iteration budget so a buggy transfer cannot spin forever).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, TypeVar
+
+from .cfg import ControlFlowGraph
+
+__all__ = ["DataflowProblem", "solve", "instruction_states"]
+
+L = TypeVar("L")
+
+
+class DataflowProblem(Generic[L]):
+    """What a concrete forward pass must supply."""
+
+    #: Human-readable pass name (used in diagnostics).
+    name = "dataflow"
+
+    def initial(self) -> L:
+        """Optimistic starting value for every block input."""
+        raise NotImplementedError
+
+    def boundary(self) -> L:
+        """Value flowing into the CFG entry block."""
+        raise NotImplementedError
+
+    def join(self, left: L, right: L) -> L:
+        """Combine two predecessor outputs (must be monotone)."""
+        raise NotImplementedError
+
+    def transfer(self, block_id: int, value: L) -> L:
+        """Apply one block's effect to its input value."""
+        raise NotImplementedError
+
+
+def solve(
+    cfg: ControlFlowGraph,
+    problem: DataflowProblem[L],
+    max_passes: int = 200,
+) -> Dict[int, L]:
+    """Run ``problem`` to a fixed point; returns block-input values.
+
+    ``max_passes`` bounds full sweeps over the CFG; interval analyses
+    with widening converge in a handful, exact lattices in O(depth).
+    """
+    if not cfg.blocks:
+        return {}
+    order = cfg.reverse_postorder()
+    inputs: Dict[int, L] = {b.index: problem.initial() for b in cfg.blocks}
+    outputs: Dict[int, L] = {}
+    inputs[0] = problem.join(inputs[0], problem.boundary())
+
+    changed = True
+    sweeps = 0
+    while changed:
+        sweeps += 1
+        if sweeps > max_passes:
+            raise RuntimeError(
+                f"{problem.name}: no fixed point after {max_passes} sweeps "
+                "(non-monotone transfer or missing widening?)"
+            )
+        changed = False
+        for block_id in order:
+            block = cfg.blocks[block_id]
+            value = inputs[block_id]
+            if block.predecessors:
+                value = problem.initial()
+                if block_id == 0:
+                    value = problem.join(value, problem.boundary())
+                for predecessor in block.predecessors:
+                    if predecessor in outputs:
+                        value = problem.join(value, outputs[predecessor])
+                inputs[block_id] = value
+            out = problem.transfer(block_id, value)
+            if block_id not in outputs or outputs[block_id] != out:
+                outputs[block_id] = out
+                changed = True
+    return inputs
+
+
+def instruction_states(
+    cfg: ControlFlowGraph,
+    block_inputs: Dict[int, L],
+    step: Callable[[L, int], L],
+) -> Dict[int, L]:
+    """Expand block-input solutions to per-instruction input states.
+
+    ``step(state, program_index)`` applies one instruction; the returned
+    map gives the state *before* each instruction executes.
+    """
+    states: Dict[int, L] = {}
+    for block in cfg.blocks:
+        state = block_inputs[block.index]
+        for index, _instruction in block:
+            states[index] = state
+            state = step(state, index)
+    return states

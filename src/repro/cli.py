@@ -10,7 +10,10 @@ Regenerates any table or figure of the paper on the terminal::
 ``--jobs N`` fans the experiments (and the traces they need) out across
 a worker pool; ``--corpus-dir`` persists recorded traces so later runs
 replay them from disk.  ``repro corpus record|ls|verify|gc`` maintains
-the store (see :mod:`repro.corpus.cli`).
+the store (see :mod:`repro.corpus.cli`).  ``repro analyze`` runs the
+static dataflow passes that bound memo-table hit ratios, and ``repro
+lint`` checks the repo's determinism invariants (see
+:mod:`repro.analysis.cli`).
 """
 
 from __future__ import annotations
@@ -79,6 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _format_durations(durations) -> str:
+    return ", ".join(
+        f"{name} {seconds:.1f}s" for name, seconds in durations.items()
+    )
+
+
 def _print_result(result, args) -> None:
     print(result.render())
     if args.plot:
@@ -99,6 +108,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .corpus.cli import main as corpus_main
 
         return corpus_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from .analysis.cli import main_analyze
+
+        return main_analyze(argv[1:])
+    if argv and argv[0] == "lint":
+        from .analysis.cli import main_lint
+
+        return main_lint(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in experiment_names():
@@ -119,7 +136,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         for name, result in batch.results:
             _print_result(result, args)
-            print(f"[{name}]")
+            duration = batch.durations.get(name)
+            if duration is not None:
+                print(f"[{name} in {duration:.1f}s]")
+            else:
+                print(f"[{name}]")
             print()
             documents.append(result.to_dict())
         stats = batch.corpus_stats
@@ -129,18 +150,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{stats.get('disk_hits', 0)} disk hits, "
             f"{stats.get('memory_hits', 0)} memory hits]"
         )
+        if batch.durations:
+            print(f"[per experiment: {_format_durations(batch.durations)}]")
         print()
     else:
+        durations: dict = {}
         for name in names:
             kwargs = {}
             if args.scale is not None and name != "table1":
                 kwargs["scale"] = args.scale
-            started = time.time()
+            started = time.perf_counter()
             result = run_experiment(name, **kwargs)
+            durations[name] = time.perf_counter() - started
             _print_result(result, args)
-            print(f"[{name} in {time.time() - started:.1f}s]")
+            print(f"[{name} in {durations[name]:.1f}s]")
             print()
             documents.append(result.to_dict())
+        if len(names) > 1:
+            print(
+                f"[{len(names)} experiment(s) in "
+                f"{sum(durations.values()):.1f}s; per experiment: "
+                f"{_format_durations(durations)}]"
+            )
+            print()
     if args.json is not None:
         payload = json.dumps(
             documents[0] if len(documents) == 1 else documents, indent=2

@@ -64,6 +64,9 @@ class ExperimentBatch:
     #: Traces actually recorded this run (0 on a fully warm corpus).
     recorded: int = 0
     elapsed: float = 0.0
+    #: Per-experiment wall seconds (worker-side ``perf_counter`` spans),
+    #: keyed by experiment name in the order requested.
+    durations: Dict[str, float] = field(default_factory=dict)
 
 
 def _mm_keys(
@@ -191,8 +194,10 @@ def _run_one(item: Tuple[str, Dict[str, Any]]):
 
     name, kwargs = item
     before = _stats_snapshot()
+    started = time.perf_counter()
     result = run_experiment(name, **kwargs)
-    return name, result, _stats_delta(before)
+    duration = time.perf_counter() - started
+    return name, result, _stats_delta(before), duration
 
 
 def _make_pool(jobs: int, corpus_dir: Optional[str], max_bytes: Optional[int]):
@@ -287,9 +292,10 @@ def run_experiments(
 
     if pool is None:
         for item in items:
-            name, result, delta = _run_one(item)
+            name, result, delta, duration = _run_one(item)
             total.add(delta)
             batch.results.append((name, result))
+            batch.durations[name] = duration
     else:
         with pool:
             if plan:
@@ -297,9 +303,12 @@ def run_experiments(
                     _prefetch_one, plan, chunksize=1
                 ):
                     total.add(delta)
-            for name, result, delta in pool.map(_run_one, items, chunksize=1):
+            for name, result, delta, duration in pool.map(
+                _run_one, items, chunksize=1
+            ):
                 total.add(delta)
                 batch.results.append((name, result))
+                batch.durations[name] = duration
 
     batch.corpus_stats = total.as_dict()
     batch.recorded = total.recorded

@@ -37,7 +37,7 @@ Two on-disk versions exist:
 from __future__ import annotations
 
 import struct
-from typing import BinaryIO, Iterable, Iterator, List
+from typing import BinaryIO, Iterable, Iterator
 
 from ..errors import TraceFormatError
 from .opcodes import Opcode
@@ -109,7 +109,7 @@ def write_binary_trace(
         if has_operands:
             flags |= _FLAG_OPERANDS
             as_int = (
-                event.opcode is Opcode.IMUL
+                event.opcode in (Opcode.IMUL, Opcode.IDIV)
                 if not annotate
                 else all(
                     isinstance(v, int) and not isinstance(v, bool)

@@ -22,6 +22,10 @@ Syntax (one instruction per line, ``!`` or ``#`` comments)::
     fmul    %f1, %f2, %f3    !                      (traced FMUL)
     fdiv    %f1, %f2, %f3    !                      (traced FDIV)
     fsqrt   %f1, %f3         !                      (traced FSQRT)
+    frecip  %f1, %f3         !                      (traced FRECIP)
+    flog    %f1, %f3         !                      (traced FLOG)
+    fsin    %f1, %f3         !                      (traced FSIN)
+    fcos    %f1, %f3         !                      (traced FCOS)
     cmp     %r1, %r2         ! set condition codes  (traced IALU)
     bne     loop             ! be/bne/bl/ble/bg/bge/ba
     nop
@@ -33,11 +37,12 @@ seeds input arrays.
 
 from __future__ import annotations
 
+import math
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.operations import ieee_div, ieee_sqrt, int_div
+from ..core.operations import ieee_div, ieee_log, ieee_recip, ieee_sqrt, int_div
 from ..errors import TraceFormatError
 from .opcodes import Opcode
 from .trace import Trace, TraceEvent
@@ -49,6 +54,24 @@ TEXT_BASE = 0x10000
 
 _INT_OPS = {"add", "sub", "and", "or", "xor", "sll", "srl"}
 _BRANCHES = {"ba", "be", "bne", "bl", "ble", "bg", "bge"}
+def _ieee_sin(a: float) -> float:
+    """sin with IEEE default results (NaN for non-finite inputs)."""
+    return math.sin(a) if math.isfinite(a) else math.nan
+
+
+def _ieee_cos(a: float) -> float:
+    """cos with IEEE default results (NaN for non-finite inputs)."""
+    return math.cos(a) if math.isfinite(a) else math.nan
+
+
+#: Unary FP mnemonics -> (compute, traced opcode).
+_FP_UNARY = {
+    "fsqrt": (ieee_sqrt, Opcode.FSQRT),
+    "frecip": (ieee_recip, Opcode.FRECIP),
+    "flog": (ieee_log, Opcode.FLOG),
+    "fsin": (_ieee_sin, Opcode.FSIN),
+    "fcos": (_ieee_cos, Opcode.FCOS),
+}
 
 
 class MachineError(TraceFormatError):
@@ -361,15 +384,16 @@ class Machine:
                     TraceEvent(opcode, a, b, result, dst=vid, srcs=srcs, pc=pc)
                 )
                 return index + 1
-            if m == "fsqrt":
+            if m in _FP_UNARY:
+                compute, opcode = _FP_UNARY[m]
                 a, va = self._read_fp(ops[0])
-                result = ieee_sqrt(a)
+                result = float(compute(a))
                 vid = self._new_vid()
                 self._write_fp(ops[1], result, vid)
                 srcs = (va,) if va is not None else ()
                 self._emit(
                     TraceEvent(
-                        Opcode.FSQRT, a, 0.0, result, dst=vid, srcs=srcs, pc=pc
+                        opcode, a, 0.0, result, dst=vid, srcs=srcs, pc=pc
                     )
                 )
                 return index + 1

@@ -10,7 +10,15 @@ from __future__ import annotations
 
 from typing import Dict
 
-__all__ = ["PROGRAMS", "SAXPY", "DOT_PRODUCT", "VECTOR_NORMALIZE", "GAMMA_LUT"]
+__all__ = [
+    "PROGRAMS",
+    "SAXPY",
+    "DOT_PRODUCT",
+    "VECTOR_NORMALIZE",
+    "GAMMA_LUT",
+    "SOBEL_GX",
+    "MEMO_SHOWCASE",
+]
 
 #: y[i] <- a*x[i] + y[i].  Inputs: n at %r1, x at 0x1000, y at 0x2000,
 #: a in %f1 (seeded by the harness via fset prologue below).
@@ -171,10 +179,48 @@ done:
         halt
 """
 
+#: Exercises every static memo-opportunity class in one loop: a trivial
+#: multiply (x1), a compile-time-constant pair, a locally redundant
+#: (CSE-able) repeat, a range-bounded integer multiply (operands masked
+#: to 3 bits), and an unknown data-dependent divide.  n at %r1, x at
+#: 0x1000, out at 0x2000.  Used by `repro analyze` demos and the
+#: static-vs-dynamic cross-validation tests.
+MEMO_SHOWCASE = """
+        set     0, %r2          ! i = 0
+        set     4096, %r3       ! &x
+        set     8192, %r4       ! &out
+        fset    1.0, %f1        ! trivial multiplier
+        fset    3.0, %f8
+        fset    7.0, %f9
+loop:
+        cmp     %r2, %r1
+        bge     done
+        ld      [%r3 + 0], %f2
+        fmul    %f2, %f1, %f3   ! trivial: x[i] * 1.0
+        fmul    %f8, %f9, %f4   ! constant: 3.0 * 7.0 every iteration
+        fmul    %f2, %f2, %f5   ! unknown: x[i]^2
+        fmul    %f2, %f2, %f6   ! redundant: same pair as the line above
+        fdiv    %f5, %f2, %f7   ! unknown: data-dependent divide
+        and     %r2, 7, %r5     ! i mod 8
+        and     %r2, 3, %r6     ! i mod 4
+        smul    %r5, %r6, %r7   ! range-bounded: pair space <= 8*4
+        fadd    %f3, %f4, %f3
+        fadd    %f3, %f5, %f3
+        fadd    %f3, %f7, %f3
+        st      %f3, [%r4 + 0]
+        add     %r3, 8, %r3
+        add     %r4, 8, %r4
+        add     %r2, 1, %r2
+        ba      loop
+done:
+        halt
+"""
+
 PROGRAMS: Dict[str, str] = {
     "saxpy": SAXPY,
     "dot_product": DOT_PRODUCT,
     "vector_normalize": VECTOR_NORMALIZE,
     "gamma_lut": GAMMA_LUT,
     "sobel_gx": SOBEL_GX,
+    "memo_showcase": MEMO_SHOWCASE,
 }

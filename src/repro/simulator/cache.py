@@ -10,7 +10,6 @@ addresses come from the workload recorders.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..errors import ConfigurationError

@@ -9,7 +9,7 @@ same per-instruction cycle accounting as the paper (section 3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from ..analysis.amdahl import amdahl_speedup, speedup_enhanced
 from ..arch.latency import ProcessorModel

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, Optional
 from ..arch.latency import ProcessorModel
 from ..core.bank import MemoTableBank
 from ..core.operations import Operation
-from ..isa.opcodes import Opcode, opcode_to_operation
+from ..isa.opcodes import Opcode
 from ..isa.trace import TraceEvent
 from .cache import MemoryHierarchy, default_hierarchy
 

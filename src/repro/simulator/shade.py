@@ -16,7 +16,7 @@ from typing import Dict, Iterable, Optional
 from ..core.bank import MemoTableBank
 from ..core.operations import Operation
 from ..core.stats import UnitStats
-from ..isa.opcodes import Opcode, opcode_to_operation
+from ..isa.opcodes import Opcode
 from ..isa.trace import TraceEvent
 
 __all__ = ["SimulationReport", "ShadeSimulator"]

@@ -1,0 +1,210 @@
+"""Property tests for the binary trace format.
+
+Complements ``test_binfmt_sampling.py`` with generative coverage: the
+round-trip invariants must hold for *arbitrary* event streams (any
+opcode mix, NaN payloads, annotation combinations), and any malformed or
+truncated input must be rejected with :class:`TraceFormatError` rather
+than yielding phantom events.
+"""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.ieee754 import float64_to_bits
+from repro.errors import TraceFormatError
+from repro.isa.binfmt import (
+    BINARY_MAGIC,
+    BINARY_MAGIC_V2,
+    read_binary_trace,
+    write_binary_trace,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.trace import TraceEvent
+
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
+_FLOAT_MEMO = [
+    Opcode.FMUL,
+    Opcode.FDIV,
+    Opcode.FSQRT,
+    Opcode.FRECIP,
+    Opcode.FLOG,
+    Opcode.FSIN,
+    Opcode.FCOS,
+]
+_INT_MEMO = [Opcode.IMUL, Opcode.IDIV]
+_PLAIN = [Opcode.IALU, Opcode.FADD, Opcode.BRANCH, Opcode.NOP]
+
+_any_float = st.floats(allow_nan=True, allow_infinity=True, width=64)
+_int64 = st.integers(min_value=INT64_MIN, max_value=INT64_MAX)
+_address = st.integers(min_value=0, max_value=INT64_MAX)
+_id = st.integers(min_value=0, max_value=INT64_MAX)
+
+
+@st.composite
+def trace_events(draw, annotated: bool = False):
+    """One arbitrary event of any opcode family."""
+    family = draw(st.sampled_from(["float", "int", "memory", "plain"]))
+    kwargs = {}
+    if annotated:
+        if draw(st.booleans()):
+            kwargs["pc"] = draw(_id)
+        if draw(st.booleans()):
+            kwargs["dst"] = draw(_id)
+        kwargs["srcs"] = tuple(
+            draw(st.lists(_id, max_size=4))
+        )
+    if family == "float":
+        opcode = draw(st.sampled_from(_FLOAT_MEMO))
+        return TraceEvent(
+            opcode, draw(_any_float), draw(_any_float), draw(_any_float),
+            **kwargs,
+        )
+    if family == "int":
+        opcode = draw(st.sampled_from(_INT_MEMO))
+        return TraceEvent(
+            opcode, draw(_int64), draw(_int64), draw(_int64), **kwargs
+        )
+    if family == "memory":
+        opcode = draw(st.sampled_from([Opcode.LOAD, Opcode.STORE]))
+        return TraceEvent(opcode, address=draw(_address), **kwargs)
+    return TraceEvent(draw(st.sampled_from(_PLAIN)), **kwargs)
+
+
+def _write(events, version):
+    buffer = io.BytesIO()
+    write_binary_trace(events, buffer, version=version)
+    return buffer.getvalue()
+
+
+def _read(blob):
+    return list(read_binary_trace(io.BytesIO(blob)))
+
+
+def _operand_key(value):
+    """Bit-exact comparison key: NaN payloads and -0.0 must survive."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        return ("i", value)
+    return ("f", float64_to_bits(float(value)))
+
+
+def _v1_key(event):
+    """What v1 promises to keep: opcode + memoized operands + address."""
+    if event.opcode.is_memoizable:
+        operands = tuple(
+            _operand_key(v) for v in (event.a, event.b, event.result)
+        )
+    else:
+        operands = ()
+    address = event.address if event.opcode.is_memory else None
+    return (event.opcode, operands, address)
+
+
+def _v2_key(event):
+    return _v1_key(event) + (event.pc, event.dst, tuple(event.srcs))
+
+
+class TestRoundTripProperties:
+    @given(st.lists(trace_events(), max_size=40))
+    @settings(max_examples=60)
+    def test_v1_preserves_value_stream(self, events):
+        restored = _read(_write(events, version=1))
+        assert len(restored) == len(events)
+        for before, after in zip(events, restored):
+            assert _v1_key(before) == _v1_key(after)
+            # v1 drops annotations by contract.
+            assert after.pc is None and after.dst is None and after.srcs == ()
+
+    @given(st.lists(trace_events(annotated=True), max_size=40))
+    @settings(max_examples=60)
+    def test_v2_is_lossless(self, events):
+        restored = _read(_write(events, version=2))
+        assert len(restored) == len(events)
+        for before, after in zip(events, restored):
+            assert _v2_key(before) == _v2_key(after)
+
+    @given(_any_float, _any_float, _any_float)
+    @settings(max_examples=60)
+    def test_float_bits_exact(self, a, b, result):
+        for version in (1, 2):
+            restored = _read(
+                _write([TraceEvent(Opcode.FMUL, a, b, result)], version)
+            )[0]
+            assert float64_to_bits(restored.a) == float64_to_bits(float(a))
+            assert float64_to_bits(restored.b) == float64_to_bits(float(b))
+            assert float64_to_bits(restored.result) == float64_to_bits(
+                float(result)
+            )
+
+    @given(_int64, _int64, _int64)
+    @settings(max_examples=60)
+    def test_int64_corners_exact(self, a, b, result):
+        event = TraceEvent(Opcode.IMUL, a, b, result)
+        for version in (1, 2):
+            restored = _read(_write([event], version))[0]
+            assert (restored.a, restored.b, restored.result) == (a, b, result)
+
+
+class TestMalformedInput:
+    @given(st.lists(trace_events(annotated=True), min_size=1, max_size=12),
+           st.integers(min_value=1, max_value=2), st.data())
+    @settings(max_examples=60)
+    def test_truncation_never_fabricates_events(self, events, version, data):
+        blob = _write(events, version)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        full = _read(blob)
+        try:
+            partial = _read(blob[:cut])
+        except TraceFormatError:
+            return  # rejected: fine
+        # accepted: must be a strict prefix of the real stream
+        assert len(partial) < len(full)
+        assert [_v2_key(e) for e in partial] == [
+            _v2_key(e) for e in full[: len(partial)]
+        ]
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=60)
+    def test_garbage_rejected(self, blob):
+        if blob.startswith(BINARY_MAGIC) or blob.startswith(BINARY_MAGIC_V2):
+            return
+        with pytest.raises(TraceFormatError):
+            _read(blob)
+
+    def test_unknown_opcode_index_rejected(self):
+        record = struct.pack("<BBqqqq", 255, 0, 0, 0, 0, 0)
+        with pytest.raises(TraceFormatError, match="opcode index"):
+            _read(BINARY_MAGIC + record)
+
+    def test_annotation_flags_invalid_in_v1(self):
+        record = struct.pack("<BBqqqq", 0, 8, 0, 0, 0, 0)  # _FLAG_PC
+        with pytest.raises(TraceFormatError, match="annotation"):
+            _read(BINARY_MAGIC + record)
+
+    def test_truncated_src_list_rejected(self):
+        event = TraceEvent(Opcode.FMUL, 1.0, 2.0, 2.0, srcs=(1, 2, 3))
+        blob = _write([event], version=2)
+        with pytest.raises(TraceFormatError, match="truncated"):
+            _read(blob[:-4])
+
+    def test_oversized_src_list_rejected_at_write(self):
+        event = TraceEvent(
+            Opcode.FMUL, 1.0, 2.0, 2.0, srcs=tuple(range(300))
+        )
+        with pytest.raises(TraceFormatError, match="255"):
+            _write([event], version=2)
+
+    def test_int64_overflow_rejected_at_write(self):
+        event = TraceEvent(Opcode.IMUL, INT64_MAX + 1, 1, INT64_MAX + 1)
+        for version in (1, 2):
+            with pytest.raises(TraceFormatError, match="int64"):
+                _write([event], version)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            _read(b"")
