@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce compare corpus examples lint analyze clean
+.PHONY: install test bench bench-batched reproduce compare corpus examples lint analyze clean
 
 # Parallelism and corpus location for the corpus/reproduce targets.
 JOBS ?= 4
@@ -16,6 +16,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_batched_sim.py
+
+# Batched-vs-scalar kernel throughput only (writes BENCH_batched_sim.json;
+# exits non-zero if the batched tier is not faster than scalar).
+bench-batched:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_batched_sim.py
 
 # Regenerate every table and figure of the paper (plus extensions).
 reproduce:

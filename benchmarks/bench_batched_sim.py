@@ -1,0 +1,115 @@
+"""Batched vs scalar probe-kernel throughput (records/second).
+
+Times the same trace through both tiers of ``repro.core.kernel`` --
+the columnar batched path and the event-at-a-time scalar reference --
+and writes ``BENCH_batched_sim.json`` with the measured records/sec of
+each plus the speedup.  CI's perf-smoke job runs this as a script and
+fails the build if the batched path is not faster than scalar (exit
+code 1); the columnar-pipeline acceptance target is a 3x speedup.
+
+Also runnable under pytest-benchmark alongside the other benchmarks
+(``make bench``), where the parity of the two tiers' statistics is
+asserted as well.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.bank import MemoTableBank
+from repro.core.operations import Operation
+from repro.experiments.common import record_mm_trace
+from repro.simulator.shade import ShadeSimulator
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _config import BENCH_SCALE  # noqa: E402
+
+#: Where the perf-smoke numbers land (repo root, next to CHANGES.md).
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batched_sim.json"
+
+#: Minimum events for a stable records/sec figure.
+MIN_EVENTS = 200_000
+
+
+def _bench_trace():
+    """A realistic MM trace, tiled up to ``MIN_EVENTS`` events.
+
+    Returned as a column-backed :class:`Trace` -- the form the corpus
+    store hands to the simulators -- so the batched tier actually takes
+    the columnar path while the scalar tier walks the same events."""
+    from repro.isa.columns import ColumnBatch
+    from repro.isa.trace import Trace
+
+    base = record_mm_trace(
+        "vgauss", "Muppet1", scale=BENCH_SCALE, cache=False
+    ).columns()
+    tiled = ColumnBatch()
+    while len(tiled) < MIN_EVENTS:
+        tiled.extend_batch(base)
+    trace = Trace(columns=tiled)
+    trace.events  # materialize both views before anything is timed
+    return trace
+
+
+def _throughput(events, scalar):
+    bank = MemoTableBank.paper_baseline(
+        operations=tuple(Operation), latencies=None
+    )
+    simulator = ShadeSimulator(bank=bank, scalar=scalar)
+    started = time.perf_counter()
+    report = simulator.run(events)
+    elapsed = time.perf_counter() - started
+    return report.instructions / elapsed, bank
+
+
+def measure(events=None):
+    """Measure both tiers; returns the result dict written to JSON."""
+    if events is None:
+        events = _bench_trace()
+    # Warm caches/allocator with a short slice before timing.
+    from repro.isa.trace import Trace
+
+    warm = Trace(events.events[:2000])
+    _throughput(warm, scalar=False)
+    _throughput(warm, scalar=True)
+    scalar_rps, _ = _throughput(events, scalar=True)
+    batched_rps, _ = _throughput(events, scalar=False)
+    return {
+        "events": len(events),
+        "records_per_sec_scalar": round(scalar_rps, 1),
+        "records_per_sec_batched": round(batched_rps, 1),
+        "speedup": round(batched_rps / scalar_rps, 3),
+        "target_speedup": 3.0,
+    }
+
+
+def test_batched_faster_than_scalar(benchmark):
+    """pytest-benchmark entry: batched throughput, parity asserted."""
+    events = _bench_trace()
+    result = benchmark.pedantic(
+        lambda: measure(events), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(result)
+    assert result["speedup"] > 1.0, (
+        f"batched tier slower than scalar: {result}"
+    )
+
+
+def main():
+    result = measure()
+    REPORT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    if result["speedup"] <= 1.0:
+        print("FAIL: batched tier is not faster than the scalar reference",
+              file=sys.stderr)
+        return 1
+    print(
+        f"batched/scalar speedup {result['speedup']}x "
+        f"(target {result['target_speedup']}x) -> {REPORT_PATH.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ from .rules import (
     LintRule,
     LintViolation,
     OpcodeExhaustivenessRule,
+    PerRecordProbeLoopRule,
     PoolCallbackMutationRule,
     UnseededRandomRule,
     WallClockRule,
@@ -32,6 +33,7 @@ __all__ = [
     "FloatEqualityRule",
     "PoolCallbackMutationRule",
     "OpcodeExhaustivenessRule",
+    "PerRecordProbeLoopRule",
     "default_target",
     "lint_paths",
     "lint_source",

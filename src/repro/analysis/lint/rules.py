@@ -17,6 +17,9 @@ REPRO004   fork-pool callbacks do not mutate module-level state (worker
            flow through return values)
 REPRO005   the interpreter handles every Opcode; the latency model
            prices every Operation
+REPRO006   per-record MEMO-TABLE probe loops live only in
+           ``repro.core.kernel`` (every other layer routes batches
+           through ``probe_batch``/``run_events``)
 =========  ==============================================================
 """
 
@@ -36,6 +39,7 @@ __all__ = [
     "FloatEqualityRule",
     "PoolCallbackMutationRule",
     "OpcodeExhaustivenessRule",
+    "PerRecordProbeLoopRule",
     "ALL_RULES",
     "default_target",
     "lint_source",
@@ -477,6 +481,66 @@ def _enum_members(path: Path, class_name: str) -> Tuple[str, ...]:
     return ()
 
 
+# -- REPRO006: per-record probe loops outside the kernel -------------------
+
+class PerRecordProbeLoopRule(LintRule):
+    """Per-record MEMO-TABLE probe loops belong to ``repro.core.kernel``.
+
+    The batched kernel is the single place allowed to probe units or
+    tables one record at a time; a ``for``/``while`` loop calling
+    ``.execute()`` or ``.lookup()`` anywhere else re-creates the scalar
+    inner loop the columnar refactor deleted, silently bypassing the
+    vectorized path (and the batched-vs-scalar parity CI asserts).
+    Hazard-style models that genuinely need per-event outcomes route
+    through :func:`repro.core.kernel.probe_one`.
+    """
+
+    id = "REPRO006"
+    name = "per-record-probe-loop"
+    description = "per-record probe loop outside repro.core.kernel"
+    scopes = ("repro/",)
+
+    #: The only module allowed to carry the scalar probe loop.
+    _EXEMPT = ("repro/core/kernel.py",)
+    _PROBE_METHODS = ("execute", "lookup")
+    _LOOPS = (
+        ast.For, ast.AsyncFor, ast.While,
+        ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+    )
+
+    def applies_to(self, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        if any(exempt in posix for exempt in self._EXEMPT):
+            return False
+        return super().applies_to(posix)
+
+    def check(self, tree: ast.Module, path: str) -> List[LintViolation]:
+        findings: List[LintViolation] = []
+        seen: Set[Tuple[int, int]] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, self._LOOPS):
+                continue
+            for inner in ast.walk(node):
+                if not (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr in self._PROBE_METHODS
+                ):
+                    continue
+                where = (inner.lineno, inner.col_offset)
+                if where in seen:  # nested loops walk the same call twice
+                    continue
+                seen.add(where)
+                findings.append(self.violation(
+                    inner, path,
+                    f"per-record `.{inner.func.attr}()` probe inside a "
+                    "loop; route the batch through repro.core.kernel "
+                    "(probe_batch/run_events, or probe_one for models "
+                    "that need per-event outcomes)",
+                ))
+        return findings
+
+
 #: Factory producing one fresh instance of every rule.
 def ALL_RULES() -> List[LintRule]:
     return [
@@ -485,6 +549,7 @@ def ALL_RULES() -> List[LintRule]:
         FloatEqualityRule(),
         PoolCallbackMutationRule(),
         OpcodeExhaustivenessRule(),
+        PerRecordProbeLoopRule(),
     ]
 
 

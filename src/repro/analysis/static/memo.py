@@ -37,8 +37,6 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from ...core.config import TagMode
-from ...core.memo_table import InfiniteMemoTable
 from ...core.operations import Operation
 from ...isa.machine import Machine, Program, assemble
 from ...isa.programs import PROGRAMS
@@ -481,33 +479,13 @@ def measure_infinite_hit_ratio(
     """Replay a machine's trace through per-class infinite MEMO-TABLES.
 
     Returns ``(per-pc execution counts, hits, total memoizable ops)``.
+    The replay itself is the kernel's (batched for column-backed traces,
+    the infinite-table reference loop otherwise).
     """
     assert machine.trace is not None, "machine must keep its trace"
-    tables: Dict[Operation, InfiniteMemoTable] = {}
-    counts: Counter = Counter()
-    hits = 0
-    total = 0
-    for event in machine.trace:
-        operation = event.opcode.operation
-        if operation is None:
-            continue
-        table = tables.get(operation)
-        if table is None:
-            table = InfiniteMemoTable(
-                operand_kind=operation.operand_kind,
-                tag_mode=TagMode.FULL,
-                commutative=operation.commutative,
-            )
-            tables[operation] = table
-        found = table.lookup(event.a, event.b)
-        if found.hit:
-            hits += 1
-        else:
-            table.insert(event.a, event.b, event.result)
-        if event.pc is not None:
-            counts[event.pc] += 1
-        total += 1
-    return dict(counts), hits, total
+    from ...core.kernel import replay_infinite
+
+    return replay_infinite(machine.trace)
 
 
 def check_program(

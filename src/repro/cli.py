@@ -79,6 +79,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist/replay traces through an on-disk corpus at PATH",
     )
+    parser.add_argument(
+        "--scalar",
+        action="store_true",
+        help=(
+            "force the event-at-a-time scalar simulation path instead of "
+            "the batched probe kernel (bit-identical results, slower; "
+            "propagates to worker processes)"
+        ),
+    )
     return parser
 
 
@@ -117,6 +126,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return main_lint(argv[1:])
     args = _build_parser().parse_args(argv)
+    if args.scalar:
+        from .core.kernel import set_scalar_mode
+
+        # Sets REPRO_SCALAR too, so --jobs worker processes inherit it.
+        set_scalar_mode(True)
     if args.experiment == "list":
         for name in experiment_names():
             print(name)

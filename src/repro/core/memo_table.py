@@ -45,7 +45,11 @@ class LookupResult(NamedTuple):
     reversed_match: bool = False
 
 
-#: Shared sentinel for the (very common) miss outcome.
+#: Shared sentinel for the (very common) miss outcome.  A NamedTuple
+#: instance, so immutable by construction: field assignment raises and
+#: every miss can safely alias this one object.  Callers must branch on
+#: ``result.hit``, never on identity against this sentinel (``repro``'s
+#: regression tests scan for both mutation and identity comparison).
 LookupResult.MISS = LookupResult(hit=False)
 
 
@@ -108,6 +112,22 @@ class BaseMemoTable(abc.ABC):
         value = compute(a, b)
         self.insert(a, b, value)
         return value, False
+
+    def probe_batch(
+        self,
+        a_values,
+        b_values,
+        compute: Callable[[float, float], float],
+    ) -> Tuple[List[float], List[bool]]:
+        """Batched :meth:`access`: probe every operand pair in order.
+
+        Returns ``(values, hits)``.  Delegates to the shared kernel
+        (:mod:`repro.core.kernel`), which owns the one per-record probe
+        loop in the codebase.
+        """
+        from .kernel import table_probe_batch  # deferred: kernel imports us
+
+        return table_probe_batch(self, a_values, b_values, compute)
 
 
 def _key_function(config: MemoTableConfig) -> Callable[[float, float], Tuple[int, Tag]]:

@@ -16,6 +16,14 @@ Two fan-out layers, both feeding the persistent store:
 
 Everything degrades gracefully: ``jobs=1`` (or a pool that cannot be
 created) runs serially through the exact same code paths.
+
+Traces flow through this engine in columnar form end to end: the store
+serializes v3 column blocks and deserializes straight into
+column-backed :class:`~repro.isa.trace.Trace` objects, so every replay
+a worker performs enters the simulators on the batched probe-kernel
+path (:mod:`repro.core.kernel`) without materializing per-event tuples.
+``repro --scalar`` (propagated to workers via ``REPRO_SCALAR``) forces
+the scalar reference loop instead.
 """
 
 from __future__ import annotations

@@ -50,7 +50,8 @@ from pathlib import Path
 from typing import Callable, Dict, List, NamedTuple, Optional, Tuple, Union
 
 from ..errors import CorpusError, CorpusLockError, TraceFormatError
-from ..isa.binfmt import read_binary_trace, write_binary_trace
+from ..isa.binfmt import read_column_blocks, write_column_trace
+from ..isa.columns import ColumnBatch
 from ..isa.trace import Trace
 
 __all__ = [
@@ -221,8 +222,10 @@ class TraceCorpus:
 
     @staticmethod
     def _serialize(trace: Trace) -> bytes:
+        # v3 columnar blocks: a column-backed trace serializes without
+        # ever materializing event objects.
         raw = io.BytesIO()
-        write_binary_trace(trace, raw, version=2)
+        write_column_trace(trace, raw)
         # mtime=0 keeps the gzip container deterministic, so identical
         # traces always produce identical checksums.
         out = io.BytesIO()
@@ -234,8 +237,19 @@ class TraceCorpus:
 
     @staticmethod
     def _deserialize(blob: bytes) -> Trace:
+        # Traces come back column-backed, so the simulators' batched
+        # kernel path engages without an events round trip.  Objects
+        # written by older stores (v1/v2 record formats) are adapted to
+        # columns by the reader.
         with gzip.GzipFile(fileobj=io.BytesIO(blob), mode="rb") as zipped:
-            return Trace(read_binary_trace(io.BytesIO(zipped.read())))
+            payload = io.BytesIO(zipped.read())
+        merged: Optional[ColumnBatch] = None
+        for block in read_column_blocks(payload):
+            if merged is None:
+                merged = block
+            else:
+                merged.extend_batch(block)
+        return Trace(columns=merged if merged is not None else ColumnBatch())
 
     @staticmethod
     def _checksum(blob: bytes) -> str:

@@ -1,0 +1,322 @@
+"""Columnar (struct-of-arrays) trace batches.
+
+The record-at-a-time :class:`~repro.isa.trace.TraceEvent` stream is the
+interface workloads speak, but replaying millions of NamedTuples through
+a Python loop is where simulation time goes.  A :class:`ColumnBatch`
+holds the same events as parallel fixed-width columns -- one
+``array('B')`` of opcode indices, one of per-event flags, int64 columns
+for operands/result/address/pc/dst and a flattened srcs column -- so the
+simulator kernel (:mod:`repro.core.kernel`) can partition a whole batch
+by opcode, extract index/tag columns and trivial-operand masks with
+numpy, and probe the MEMO-TABLES without touching an event object.
+
+Encoding rules match the v2 binary format (:mod:`repro.isa.binfmt`):
+
+* operands are stored as int64 values when ``a``/``b``/``result`` are
+  all non-bool ints (``_F_INT``), otherwise as the raw IEEE-754 bit
+  patterns of their float64 coercion -- exactly the distinction the v2
+  writer draws, so a batch serializes to v3 blocks verbatim;
+* optional fields (``address``/``pc``/``dst``) store 0 with their flag
+  bit clear when absent, so ``None`` round-trips;
+* the rare event a fixed column cannot hold (an out-of-int64 integer
+  operand, or a mixed int/float triple whose float coercion overflows)
+  is marked ``_F_WIDE`` and kept verbatim in a side table; such events
+  reconstruct exactly but cannot be serialized (the v2 writer rejects
+  them too).
+
+Batches reconstruct their events bit-exactly: NaN payloads, ``-0.0``
+and int64 corner values all survive the round trip.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..arch.ieee754 import bits_to_float64, float64_to_bits
+from .opcodes import OPCODE_INDEX, OPCODE_LIST, Opcode
+from .trace import TraceEvent
+
+__all__ = ["ColumnBatch", "ColumnBatchBuilder", "DEFAULT_BATCH_EVENTS"]
+
+#: Events per block in streaming/serialized form: large enough that the
+#: per-batch numpy fixed costs amortize, small enough to keep resident.
+DEFAULT_BATCH_EVENTS = 65536
+
+# Per-event flag bits (shared with the v3 on-disk block format, where
+# _F_WIDE never appears -- wide events are re-encoded or rejected).
+_F_INT = 1
+_F_ADDRESS = 2
+_F_PC = 4
+_F_DST = 8
+_F_WIDE = 16
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _signed(bits: int) -> int:
+    bits &= _U64_MASK
+    return bits - (1 << 64) if bits >> 63 else bits
+
+
+class _Views:
+    """Cached numpy views over a batch's columns (zero-copy)."""
+
+    __slots__ = (
+        "length", "opcode", "flags", "a_i", "b_i", "r_i",
+        "a_f", "b_f", "r_f", "address", "pc", "dst",
+    )
+
+    def __init__(self, batch: "ColumnBatch") -> None:
+        import numpy as np
+
+        self.length = len(batch)
+        self.opcode = np.frombuffer(batch.opcode_col, dtype=np.uint8)
+        self.flags = np.frombuffer(batch.flags_col, dtype=np.uint8)
+        self.a_i = np.frombuffer(batch.a_col, dtype=np.int64)
+        self.b_i = np.frombuffer(batch.b_col, dtype=np.int64)
+        self.r_i = np.frombuffer(batch.result_col, dtype=np.int64)
+        self.a_f = self.a_i.view(np.float64)
+        self.b_f = self.b_i.view(np.float64)
+        self.r_f = self.r_i.view(np.float64)
+        self.address = np.frombuffer(batch.address_col, dtype=np.int64)
+        self.pc = np.frombuffer(batch.pc_col, dtype=np.int64)
+        self.dst = np.frombuffer(batch.dst_col, dtype=np.int64)
+
+
+class ColumnBatch:
+    """A trace slice as parallel columns (see module docstring)."""
+
+    __slots__ = (
+        "opcode_col", "flags_col", "a_col", "b_col", "result_col",
+        "address_col", "pc_col", "dst_col", "src_offsets", "srcs_col",
+        "wide", "_views",
+    )
+
+    def __init__(self) -> None:
+        self.opcode_col = array("B")
+        self.flags_col = array("B")
+        self.a_col = array("q")
+        self.b_col = array("q")
+        self.result_col = array("q")
+        self.address_col = array("q")
+        self.pc_col = array("q")
+        self.dst_col = array("q")
+        #: Prefix-sum boundaries into :attr:`srcs_col`; length ``n + 1``.
+        self.src_offsets = array("Q", [0])
+        self.srcs_col = array("q")
+        #: index -> (a, b, result) for events the fixed columns cannot hold.
+        self.wide: Dict[int, Tuple] = {}
+        self._views: Optional[_Views] = None
+
+    # -- construction ------------------------------------------------------
+
+    def append(self, event: TraceEvent) -> None:
+        flags = 0
+        a = b = result = 0
+        ea, eb, er = event.a, event.b, event.result
+        if (
+            isinstance(ea, int) and isinstance(eb, int)
+            and isinstance(er, int)
+            and not (
+                isinstance(ea, bool) or isinstance(eb, bool)
+                or isinstance(er, bool)
+            )
+        ):
+            if (
+                _INT64_MIN <= ea <= _INT64_MAX
+                and _INT64_MIN <= eb <= _INT64_MAX
+                and _INT64_MIN <= er <= _INT64_MAX
+            ):
+                flags |= _F_INT
+                a, b, result = ea, eb, er
+            else:
+                flags |= _F_WIDE
+                self.wide[len(self.opcode_col)] = (ea, eb, er)
+        else:
+            try:
+                a = _signed(float64_to_bits(float(ea)))
+                b = _signed(float64_to_bits(float(eb)))
+                result = _signed(float64_to_bits(float(er)))
+            except OverflowError:
+                flags |= _F_WIDE
+                a = b = result = 0
+                self.wide[len(self.opcode_col)] = (ea, eb, er)
+        address = pc = dst = 0
+        if event.address is not None:
+            flags |= _F_ADDRESS
+            address = event.address
+        if event.pc is not None:
+            flags |= _F_PC
+            pc = event.pc
+        if event.dst is not None:
+            flags |= _F_DST
+            dst = event.dst
+        self.opcode_col.append(OPCODE_INDEX[event.opcode])
+        self.flags_col.append(flags)
+        self.a_col.append(a)
+        self.b_col.append(b)
+        self.result_col.append(result)
+        self.address_col.append(address)
+        self.pc_col.append(pc)
+        self.dst_col.append(dst)
+        if event.srcs:
+            self.srcs_col.extend(event.srcs)
+        self.src_offsets.append(len(self.srcs_col))
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        for event in events:
+            self.append(event)
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "ColumnBatch":
+        batch = cls()
+        batch.extend(events)
+        return batch
+
+    def extend_batch(self, other: "ColumnBatch") -> None:
+        """Append every event of ``other`` (column-level concatenation)."""
+        offset = len(self.opcode_col)
+        src_base = len(self.srcs_col)
+        self.opcode_col.extend(other.opcode_col)
+        self.flags_col.extend(other.flags_col)
+        self.a_col.extend(other.a_col)
+        self.b_col.extend(other.b_col)
+        self.result_col.extend(other.result_col)
+        self.address_col.extend(other.address_col)
+        self.pc_col.extend(other.pc_col)
+        self.dst_col.extend(other.dst_col)
+        self.srcs_col.extend(other.srcs_col)
+        self.src_offsets.extend(
+            src_base + bound for bound in other.src_offsets[1:]
+        )
+        for index, triple in other.wide.items():
+            self.wide[offset + index] = triple
+
+    # -- numpy views -------------------------------------------------------
+
+    def views(self) -> _Views:
+        """Zero-copy numpy views; rebuilt whenever the batch has grown
+        (``array`` reallocation invalidates older buffers)."""
+        if self._views is None or self._views.length != len(self):
+            self._views = _Views(self)
+        return self._views
+
+    # -- reconstruction ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.opcode_col)
+
+    def operand_triple(self, index: int) -> Tuple:
+        """Raw ``(a, b, result)`` of one event, wide-aware."""
+        flags = self.flags_col[index]
+        if flags & _F_WIDE:
+            return self.wide[index]
+        if flags & _F_INT:
+            return (
+                self.a_col[index], self.b_col[index], self.result_col[index]
+            )
+        return (
+            bits_to_float64(self.a_col[index] & _U64_MASK),
+            bits_to_float64(self.b_col[index] & _U64_MASK),
+            bits_to_float64(self.result_col[index] & _U64_MASK),
+        )
+
+    def srcs_for(self, index: int) -> tuple:
+        lo, hi = self.src_offsets[index], self.src_offsets[index + 1]
+        return tuple(self.srcs_col[lo:hi])
+
+    def event(self, index: int) -> TraceEvent:
+        flags = self.flags_col[index]
+        a, b, result = self.operand_triple(index)
+        return TraceEvent(
+            OPCODE_LIST[self.opcode_col[index]],
+            a,
+            b,
+            result,
+            address=self.address_col[index] if flags & _F_ADDRESS else None,
+            dst=self.dst_col[index] if flags & _F_DST else None,
+            srcs=self.srcs_for(index),
+            pc=self.pc_col[index] if flags & _F_PC else None,
+        )
+
+    def to_events(self) -> List[TraceEvent]:
+        """Materialize the whole batch (the bulk inverse of append)."""
+        opcodes = self.opcode_col
+        flags_col = self.flags_col
+        a_col, b_col, r_col = self.a_col, self.b_col, self.result_col
+        addr_col, pc_col, dst_col = self.address_col, self.pc_col, self.dst_col
+        offsets, srcs_col = self.src_offsets, self.srcs_col
+        wide = self.wide
+        events: List[TraceEvent] = []
+        append = events.append
+        for i in range(len(opcodes)):
+            flags = flags_col[i]
+            if flags & _F_WIDE:
+                a, b, result = wide[i]
+            elif flags & _F_INT:
+                a, b, result = a_col[i], b_col[i], r_col[i]
+            else:
+                a = bits_to_float64(a_col[i] & _U64_MASK)
+                b = bits_to_float64(b_col[i] & _U64_MASK)
+                result = bits_to_float64(r_col[i] & _U64_MASK)
+            lo, hi = offsets[i], offsets[i + 1]
+            append(
+                TraceEvent(
+                    OPCODE_LIST[opcodes[i]],
+                    a,
+                    b,
+                    result,
+                    address=addr_col[i] if flags & _F_ADDRESS else None,
+                    dst=dst_col[i] if flags & _F_DST else None,
+                    srcs=tuple(srcs_col[lo:hi]) if hi > lo else (),
+                    pc=pc_col[i] if flags & _F_PC else None,
+                )
+            )
+        return events
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.to_events())
+
+    def breakdown(self) -> Dict[Opcode, int]:
+        """Instruction frequency breakdown without materializing events."""
+        import numpy as np
+
+        counts = np.bincount(
+            self.views().opcode, minlength=len(OPCODE_LIST)
+        ).tolist()
+        return {
+            OPCODE_LIST[i]: count for i, count in enumerate(counts) if count
+        }
+
+
+class ColumnBatchBuilder:
+    """Streaming event consumer that flushes :class:`ColumnBatch` blocks.
+
+    Plug into :class:`~repro.workloads.recorder.OperationRecorder` as a
+    consumer; every ``batch_events`` events the accumulated batch is
+    handed to ``sink`` and a fresh one started.  Call :meth:`flush` at
+    end of recording for the final partial block.
+    """
+
+    def __init__(self, sink, batch_events: int = DEFAULT_BATCH_EVENTS) -> None:
+        if batch_events < 1:
+            raise ValueError(f"batch_events must be >= 1, got {batch_events}")
+        self._sink = sink
+        self._batch_events = batch_events
+        self._batch = ColumnBatch()
+        self.batches_emitted = 0
+
+    def __call__(self, event: TraceEvent) -> None:
+        self._batch.append(event)
+        if len(self._batch) >= self._batch_events:
+            self.flush()
+
+    def flush(self) -> None:
+        """Emit the current partial batch (no-op when empty)."""
+        if len(self._batch):
+            self._sink(self._batch)
+            self.batches_emitted += 1
+            self._batch = ColumnBatch()

@@ -15,7 +15,14 @@ from typing import Optional
 
 from ..core.operations import Operation
 
-__all__ = ["Opcode", "MEMOIZABLE_OPCODES", "opcode_to_operation", "operation_to_opcode"]
+__all__ = [
+    "Opcode",
+    "MEMOIZABLE_OPCODES",
+    "OPCODE_LIST",
+    "OPCODE_INDEX",
+    "opcode_to_operation",
+    "operation_to_opcode",
+]
 
 
 class Opcode(enum.Enum):
@@ -61,6 +68,12 @@ MEMOIZABLE_OPCODES = frozenset(
         Opcode.FCOS,
     }
 )
+
+#: Canonical opcode order shared by the binary trace formats and the
+#: columnar batches: the uint8 code of an opcode is its position here.
+#: Append-only -- reordering would silently re-interpret archived traces.
+OPCODE_LIST: tuple = tuple(Opcode)
+OPCODE_INDEX = {opcode: i for i, opcode in enumerate(OPCODE_LIST)}
 
 _OP_BY_OPCODE = {
     Opcode.IMUL: Operation.INT_MUL,

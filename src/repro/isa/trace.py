@@ -54,19 +54,59 @@ class TraceEvent(NamedTuple):
 
 
 class Trace:
-    """An in-memory instruction trace."""
+    """An in-memory instruction trace.
 
-    def __init__(self, events: Optional[Iterable[TraceEvent]] = None) -> None:
-        self.events: List[TraceEvent] = list(events or [])
+    Events are held either as a list of :class:`TraceEvent` records, as
+    a columnar :class:`~repro.isa.columns.ColumnBatch`, or both: a trace
+    loaded from the v3 binary format starts column-backed and only
+    materializes event objects when :attr:`events` is first read, while
+    a trace built by appending events converts lazily (and caches the
+    result) when :meth:`columns` is first called.  Either view describes
+    the identical event sequence.
+    """
+
+    def __init__(
+        self,
+        events: Optional[Iterable[TraceEvent]] = None,
+        columns: Optional["object"] = None,
+    ) -> None:
+        if columns is not None and events is not None:
+            raise ValueError("pass either events or columns, not both")
+        self._events: Optional[List[TraceEvent]] = (
+            None if columns is not None else list(events or [])
+        )
+        self._columns = columns
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The event list (materialized from columns on first access)."""
+        if self._events is None:
+            self._events = self._columns.to_events()
+        return self._events
+
+    def columns(self):
+        """The columnar view (built from the event list on first call)."""
+        if self._columns is not None and (
+            self._events is None or len(self._events) == len(self._columns)
+        ):
+            return self._columns
+        from .columns import ColumnBatch  # deferred: columns imports us
+
+        self._columns = ColumnBatch.from_events(self._events)
+        return self._columns
 
     def append(self, event: TraceEvent) -> None:
         self.events.append(event)
+        self._columns = None
 
     def extend(self, events: Iterable[TraceEvent]) -> None:
         self.events.extend(events)
+        self._columns = None
 
     def __len__(self) -> int:
-        return len(self.events)
+        if self._events is None:
+            return len(self._columns)
+        return len(self._events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
@@ -84,6 +124,8 @@ class Trace:
 
     def breakdown(self) -> Dict[Opcode, int]:
         """Instruction frequency breakdown (per section 3 of the paper)."""
+        if self._events is None:
+            return self._columns.breakdown()  # no need to materialize
         return frequency_breakdown(self.events)
 
 

@@ -46,6 +46,7 @@ class MemoizedCPU:
         memoized: Sequence[Operation] = (Operation.FP_MUL, Operation.FP_DIV),
         config: Optional[MemoTableConfig] = None,
         hierarchy: Optional[MemoryHierarchy] = None,
+        scalar: bool = False,
     ) -> None:
         self.machine = machine
         self.memoized = tuple(memoized)
@@ -54,7 +55,9 @@ class MemoizedCPU:
             operations=self.memoized,
             latencies=machine.latencies(),
         )
-        self.model = CycleModel(machine, bank=self.bank, hierarchy=hierarchy)
+        self.model = CycleModel(
+            machine, bank=self.bank, hierarchy=hierarchy, scalar=scalar
+        )
 
     def run(self, events: Iterable[TraceEvent]) -> CycleReport:
         """Run one application trace through the cycle model."""

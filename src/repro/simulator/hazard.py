@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from ..arch.latency import ProcessorModel
+from ..core import kernel
 from ..core.bank import MemoTableBank
 from ..core.operations import Operation
 from ..isa.opcodes import Opcode
@@ -134,12 +135,17 @@ class HazardModel:
 
             # Resolve the execution latency (memoized or not) first; the
             # lookup happens in parallel with issue, so a hit is known
-            # when the operation would enter the unit.
+            # when the operation would enter the unit.  Stall resolution
+            # needs each event's outcome before the next issues, so this
+            # model probes one event at a time (kernel.probe_one), not in
+            # opcode batches.
             hit = False
             if operation is not None and bank is not None and bank.supports(
                 operation
             ):
-                outcome = bank.units[operation].execute(event.a, event.b)
+                outcome = kernel.probe_one(
+                    bank.units[operation], event.a, event.b
+                )
                 latency = outcome.cycles
                 hit = outcome.hit
             else:

@@ -12,6 +12,11 @@ This model therefore charges each dynamic instruction its latency:
   and the memoized unit's actual cycles (1 on a hit) on the enhanced
   machine -- both accumulated in a single pass, since a miss costs the
   enhanced machine exactly the baseline latency.
+
+The accounting itself is performed by the shared batched probe kernel
+(:mod:`repro.core.kernel`); this module keeps the machine-model wiring
+and the report shape.  ``scalar=True`` forces the event-at-a-time
+reference loop (bit-identical results).
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from ..arch.latency import ProcessorModel
+from ..core import kernel
 from ..core.bank import MemoTableBank
 from ..core.operations import Operation
 from ..isa.opcodes import Opcode
@@ -74,6 +80,7 @@ class CycleModel:
         bank: Optional[MemoTableBank] = None,
         hierarchy: Optional[MemoryHierarchy] = None,
         fp_add_latency: int = 3,
+        scalar: bool = False,
     ) -> None:
         """``bank`` of None means the baseline machine (no MEMO-TABLES);
         cycle totals are then identical for base and memo columns."""
@@ -81,49 +88,31 @@ class CycleModel:
         self.bank = bank
         self.hierarchy = hierarchy if hierarchy is not None else default_hierarchy()
         self.fp_add_latency = fp_add_latency
+        self.scalar = scalar
         if bank is not None:
             # The machine model owns the latencies; retune the bank's units.
             for op, unit in bank.units.items():
                 unit.latency = machine.latency(op)
 
-    def _plain_latency(self, event: TraceEvent) -> int:
-        opcode = event.opcode
-        if opcode.is_memory:
-            address = event.address if event.address is not None else 0
-            return self.hierarchy.access(address)
-        if opcode is Opcode.FADD:
-            return self.fp_add_latency
-        return 1  # IALU, BRANCH, NOP
-
     def run(self, events: Iterable[TraceEvent]) -> CycleReport:
         """Charge every event; returns totals for base and memoized machines."""
-        report = CycleReport(machine=self.machine.name)
-        cycles_by_opcode: Dict[Opcode, int] = {}
-        counts_by_opcode: Dict[Opcode, int] = {}
-        base_total = 0
-        memo_total = 0
         bank = self.bank
-        for event in events:
-            report.instructions += 1
-            opcode = event.opcode
-            counts_by_opcode[opcode] = counts_by_opcode.get(opcode, 0) + 1
-            operation = opcode.operation  # cached on the enum member
-            if operation is not None:
-                if bank is not None and bank.supports(operation):
-                    outcome = bank.units[operation].execute(event.a, event.b)
-                    base = outcome.base_cycles
-                    memo = outcome.cycles
-                else:
-                    base = memo = self.machine.latency(operation)
-            else:
-                base = memo = self._plain_latency(event)
-            base_total += base
-            memo_total += memo
-            cycles_by_opcode[opcode] = cycles_by_opcode.get(opcode, 0) + base
-        report.base_cycles = base_total
-        report.memo_cycles = memo_total
-        report.cycles_by_opcode = cycles_by_opcode
-        report.counts_by_opcode = counts_by_opcode
+        result = kernel.run_events(
+            events,
+            bank.units if bank is not None else None,
+            machine=self.machine,
+            hierarchy=self.hierarchy,
+            fp_add_latency=self.fp_add_latency,
+            scalar=self.scalar,
+        )
+        report = CycleReport(
+            machine=self.machine.name,
+            instructions=result.instructions,
+            base_cycles=result.base_cycles,
+            memo_cycles=result.memo_cycles,
+            cycles_by_opcode=result.cycles_by_opcode,
+            counts_by_opcode=result.counts,
+        )
         if bank is not None:
             report.hit_ratios = {
                 op: unit.hit_ratio for op, unit in bank.units.items()

@@ -2,17 +2,23 @@
 
 The paper used Shade to break on multiply/divide instructions, capture
 register operands, and feed software MEMO-TABLES.  Here the equivalent
-loop consumes :class:`~repro.isa.trace.TraceEvent` streams: memoizable
+pass consumes :class:`~repro.isa.trace.TraceEvent` streams: memoizable
 events are dispatched to a :class:`~repro.core.bank.MemoTableBank`, and
 every event contributes to the instruction frequency breakdown.
+
+This front-end is a thin adapter over the shared batched probe kernel
+(:mod:`repro.core.kernel`): column-backed traces take the vectorized
+opcode-partitioned path, and ``scalar=True`` (or ``repro --scalar``)
+forces the event-at-a-time reference loop.  Both produce bit-identical
+statistics.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
+from ..core import kernel
 from ..core.bank import MemoTableBank
 from ..core.operations import Operation
 from ..core.stats import UnitStats
@@ -50,47 +56,35 @@ class SimulationReport:
 class ShadeSimulator:
     """Instruction-level trace processor feeding MEMO-TABLES."""
 
-    def __init__(self, bank: Optional[MemoTableBank] = None, validate: bool = False) -> None:
+    def __init__(
+        self,
+        bank: Optional[MemoTableBank] = None,
+        validate: bool = False,
+        scalar: bool = False,
+    ) -> None:
         """``validate`` cross-checks memoized results against the traced
         results (exact for full-value tags; mantissa-mode hits may differ
-        by rounding of the exponent fix-up and are checked loosely)."""
+        by rounding of the exponent fix-up and are checked loosely).
+        ``scalar`` forces the event-at-a-time reference loop."""
         self.bank = bank if bank is not None else MemoTableBank.paper_baseline()
         self.validate = validate
+        self.scalar = scalar
 
     def run(self, events: Iterable[TraceEvent]) -> SimulationReport:
         """Consume a trace; returns statistics.  Tables persist across runs."""
-        breakdown: Counter = Counter()
-        instructions = 0
-        mismatches = 0
-        units = self.bank.units
-        validate = self.validate
-        for event in events:
-            instructions += 1
-            opcode = event.opcode
-            breakdown[opcode] += 1
-            operation = opcode.operation  # cached on the enum member
-            if operation is None:
-                continue
-            unit = units.get(operation)
-            if unit is None:
-                continue
-            outcome = unit.execute(event.a, event.b)
-            if validate and not _values_match(outcome.value, event.result):
-                mismatches += 1
+        report = kernel.run_events(
+            events,
+            self.bank.units,
+            validate=self.validate,
+            scalar=self.scalar,
+        )
         return SimulationReport(
-            instructions=instructions,
-            breakdown=dict(breakdown),
+            instructions=report.instructions,
+            breakdown=report.counts,
             unit_stats={op: unit.stats for op, unit in self.bank.units.items()},
-            mismatches=mismatches,
+            mismatches=report.mismatches,
         )
 
 
-def _values_match(computed, traced, rel: float = 1e-12) -> bool:
-    if computed == traced:
-        return True
-    try:
-        if computed != computed and traced != traced:  # both NaN
-            return True
-        return abs(computed - traced) <= rel * max(abs(computed), abs(traced))
-    except (TypeError, OverflowError):
-        return False
+#: Retained name: the validation comparison now lives in the kernel.
+_values_match = kernel.values_match

@@ -183,6 +183,36 @@ class OperationRecorder:
     def add_consumer(self, consumer: Consumer) -> None:
         self._consumers.append(consumer)
 
+    def add_batch_consumer(self, sink, batch_events: Optional[int] = None):
+        """Stream the recording to ``sink`` as columnar batches.
+
+        ``sink`` receives :class:`~repro.isa.columns.ColumnBatch` blocks
+        of up to ``batch_events`` events -- the struct-of-arrays form the
+        simulator kernel and the v3 trace format consume directly, so a
+        streaming pipeline never materializes per-event tuples beyond
+        the current block.  Returns the builder; call
+        :meth:`flush_batches` (or the builder's ``flush``) after the
+        kernel finishes to emit the final partial block.
+        """
+        from ..isa.columns import ColumnBatchBuilder, DEFAULT_BATCH_EVENTS
+
+        builder = ColumnBatchBuilder(
+            sink,
+            batch_events=(
+                batch_events if batch_events is not None
+                else DEFAULT_BATCH_EVENTS
+            ),
+        )
+        self._consumers.append(builder)
+        return builder
+
+    def flush_batches(self) -> None:
+        """Flush every batch consumer's pending partial block."""
+        for consumer in self._consumers:
+            flush = getattr(consumer, "flush", None)
+            if callable(flush):
+                flush()
+
     def emit(self, event: TraceEvent) -> None:
         self.events_recorded += 1
         if self.trace is not None:

@@ -1,0 +1,315 @@
+"""Batched-vs-scalar parity gate for the columnar probe kernel.
+
+The columnar pipeline (``repro.core.kernel``) replaces four scalar
+probe loops; its one contract is *bit-identical* statistics.  These
+tests run every bundled ISA program -- and synthetic edge-value traces
+-- through both tiers and require exactly equal ``MemoStats`` /
+``UnitStats`` counters, opcode breakdowns, and cycle totals.  NaN-
+carrying values are compared by bit pattern, never by ``==``.
+
+CI runs this module as the batched-equality gate required by the
+columnar-pipeline acceptance criteria.
+"""
+
+import math
+import struct
+
+import pytest
+
+from repro.analysis.static.memo import reference_machine
+from repro.arch.latency import FAST_DESIGN
+from repro.core import kernel
+from repro.core.bank import MemoTableBank
+from repro.core.config import MemoTableConfig, TagMode, TrivialPolicy
+from repro.core.operations import Operation
+from repro.isa.opcodes import Opcode
+from repro.isa.programs import PROGRAMS
+from repro.isa.trace import Trace, TraceEvent
+from repro.simulator.cache import MemoryHierarchy
+from repro.simulator.pipeline import CycleModel
+from repro.simulator.sampling import SamplingPlan, estimate_hit_ratios
+from repro.simulator.shade import ShadeSimulator
+
+ALL_OPERATIONS = tuple(Operation)
+
+
+def _bits(value):
+    """Bit-exact comparison key (NaN payloads and -0.0 must survive)."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        return ("i", value)
+    if value is None:
+        return ("n",)
+    return ("f", struct.unpack("<Q", struct.pack("<d", float(value)))[0])
+
+
+def _memo_key(stats):
+    return (
+        stats.lookups,
+        stats.hits,
+        stats.insertions,
+        stats.evictions,
+        stats.commutative_hits,
+    )
+
+
+def _unit_key(stats):
+    return (
+        stats.operations,
+        stats.trivial,
+        stats.trivial_hits,
+        stats.cycles_base,
+        stats.cycles_memo,
+    ) + _memo_key(stats.table)
+
+
+def _bank_fingerprint(bank):
+    return {op: _unit_key(unit.stats) for op, unit in bank.units.items()}
+
+
+def _table_entries(bank):
+    """Full table contents, bit-exact -- tags, values, stored operands."""
+    contents = {}
+    for op, unit in bank.units.items():
+        table = unit.table
+        if hasattr(table, "_sets"):
+            contents[op] = [
+                [
+                    (e.tag, _bits(e.value), tuple(map(_bits, e.operands)),
+                     e.last_used)
+                    for e in ways
+                ]
+                for ways in table._sets
+            ]
+        else:  # InfiniteMemoTable
+            contents[op] = {
+                tag: (_bits(value), tuple(map(_bits, operands)))
+                for tag, (value, operands) in table._entries.items()
+            }
+    return contents
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """One trace per bundled program, executed once and shared."""
+    out = {}
+    for name in PROGRAMS:
+        machine = reference_machine(name)
+        machine.run(max_steps=2_000_000)
+        out[name] = machine.trace
+    return out
+
+
+def _run_both(events, make_bank, **kwargs):
+    batched_bank = make_bank()
+    scalar_bank = make_bank()
+    batched = ShadeSimulator(bank=batched_bank, **kwargs).run(events)
+    scalar = ShadeSimulator(bank=scalar_bank, scalar=True, **kwargs).run(
+        events
+    )
+    return batched, scalar, batched_bank, scalar_bank
+
+
+class TestProgramParity:
+    """Every bundled ISA program: identical stats AND table contents."""
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_shade_stats_identical(self, traces, name):
+        events = traces[name]
+        batched, scalar, b_bank, s_bank = _run_both(
+            events, lambda: MemoTableBank.paper_baseline(
+                operations=ALL_OPERATIONS
+            ),
+        )
+        assert batched.instructions == scalar.instructions
+        assert batched.breakdown == scalar.breakdown
+        assert _bank_fingerprint(b_bank) == _bank_fingerprint(s_bank)
+        assert _table_entries(b_bank) == _table_entries(s_bank)
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_cycle_model_identical(self, traces, name):
+        events = traces[name]
+        reports = []
+        for scalar in (False, True):
+            bank = MemoTableBank.paper_baseline(
+                operations=ALL_OPERATIONS,
+                latencies=FAST_DESIGN.latencies(),
+            )
+            model = CycleModel(
+                FAST_DESIGN,
+                bank=bank,
+                hierarchy=MemoryHierarchy(),
+                scalar=scalar,
+            )
+            reports.append(model.run(events))
+        batched, scalar_report = reports
+        assert batched.base_cycles == scalar_report.base_cycles
+        assert batched.memo_cycles == scalar_report.memo_cycles
+        assert batched.cycles_by_opcode == scalar_report.cycles_by_opcode
+        assert batched.counts_by_opcode == scalar_report.counts_by_opcode
+        assert batched.hit_ratios == scalar_report.hit_ratios
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_infinite_bank_identical(self, traces, name):
+        events = traces[name]
+        batched, scalar, b_bank, s_bank = _run_both(
+            events, lambda: MemoTableBank.infinite(operations=ALL_OPERATIONS),
+        )
+        assert _bank_fingerprint(b_bank) == _bank_fingerprint(s_bank)
+        assert _table_entries(b_bank) == _table_entries(s_bank)
+
+
+def _edge_trace():
+    """Synthetic trace hammering trivial-operand and NaN edge cases."""
+    nan = float("nan")
+    inf = float("inf")
+    tiny = 5e-324  # smallest subnormal
+    events = []
+    fp_pool = [0.0, -0.0, 1.0, -1.0, 2.5, -2.5, nan, inf, -inf, tiny, 0.5]
+    for op, ok in (
+        (Opcode.FMUL, lambda a, b: True),
+        (Opcode.FDIV, lambda a, b: True),
+        (Opcode.FRECIP, lambda a, b: True),
+    ):
+        for i, a in enumerate(fp_pool):
+            for b in fp_pool[i:]:
+                events.append(TraceEvent(op, a, b, 0.25))
+    # Domain-limited unary ops: operands their compute function accepts.
+    for a in (0.0, 1.0, 4.0, 2.25, 0.5):
+        events.append(TraceEvent(Opcode.FSQRT, a, 0.0, math.sqrt(a)))
+        events.append(TraceEvent(Opcode.FSIN, a, 0.0, math.sin(a)))
+        events.append(TraceEvent(Opcode.FCOS, a, 0.0, math.cos(a)))
+    for a in (1.0, 2.0, 0.5, 8.0):
+        events.append(TraceEvent(Opcode.FLOG, a, 0.0, math.log(a)))
+    int_pool = [0, 1, -1, 2, -7, 2**62, -(2**62), 13]
+    for op in (Opcode.IMUL, Opcode.IDIV):
+        for i, a in enumerate(int_pool):
+            for b in int_pool[i:]:
+                if op is Opcode.IDIV and b == 0:
+                    continue
+                events.append(TraceEvent(op, a, b, 3))
+    # Repeat everything so the second pass exercises hits and LRU state.
+    return events + events
+
+
+class TestEdgeValueParity:
+    @pytest.mark.parametrize(
+        "policy",
+        [TrivialPolicy.EXCLUDE, TrivialPolicy.INTEGRATED,
+         TrivialPolicy.CACHE_ALL],
+    )
+    def test_trivial_policies(self, policy):
+        events = _edge_trace()
+        batched, scalar, b_bank, s_bank = _run_both(
+            events,
+            lambda: MemoTableBank.paper_baseline(
+                operations=ALL_OPERATIONS, trivial_policy=policy
+            ),
+        )
+        assert _bank_fingerprint(b_bank) == _bank_fingerprint(s_bank)
+        assert _table_entries(b_bank) == _table_entries(s_bank)
+
+    def test_mantissa_tag_mode(self):
+        events = _edge_trace()
+        config = MemoTableConfig(tag_mode=TagMode.MANTISSA)
+        batched, scalar, b_bank, s_bank = _run_both(
+            events,
+            lambda: MemoTableBank.paper_baseline(
+                config=config, operations=ALL_OPERATIONS
+            ),
+        )
+        assert _bank_fingerprint(b_bank) == _bank_fingerprint(s_bank)
+
+    def test_tiny_geometry_evictions(self):
+        # A 4-entry direct-mapped table forces constant evictions; the
+        # victim choice (hence final contents) must match exactly.
+        events = _edge_trace()
+        config = MemoTableConfig(entries=4, associativity=1)
+        batched, scalar, b_bank, s_bank = _run_both(
+            events,
+            lambda: MemoTableBank.paper_baseline(
+                config=config, operations=ALL_OPERATIONS
+            ),
+        )
+        assert _bank_fingerprint(b_bank) == _bank_fingerprint(s_bank)
+        assert _table_entries(b_bank) == _table_entries(s_bank)
+
+    def test_validation_mismatch_counts(self):
+        # Traced results are wrong on purpose: both tiers must flag the
+        # same number of mismatches.
+        events = [
+            TraceEvent(Opcode.FMUL, 2.0, 3.0, 999.0),
+            TraceEvent(Opcode.FMUL, 2.0, 3.0, 999.0),
+            TraceEvent(Opcode.FMUL, 4.0, 5.0, 20.0),
+        ]
+        batched, scalar, _, _ = _run_both(
+            events,
+            lambda: MemoTableBank.paper_baseline(operations=ALL_OPERATIONS),
+            validate=True,
+        )
+        assert batched.mismatches == scalar.mismatches > 0
+
+
+class TestSliceParity:
+    """``run_events(start=, stop=)`` is the sampling front-end's path."""
+
+    @pytest.mark.parametrize("window", [(0, 7), (3, 60), (100, 101),
+                                        (40, None)])
+    def test_arbitrary_windows(self, traces, window):
+        events = traces["memo_showcase"]
+        start, stop = window
+        results = []
+        for scalar in (False, True):
+            bank = MemoTableBank.paper_baseline(operations=ALL_OPERATIONS)
+            report = kernel.run_events(
+                events, bank.units, start=start, stop=stop, scalar=scalar
+            )
+            results.append((report.instructions, dict(report.counts),
+                            _bank_fingerprint(bank)))
+        assert results[0] == results[1]
+
+    def test_sampling_estimator(self, traces):
+        events = traces["memo_showcase"]
+        plan = SamplingPlan(window=40, interval=150, warmup=10)
+        estimates = []
+        for scalar in (False, True):
+            kernel.set_scalar_mode(scalar)
+            try:
+                bank = MemoTableBank.paper_baseline(
+                    operations=ALL_OPERATIONS
+                )
+                estimates.append(
+                    estimate_hit_ratios(events, bank=bank, plan=plan)
+                )
+            finally:
+                kernel.set_scalar_mode(False)
+        assert estimates[0].hit_ratios == estimates[1].hit_ratios
+        assert estimates[0].events_measured == estimates[1].events_measured
+
+
+class TestCorpusRoundTripParity:
+    def test_v3_roundtrip_preserves_stats(self, traces, tmp_path):
+        from repro.corpus.store import TraceCorpus, TraceKey
+
+        corpus = TraceCorpus(tmp_path / "corpus")
+        key = TraceKey(suite="parity", name="memo_showcase")
+        original = traces["memo_showcase"]
+        corpus.put(key, Trace(list(original)))
+        corpus.clear_memory()  # force the on-disk (columnar) path
+        restored = corpus.get(key)
+        assert restored is not None
+
+        fingerprints = []
+        for events in (original, restored):
+            bank = MemoTableBank.paper_baseline(operations=ALL_OPERATIONS)
+            ShadeSimulator(bank=bank).run(events)
+            fingerprints.append(_bank_fingerprint(bank))
+        assert fingerprints[0] == fingerprints[1]
+
+
+class TestReplayInfiniteParity:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_matches_scalar_reference(self, traces, name):
+        events = traces[name]
+        assert kernel.replay_infinite(events) == (
+            kernel._replay_infinite_scalar(events)
+        )

@@ -19,6 +19,7 @@ from repro.errors import TraceFormatError
 from repro.isa.binfmt import (
     BINARY_MAGIC,
     BINARY_MAGIC_V2,
+    BINARY_MAGIC_V3,
     read_binary_trace,
     write_binary_trace,
 )
@@ -128,10 +129,26 @@ class TestRoundTripProperties:
         for before, after in zip(events, restored):
             assert _v2_key(before) == _v2_key(after)
 
+    @given(st.lists(trace_events(annotated=True), max_size=40))
+    @settings(max_examples=60)
+    def test_v3_is_lossless(self, events):
+        restored = _read(_write(events, version=3))
+        assert len(restored) == len(events)
+        for before, after in zip(events, restored):
+            assert _v2_key(before) == _v2_key(after)
+
+    @given(st.lists(trace_events(annotated=True), max_size=40))
+    @settings(max_examples=60)
+    def test_v3_agrees_with_v2(self, events):
+        """The columnar format must archive exactly what v2 archives."""
+        via_v2 = _read(_write(events, version=2))
+        via_v3 = _read(_write(events, version=3))
+        assert [_v2_key(e) for e in via_v3] == [_v2_key(e) for e in via_v2]
+
     @given(_any_float, _any_float, _any_float)
     @settings(max_examples=60)
     def test_float_bits_exact(self, a, b, result):
-        for version in (1, 2):
+        for version in (1, 2, 3):
             restored = _read(
                 _write([TraceEvent(Opcode.FMUL, a, b, result)], version)
             )[0]
@@ -145,14 +162,14 @@ class TestRoundTripProperties:
     @settings(max_examples=60)
     def test_int64_corners_exact(self, a, b, result):
         event = TraceEvent(Opcode.IMUL, a, b, result)
-        for version in (1, 2):
+        for version in (1, 2, 3):
             restored = _read(_write([event], version))[0]
             assert (restored.a, restored.b, restored.result) == (a, b, result)
 
 
 class TestMalformedInput:
     @given(st.lists(trace_events(annotated=True), min_size=1, max_size=12),
-           st.integers(min_value=1, max_value=2), st.data())
+           st.integers(min_value=1, max_value=3), st.data())
     @settings(max_examples=60)
     def test_truncation_never_fabricates_events(self, events, version, data):
         blob = _write(events, version)
@@ -171,7 +188,9 @@ class TestMalformedInput:
     @given(st.binary(max_size=64))
     @settings(max_examples=60)
     def test_garbage_rejected(self, blob):
-        if blob.startswith(BINARY_MAGIC) or blob.startswith(BINARY_MAGIC_V2):
+        if blob.startswith(
+            (BINARY_MAGIC, BINARY_MAGIC_V2, BINARY_MAGIC_V3)
+        ):
             return
         with pytest.raises(TraceFormatError):
             _read(blob)

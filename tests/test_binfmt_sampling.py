@@ -143,7 +143,7 @@ class TestBinaryFormatV2:
 
     def test_unknown_version_rejected(self):
         with pytest.raises(TraceFormatError, match="version"):
-            write_binary_trace([], io.BytesIO(), version=3)
+            write_binary_trace([], io.BytesIO(), version=4)
 
     def test_truncated_v2_tail_rejected(self):
         buffer = io.BytesIO()

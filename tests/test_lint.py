@@ -13,6 +13,7 @@ from repro.analysis.lint import (
     ALL_RULES,
     FloatEqualityRule,
     OpcodeExhaustivenessRule,
+    PerRecordProbeLoopRule,
     PoolCallbackMutationRule,
     UnseededRandomRule,
     WallClockRule,
@@ -200,6 +201,68 @@ class TestOpcodeExhaustivenessRule:
         found = _findings(source, path, self._rule())
         assert len(found) == 1
         assert "FP_DIV" in found[0].message
+
+
+class TestPerRecordProbeLoopRule:
+    def test_catches_execute_in_for_loop(self):
+        source = (
+            "def run(events, unit):\n"
+            "    for event in events:\n"
+            "        unit.execute(event.a, event.b)\n"
+        )
+        found = _findings(
+            source, "src/repro/simulator/custom.py", PerRecordProbeLoopRule()
+        )
+        assert len(found) == 1
+        assert found[0].rule == "REPRO006"
+        assert "kernel" in found[0].message
+
+    def test_catches_lookup_in_while_loop(self):
+        source = (
+            "def drain(table, queue):\n"
+            "    while queue:\n"
+            "        a, b = queue.pop()\n"
+            "        table.lookup(a, b)\n"
+        )
+        found = _findings(
+            source, "src/repro/corpus/engine.py", PerRecordProbeLoopRule()
+        )
+        assert len(found) == 1
+
+    def test_catches_probe_in_comprehension(self):
+        source = "def run(unit, pairs):\n    return [unit.execute(a, b) for a, b in pairs]\n"
+        found = _findings(
+            source, "src/repro/simulator/custom.py", PerRecordProbeLoopRule()
+        )
+        assert len(found) == 1
+
+    def test_nested_loops_report_once(self):
+        source = (
+            "def run(unit, rows):\n"
+            "    for row in rows:\n"
+            "        for a, b in row:\n"
+            "            unit.execute(a, b)\n"
+        )
+        found = _findings(
+            source, "src/repro/simulator/custom.py", PerRecordProbeLoopRule()
+        )
+        assert len(found) == 1
+
+    def test_kernel_module_is_exempt(self):
+        source = (
+            "def probe(unit, pairs):\n"
+            "    for a, b in pairs:\n"
+            "        unit.execute(a, b)\n"
+        )
+        assert _findings(
+            source, "src/repro/core/kernel.py", PerRecordProbeLoopRule()
+        ) == []
+
+    def test_single_probe_outside_loop_allowed(self):
+        source = "def one(unit, a, b):\n    return unit.execute(a, b)\n"
+        assert _findings(
+            source, "src/repro/simulator/hazard.py", PerRecordProbeLoopRule()
+        ) == []
 
 
 class TestFullRepoGate:

@@ -280,3 +280,84 @@ class TestStatsInvariants:
         for a, b in pairs:
             value, _hit = table.access(a, b, lambda x, y: x * y)
             assert value == a * b or value == b * a
+
+
+class TestMissSentinelIntegrity:
+    """``LookupResult.MISS`` is shared by every table; it must stay
+    immutable and callers must branch on ``.hit``, never on identity."""
+
+    def test_sentinel_is_immutable_by_construction(self):
+        with pytest.raises(AttributeError):
+            LookupResult.MISS.hit = True
+        with pytest.raises(AttributeError):
+            LookupResult.MISS.value = 3.0
+        assert LookupResult.MISS.hit is False
+
+    def test_tables_share_the_sentinel_unchanged(self):
+        # Heavy mixed traffic through both table kinds must leave the
+        # class-level sentinel untouched.
+        finite = fp_table(entries=8, associativity=2)
+        infinite = InfiniteMemoTable(
+            MemoTableConfig(operand_kind=OperandKind.FLOAT)
+        )
+        for i in range(64):
+            a, b = float(i % 7), float(i % 5 + 1)
+            finite.access(a, b, lambda x, y: x * y)
+            infinite.access(a, b, lambda x, y: x * y)
+        assert LookupResult.MISS == LookupResult(hit=False)
+        assert LookupResult.MISS.value is None
+        assert LookupResult.MISS.operands is None
+
+    def test_no_caller_mutates_or_identity_compares_miss(self):
+        """AST-scan ``src/repro`` for writes to ``.MISS`` attributes and
+        for ``is``/``is not`` comparisons against the sentinel."""
+        import ast
+        from pathlib import Path
+
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        offenders = []
+        for path in sorted(root.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                # Assignment / deletion targeting <anything>.MISS.
+                targets = []
+                if isinstance(node, (ast.Assign, ast.Delete)):
+                    targets = node.targets
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "MISS"
+                        # The one legal definition site assigns
+                        # LookupResult.MISS right after the class body.
+                        and path.name != "memo_table.py"
+                    ):
+                        offenders.append(f"{path}:{node.lineno} writes .MISS")
+                    # Mutating a *field of* the sentinel, e.g.
+                    # ``LookupResult.MISS.hit = ...``, is banned everywhere.
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr == "MISS"
+                    ):
+                        offenders.append(
+                            f"{path}:{node.lineno} mutates a MISS field"
+                        )
+                # Identity comparison against the sentinel.
+                if isinstance(node, ast.Compare):
+                    operands = [node.left, *node.comparators]
+                    uses_miss = any(
+                        isinstance(o, ast.Attribute) and o.attr == "MISS"
+                        or isinstance(o, ast.Name) and o.id == "MISS"
+                        for o in operands
+                    )
+                    if uses_miss and any(
+                        isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+                    ):
+                        offenders.append(
+                            f"{path}:{node.lineno} identity-compares MISS"
+                        )
+        assert offenders == [], "\n".join(offenders)
