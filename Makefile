@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-batched reproduce compare corpus examples lint analyze clean
+.PHONY: install test bench bench-batched reproduce compare corpus examples lint analyze verify verify-fuzz clean
+
+# Differential fuzz campaign size for `make verify-fuzz`.
+FUZZ_BUDGET ?= 10000
+FUZZ_SEED ?= 0
 
 # Parallelism and corpus location for the corpus/reproduce targets.
 JOBS ?= 4
@@ -53,6 +57,16 @@ lint:
 # Static dataflow analysis with dynamic cross-validation (the CI gate).
 analyze:
 	$(PYTHON) -m repro.cli analyze --check
+
+# Mutation smoke: the differential harness must catch every planted
+# kernel fault and stay silent on the clean tree (the PR-time gate).
+verify:
+	$(PYTHON) -m repro.cli verify smoke
+	$(PYTHON) -m repro.cli verify replay
+
+# Full fuzz campaign (the nightly gate; ~2 min at the default budget).
+verify-fuzz:
+	$(PYTHON) -m repro.cli verify fuzz --budget $(FUZZ_BUDGET) --seed $(FUZZ_SEED)
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks

@@ -125,6 +125,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .analysis.cli import main_lint
 
         return main_lint(argv[1:])
+    if argv and argv[0] == "verify":
+        from .verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.scalar:
         from .core.kernel import set_scalar_mode

@@ -45,6 +45,7 @@ from .operations import Operation, compute_function
 from .replacement import LRUPolicy
 
 __all__ = [
+    "KERNEL_FAULTS",
     "KernelReport",
     "run_events",
     "run_events_scalar",
@@ -75,6 +76,25 @@ _MANT_MASK = (1 << 52) - 1
 # choice survives into fork/spawn worker pools (which re-read the env).
 
 _scalar_override: Optional[bool] = None
+
+
+# -- fault injection seam (mutation smoke) ----------------------------------
+#
+# ``repro verify smoke`` proves the differential harness can catch real
+# kernel regressions: each named fault below perturbs the batched fast
+# path the way a plausible bug would, and the harness must flag the
+# divergence within its default budget.  The seam is a single module
+# global read once per batch; it is only ever set (briefly) by
+# ``repro.verify.faults.inject`` and is never active in production runs.
+
+KERNEL_FAULTS = (
+    "lru_victim_off_by_one",
+    "dropped_trivial_mask",
+    "wrong_set_index_mask",
+    "stale_tag_on_abort",
+)
+
+_active_fault: Optional[str] = None
 
 
 def scalar_mode() -> bool:
@@ -276,7 +296,10 @@ def _probe_fast(unit, table, a_values, b_values, np_a, np_b):
     commutative hits never reach insert)."""
     operation = unit.operation
     config = table.config
+    fault = _active_fault
     trivial_arr = _trivial_mask(operation, np_a, np_b)
+    if fault == "dropped_trivial_mask":
+        trivial_arr = np.zeros(len(np_a), dtype=bool)
     n_trivial = int(trivial_arr.sum())
     int_kind = config.operand_kind is OperandKind.INT
     if int_kind:
@@ -303,6 +326,8 @@ def _probe_fast(unit, table, a_values, b_values, np_a, np_b):
 
     if type(table) is MemoTable:
         mask = config.n_sets - 1
+        if fault == "wrong_set_index_mask":
+            mask >>= 1
         if int_kind:
             index_list = (
                 np.bitwise_and(np.bitwise_xor(np_a, np_b), mask).tolist()
@@ -324,6 +349,8 @@ def _probe_fast(unit, table, a_values, b_values, np_a, np_b):
         inline_lru = type(policy) is LRUPolicy
         victim_of = policy.victim
         clock = table._clock
+        stale_tag = fault == "stale_tag_on_abort"
+        prev_tag = None
         for i in iter_idx:
             clock += 1
             lookups += 1
@@ -347,12 +374,17 @@ def _probe_fast(unit, table, a_values, b_values, np_a, np_b):
                 hits += 1
                 if reversed_match:
                     commutative_hits += 1
+                if stale_tag:
+                    prev_tag = tag
                 continue
             a, b = a_list[i], b_list[i]
             value = compute_op(a, b)
             clock += 1
             insertions += 1
-            entry = _Entry(tag, value, (a, b), clock)
+            insert_tag = tag
+            if stale_tag and prev_tag is not None:
+                insert_tag = prev_tag
+            entry = _Entry(insert_tag, value, (a, b), clock)
             if len(ways) < associativity:
                 ways.append(entry)
             else:
@@ -364,6 +396,8 @@ def _probe_fast(unit, table, a_values, b_values, np_a, np_b):
                         if used < oldest:
                             oldest = used
                             victim = way_i
+                    if fault == "lru_victim_off_by_one":
+                        victim = (victim + 1) % associativity
                 else:
                     victim = victim_of(
                         [w.last_used for w in ways],
@@ -371,6 +405,8 @@ def _probe_fast(unit, table, a_values, b_values, np_a, np_b):
                     )
                 ways[victim] = entry
                 evictions += 1
+            if stale_tag:
+                prev_tag = tag
         table._clock = clock
     else:  # InfiniteMemoTable
         entries = table._entries

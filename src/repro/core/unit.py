@@ -185,14 +185,19 @@ class MemoizedUnit:
             # Specials route through the full exponent/normalize path,
             # which is exact computation.
             return compute(self.operation, a, b)
+        ra, rb = a / sa, b / sb
         if self.operation is Operation.FP_MUL:
-            scale = (a / sa) * (b / sb)
+            scale = ra * rb
         elif self.operation is Operation.FP_DIV:
-            scale = (a / sa) / (b / sb)
+            scale = ra / rb if rb else math.inf
         else:
             return compute(self.operation, a, b)
-        # Same mantissas means |a/sa| and |b/sb| are exact powers of two,
-        # so this scaling is exact.
+        if not math.isfinite(scale) or scale == 0:
+            # The exponent adder over/underflowed (operand ratios can
+            # span ~2^4000); such hits route through the full path.
+            return compute(self.operation, a, b)
+        # For normal operands, same mantissas means |a/sa| and |b/sb|
+        # are exact powers of two, so this scaling is exact.
         return stored_value * scale
 
     # -- execution ---------------------------------------------------------

@@ -322,9 +322,13 @@ class TraceCorpus:
         return self.objects_dir / f"{digest}.trc.gz"
 
     def total_bytes(self) -> int:
-        return sum(
-            path.stat().st_size for path in self.objects_dir.glob("*.trc.gz")
-        )
+        total = 0
+        for path in self.objects_dir.glob("*.trc.gz"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass  # concurrently evicted between glob and stat
+        return total
 
     def __len__(self) -> int:
         return len(self._read_manifest())
@@ -391,7 +395,10 @@ class TraceCorpus:
             return None
         self.stats.disk_hits += 1
         self.stats.bytes_read += len(blob)
-        os.utime(path)  # LRU recency for gc
+        try:
+            os.utime(path)  # LRU recency for gc
+        except OSError:
+            pass  # concurrently evicted; the blob in hand is still good
         self._memory_put(digest, trace)
         return trace
 
@@ -472,20 +479,37 @@ class TraceCorpus:
             report.append((entry, True, "ok"))
         return report
 
-    def gc(self, max_bytes: Optional[int] = None) -> List[CorpusEntry]:
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        orphan_grace: float = 60.0,
+    ) -> List[CorpusEntry]:
         """Evict least-recently-used entries until the store fits.
 
         Also sweeps orphans: objects with no manifest row and manifest
         rows with no object.  Returns the evicted entries.
+
+        ``orphan_grace`` protects objects younger than that many seconds
+        from the orphan sweep: a concurrent :meth:`put` writes its
+        object *before* its manifest row lands, so a zero-grace sweep
+        could destroy a trace mid-store (the same race git's
+        ``gc --prune=<age>`` exists for).
         """
         bound = self.max_bytes if max_bytes is None else max_bytes
         evicted: List[CorpusEntry] = []
+        now = time.time()
         with self._lock("gc"):
             entries = self._read_manifest()
             known = {f"{digest}.trc.gz" for digest in entries}
             for path in self.objects_dir.glob("*.trc.gz"):
-                if path.name not in known:
+                if path.name in known:
+                    continue
+                try:
+                    if now - path.stat().st_mtime < orphan_grace:
+                        continue  # likely a put() awaiting its manifest row
                     path.unlink()
+                except OSError:
+                    pass  # another process already removed it
             removed = {
                 digest
                 for digest in entries

@@ -1,0 +1,172 @@
+"""Divergence shrinking: delta-debug a failing case to a minimal one.
+
+A fuzz divergence is only useful if a human can stare at it, so any
+failing :class:`~repro.verify.differential.FuzzCase` is reduced before
+it is reported or written to the regression corpus:
+
+1. **Event minimization** -- classic ddmin: remove ever-smaller chunks
+   of the trace, keeping each removal that still diverges;
+2. **Value simplification** -- try replacing each operand with a small
+   "obvious" value of the same kind, and strip annotations;
+3. **Config simplification** -- try the plainest table that still
+   diverges (fewer entries, LRU, full tags, EXCLUDE, finite).
+
+Every candidate is re-run through the full differential check; the
+total number of re-runs is bounded, and the original case is returned
+unshrunk if reduction stalls.  Deterministic: no randomness at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import List
+
+from ..core.config import (
+    MemoTableConfig,
+    ReplacementKind,
+    TagMode,
+    TrivialPolicy,
+)
+from ..isa.trace import TraceEvent
+from .differential import FuzzCase, canonicalize, run_case
+
+__all__ = ["shrink_case"]
+
+#: Replacement candidates per operand kind, plainest first.
+_SIMPLE_FLOATS = (2.0, 1.5, 3.0, 0.5)
+_SIMPLE_INTS = (2, 3, 5, 7)
+
+
+class _Budget:
+    """Caps the number of differential re-runs a shrink may spend."""
+
+    def __init__(self, limit: int) -> None:
+        self.left = limit
+
+    def spend(self) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        return True
+
+
+def _with_events(case: FuzzCase, events) -> FuzzCase:
+    return dc_replace(case, events=canonicalize(events))
+
+
+def _diverges(case: FuzzCase, budget: _Budget) -> bool:
+    if not case.events or not budget.spend():
+        return False
+    return bool(run_case(case).divergences)
+
+
+def _shrink_events(case: FuzzCase, budget: _Budget) -> FuzzCase:
+    events = list(case.events)
+    chunk = max(1, len(events) // 2)
+    while chunk >= 1:
+        i = 0
+        while i < len(events):
+            candidate = events[:i] + events[i + chunk:]
+            if candidate:
+                smaller = _with_events(case, candidate)
+                if _diverges(smaller, budget):
+                    events = candidate
+                    case = smaller
+                    continue  # retry the same position
+            i += chunk
+        chunk //= 2
+    return case
+
+
+def _simplify_values(case: FuzzCase, budget: _Budget) -> FuzzCase:
+    events: List[TraceEvent] = list(case.events)
+    for i, event in enumerate(events):
+        if event.opcode.operation is None:
+            continue
+        is_int = isinstance(event.a, int)
+        pool = _SIMPLE_INTS if is_int else _SIMPLE_FLOATS
+        for which in ("a", "b"):
+            current = getattr(event, which)
+            for value in pool:
+                if current == value:
+                    break
+                trial = list(events)
+                trial[i] = event._replace(**{which: value})
+                candidate = _with_events(case, trial)
+                if _diverges(candidate, budget):
+                    events = trial
+                    event = trial[i]
+                    case = candidate
+                    break
+        # Annotations never affect probing; drop them if they are set.
+        if event.address is not None or event.dst is not None or event.srcs:
+            trial = list(events)
+            trial[i] = event._replace(address=None, dst=None, srcs=(), pc=None)
+            candidate = _with_events(case, trial)
+            if _diverges(candidate, budget):
+                events = trial
+                case = candidate
+    return case
+
+
+def _simplify_config(case: FuzzCase, budget: _Budget) -> FuzzCase:
+    cfg = case.config
+    candidates = []
+    if case.infinite:
+        candidates.append(dc_replace(case, infinite=False))
+    if case.trivial_policy is not TrivialPolicy.EXCLUDE:
+        candidates.append(
+            dc_replace(case, trivial_policy=TrivialPolicy.EXCLUDE)
+        )
+    if cfg.tag_mode is not TagMode.FULL:
+        candidates.append(dc_replace(
+            case, config=dc_replace(cfg, tag_mode=TagMode.FULL)
+        ))
+    if cfg.replacement is not ReplacementKind.LRU:
+        candidates.append(dc_replace(
+            case, config=dc_replace(cfg, replacement=ReplacementKind.LRU)
+        ))
+    for candidate in candidates:
+        if _diverges(candidate, budget):
+            case = candidate
+            cfg = case.config
+    # Smallest geometry that still diverges.
+    entries = cfg.entries
+    while entries > 2:
+        entries //= 2
+        assoc = min(cfg.associativity, entries)
+        while entries % assoc:
+            assoc //= 2
+        try:
+            smaller_cfg = MemoTableConfig(
+                entries=entries,
+                associativity=assoc,
+                operand_kind=cfg.operand_kind,
+                tag_mode=cfg.tag_mode,
+                commutative=cfg.commutative,
+                replacement=cfg.replacement,
+                seed=cfg.seed,
+            )
+        except Exception:
+            break
+        candidate = dc_replace(case, config=smaller_cfg)
+        if not _diverges(candidate, budget):
+            break
+        case = candidate
+        cfg = smaller_cfg
+    return case
+
+
+def shrink_case(case: FuzzCase, max_runs: int = 600) -> FuzzCase:
+    """Reduce a diverging case; returns a (usually much) smaller one.
+
+    The result is guaranteed to still diverge (the last accepted
+    candidate always re-ran the differential check).
+    """
+    budget = _Budget(max_runs)
+    case = _shrink_events(case, budget)
+    case = _simplify_config(case, budget)
+    case = _simplify_values(case, budget)
+    # One more event pass: simplified values often unlock more removal.
+    case = _shrink_events(case, budget)
+    return dc_replace(case, label=f"{case.label}-shrunk")

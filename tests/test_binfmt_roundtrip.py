@@ -227,3 +227,80 @@ class TestMalformedInput:
     def test_empty_stream_rejected(self):
         with pytest.raises(TraceFormatError, match="bad magic"):
             _read(b"")
+
+
+class TestDegenerateShapes:
+    """Zero-length and single-opcode traces (the fuzzer's size floor)."""
+
+    def test_zero_length_trace_round_trips_all_versions(self):
+        for version in (1, 2, 3):
+            blob = _write([], version)
+            assert _read(blob) == []
+
+    def test_zero_length_v3_column_blocks(self):
+        from repro.isa.binfmt import read_column_blocks
+        from repro.isa.columns import ColumnBatch
+
+        blob = _write([], version=3)
+        assert blob == BINARY_MAGIC_V3  # no blocks at all, not one empty
+        blocks = list(read_column_blocks(io.BytesIO(blob)))
+        assert blocks == [] or sum(len(b) for b in blocks) == 0
+        batch = ColumnBatch.from_events([])
+        buffer = io.BytesIO()
+        from repro.isa.binfmt import write_column_trace
+
+        assert write_column_trace(batch, buffer) == 0
+        assert _read(buffer.getvalue()) == []
+
+    def test_zero_length_v3_block_embedded_mid_stream(self):
+        """An empty block between two real ones must decode as a no-op."""
+        from repro.isa.binfmt import _write_block
+        from repro.isa.columns import ColumnBatch
+
+        events = [
+            TraceEvent(Opcode.FMUL, 1.5, 2.0, 3.0, dst=1, srcs=(0,), pc=4),
+            TraceEvent(Opcode.IDIV, 7, 2, 3, dst=2, srcs=(1,)),
+            TraceEvent(Opcode.LOAD, address=0x1000),
+        ]
+        batch = ColumnBatch.from_events(events)
+        stream = io.BytesIO()
+        stream.write(BINARY_MAGIC_V3)
+        _write_block(stream, batch, 0, 1)
+        _write_block(stream, batch, 1, 1)  # zero events
+        _write_block(stream, batch, 1, len(events))
+        restored = _read(stream.getvalue())
+        assert [_v2_key(e) for e in restored] == [
+            _v2_key(e) for e in events
+        ]
+
+    @given(
+        st.sampled_from(_FLOAT_MEMO + _INT_MEMO + _PLAIN),
+        st.data(),
+        st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=60)
+    def test_single_opcode_traces_round_trip(self, opcode, data, size):
+        """Traces of one repeated opcode (including size zero) survive v3."""
+        if opcode in _INT_MEMO:
+            events = [
+                TraceEvent(
+                    opcode, data.draw(_int64), data.draw(_int64),
+                    data.draw(_int64),
+                )
+                for _ in range(size)
+            ]
+        elif opcode in _FLOAT_MEMO:
+            events = [
+                TraceEvent(
+                    opcode, data.draw(_any_float), data.draw(_any_float),
+                    data.draw(_any_float),
+                )
+                for _ in range(size)
+            ]
+        else:
+            events = [TraceEvent(opcode) for _ in range(size)]
+        restored = _read(_write(events, version=3))
+        assert len(restored) == size
+        assert [_v2_key(e) for e in restored] == [
+            _v2_key(e) for e in events
+        ]

@@ -202,7 +202,9 @@ class TestGC:
         corpus.put(_key(), _trace())
         orphan = corpus.objects_dir / ("f" * 32 + ".trc.gz")
         orphan.write_bytes(b"junk")
-        corpus.gc()
+        corpus.gc()  # within the grace window: a racing put() survives
+        assert orphan.exists()
+        corpus.gc(orphan_grace=0.0)
         assert not orphan.exists()
         assert len(corpus) == 1  # real entry untouched
 

@@ -1,0 +1,46 @@
+"""Replay the regression corpus: every shrunk divergence, forever.
+
+``tests/regressions/`` holds minimal v3 traces (plus JSON sidecars with
+their table configuration) for every divergence the differential fuzzer
+ever found, seeded with hand-minimized cases for the classic hazards.
+Each is re-run through the full three-way differential check on every
+test run, so a bug fixed once can never quietly return.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.differential import run_case
+from repro.verify.regressions import SEED_CASES, load_cases
+
+REGRESSIONS_DIR = Path(__file__).parent / "regressions"
+
+_CASES = load_cases(REGRESSIONS_DIR)
+
+
+def test_corpus_exists_and_is_seeded():
+    names = {case.name for case in _CASES}
+    missing = set(SEED_CASES) - names
+    assert not missing, (
+        f"seed regressions missing from {REGRESSIONS_DIR}: {sorted(missing)}"
+        " -- run `repro verify seed`"
+    )
+    assert len(_CASES) >= 3
+
+
+@pytest.mark.parametrize("regression", _CASES, ids=str)
+def test_regression_replays_clean(regression):
+    result = run_case(regression.case)
+    assert result.ok, (
+        f"{regression.name} ({regression.description}) diverged:\n"
+        + "\n".join(result.divergences)
+    )
+
+
+@pytest.mark.parametrize("regression", _CASES, ids=str)
+def test_regression_traces_are_minimal_enough_to_read(regression):
+    # The corpus is for humans: anything over a few dozen events should
+    # have gone through the shrinker before landing in-tree.
+    assert len(regression.case.events) <= 64
+    assert regression.description

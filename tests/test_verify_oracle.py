@@ -1,0 +1,182 @@
+"""The golden oracle against the production hierarchy, case by case.
+
+These are directed (non-fuzz) differential checks: every classic memo
+hazard the paper discusses -- commutative hits, trivial short-circuits
+under all three policies, mantissa-tag collisions, replacement
+tie-breaks, set aliasing, the infinite reference table -- expressed as
+a minimal trace whose three-way run must agree exactly.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import (
+    MemoTableConfig,
+    ReplacementKind,
+    TagMode,
+    TrivialPolicy,
+)
+from repro.core.operations import Operation
+from repro.core.unit import MemoizedUnit
+from repro.isa.opcodes import Opcode
+from repro.isa.trace import TraceEvent
+from repro.verify.differential import FuzzCase, canonicalize, run_case
+from repro.verify.oracle import OracleUnit
+
+E = TraceEvent
+
+
+def _case(events, **kwargs) -> FuzzCase:
+    kwargs.setdefault("config", MemoTableConfig(entries=8, associativity=2))
+    return FuzzCase(events=canonicalize(events), **kwargs)
+
+
+def _assert_agrees(case: FuzzCase) -> None:
+    result = run_case(case)
+    assert result.ok, "\n".join(result.divergences)
+
+
+class TestDirectedAgreement:
+    def test_plain_reuse_and_miss_mix(self):
+        _assert_agrees(_case([
+            E(Opcode.FMUL, 2.5, 3.0, 7.5),
+            E(Opcode.FMUL, 2.5, 3.0, 7.5),
+            E(Opcode.FMUL, 4.0, 3.0, 12.0),
+            E(Opcode.FDIV, 9.0, 3.0, 3.0),
+            E(Opcode.FDIV, 9.0, 3.0, 3.0),
+        ]))
+
+    def test_commutative_swapped_operands_hit(self):
+        _assert_agrees(_case([
+            E(Opcode.FMUL, 2.5, 3.0, 7.5),
+            E(Opcode.FMUL, 3.0, 2.5, 7.5),
+            E(Opcode.IMUL, 6, 9, 54),
+            E(Opcode.IMUL, 9, 6, 54),
+        ]))
+
+    @pytest.mark.parametrize("policy", list(TrivialPolicy), ids=lambda p: p.name)
+    def test_trivial_operands_under_every_policy(self, policy):
+        _assert_agrees(_case(
+            [
+                E(Opcode.FMUL, 2.5, 0.0, 0.0),
+                E(Opcode.FMUL, 2.5, 1.0, 2.5),
+                E(Opcode.FMUL, 2.5, 3.0, 7.5),
+                E(Opcode.FDIV, 0.0, 7.0, 0.0),
+                E(Opcode.FDIV, 7.0, 7.0, 1.0),
+                E(Opcode.FMUL, 2.5, 0.0, 0.0),
+            ],
+            trivial_policy=policy,
+        ))
+
+    def test_mantissa_tag_collision_rescale(self):
+        _assert_agrees(_case(
+            [
+                E(Opcode.FMUL, 1.5, 2.0, 3.0),
+                E(Opcode.FMUL, 3.0, 4.0, 12.0),  # same mantissas, x4
+                E(Opcode.FMUL, 0.375, 0.25, 0.09375),
+                E(Opcode.FDIV, 6.0, 1.5, 4.0),
+                E(Opcode.FDIV, 12.0, 3.0, 4.0),
+            ],
+            config=MemoTableConfig(
+                entries=8, associativity=2, tag_mode=TagMode.MANTISSA
+            ),
+        ))
+
+    def test_mantissa_rescale_underflow_falls_back_to_compute(self):
+        # The stored/current operand ratio spans the whole exponent
+        # range, so the naive power-of-two rescale under/overflows; both
+        # machines must recompute instead of crashing (ZeroDivisionError)
+        # or delivering inf.
+        tiny = 5e-324
+        huge = 8.98846567431158e307
+        _assert_agrees(_case(
+            [
+                E(Opcode.FDIV, 1.5, huge, 1.5 / huge),
+                E(Opcode.FDIV, 3.0, tiny * 4, 3.0 / (tiny * 4)),
+                E(Opcode.FMUL, huge, huge, math.inf),
+                E(Opcode.FMUL, tiny * 2, tiny * 8, 0.0),
+            ],
+            config=MemoTableConfig(
+                entries=8, associativity=2, tag_mode=TagMode.MANTISSA
+            ),
+        ))
+
+    @pytest.mark.parametrize(
+        "replacement", list(ReplacementKind), ids=lambda r: r.name
+    )
+    def test_eviction_pressure_per_policy(self, replacement):
+        events = [
+            E(Opcode.FMUL, float(p), float(q), float(p * q))
+            for p, q in [(3, 5), (7, 11), (13, 17), (19, 23), (3, 5),
+                         (29, 31), (7, 11), (13, 17), (3, 5)]
+        ]
+        _assert_agrees(_case(
+            events,
+            config=MemoTableConfig(
+                entries=4, associativity=2, replacement=replacement, seed=3
+            ),
+        ))
+
+    def test_direct_mapped_and_fully_associative_extremes(self):
+        events = [
+            E(Opcode.FMUL, float(p), 2.0, float(p) * 2.0)
+            for p in (3, 5, 7, 9, 3, 5, 11, 3)
+        ]
+        _assert_agrees(_case(
+            events, config=MemoTableConfig(entries=4, associativity=1)
+        ))
+        _assert_agrees(_case(
+            events, config=MemoTableConfig(entries=4, associativity=4)
+        ))
+
+    def test_infinite_reference_table(self):
+        _assert_agrees(_case(
+            [
+                E(Opcode.FSQRT, 9.0, 0.0, 3.0),
+                E(Opcode.FSQRT, 9.0, 0.0, 3.0),
+                E(Opcode.FLOG, 8.0, 0.0, math.log(8.0)),
+                E(Opcode.IDIV, -(1 << 63), -1, 0),
+                E(Opcode.IDIV, 7, 0, 0),
+            ],
+            infinite=True,
+        ))
+
+    def test_special_values_full_tags(self):
+        nan = float("nan")
+        _assert_agrees(_case([
+            E(Opcode.FMUL, nan, 2.0, nan),
+            E(Opcode.FMUL, nan, 2.0, nan),
+            E(Opcode.FMUL, math.inf, 2.0, math.inf),
+            E(Opcode.FDIV, math.inf, math.inf, nan),
+            E(Opcode.FMUL, -0.0, -0.0, 0.0),
+        ]))
+
+
+class TestOracleUnitDirectly:
+    def test_excluded_trivial_never_touches_the_table(self):
+        unit = OracleUnit(Operation.FP_MUL,
+                          config=MemoTableConfig(entries=8, associativity=2))
+        assert unit.step(2.5, 1.0) == 2.5
+        assert unit.step(2.5, 0.0) == 0.0
+        assert unit.table.lookups == 0 and unit.table.insertions == 0
+        assert unit.trivial == 2
+
+    def test_hit_after_miss_and_stats_shape(self):
+        unit = OracleUnit(Operation.FP_MUL,
+                          config=MemoTableConfig(entries=8, associativity=2))
+        assert unit.step(2.5, 3.0) == 7.5
+        assert unit.step(2.5, 3.0) == 7.5
+        key = unit.stats_key()
+        assert len(key) == 10
+        assert unit.table.hits == 1 and unit.table.insertions == 1
+
+    def test_oracle_shares_no_probe_machinery_with_production(self):
+        # The whole point of a golden oracle: its table logic must not
+        # secretly be the production classes.
+        unit = OracleUnit(Operation.FP_MUL)
+        production = MemoizedUnit(Operation.FP_MUL)
+        assert type(unit.table).__module__.endswith("verify.oracle")
+        assert type(unit.table) is not type(production.table)
+        assert not hasattr(unit.table, "lookup")
+        assert not hasattr(unit, "execute")
