@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-batched reproduce compare corpus examples lint analyze verify verify-fuzz clean
+.PHONY: install test bench bench-batched reproduce compare corpus examples lint analyze verify verify-fuzz metrics-smoke clean
 
 # Differential fuzz campaign size for `make verify-fuzz`.
 FUZZ_BUDGET ?= 10000
@@ -67,6 +67,20 @@ verify:
 # Full fuzz campaign (the nightly gate; ~2 min at the default budget).
 verify-fuzz:
 	$(PYTHON) -m repro.cli verify fuzz --budget $(FUZZ_BUDGET) --seed $(FUZZ_SEED)
+
+# Observability smoke: run a bundled program with metrics enabled,
+# schema-validate the snapshot, and check the Prometheus rendering
+# carries the core gauge/counter names (the metrics-smoke CI job).
+metrics-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli stats --program saxpy \
+		--metrics-out metrics-smoke.json --validate
+	PYTHONPATH=src $(PYTHON) -m repro.cli stats --from metrics-smoke.json --validate
+	PYTHONPATH=src $(PYTHON) -m repro.cli stats --from metrics-smoke.json \
+		--format prom | grep -q "repro_sim_FP_MUL_hit_ratio"
+	PYTHONPATH=src $(PYTHON) -m repro.cli stats --from metrics-smoke.json \
+		--format prom | grep -q "repro_kernel_FP_MUL_table_lookups_total"
+	rm -f metrics-smoke.json
+	@echo "metrics-smoke ok"
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks

@@ -197,19 +197,28 @@ _WALL_CLOCK_CALLS = {
 class WallClockRule(LintRule):
     """Deterministic paths must not read the wall clock.
 
-    Interval timing belongs to ``time.perf_counter`` (monotonic);
-    wall-clock reads make runs unreproducible and break trace-identity
-    assumptions.  The corpus store's lock-staleness and archive
-    timestamps are the sanctioned exceptions (``repro/corpus/store.py``
-    is out of scope).
+    Interval timing belongs to ``time.perf_counter`` (monotonic) and
+    CPU accounting to ``time.process_time``; wall-clock reads make runs
+    unreproducible, break trace-identity assumptions, and (in the
+    metrics layer) make durations jump when NTP steps the clock.  The
+    rule covers the whole package; the corpus store's lock-staleness
+    and archive timestamps are the one sanctioned exception
+    (``repro/corpus/store.py``).
     """
 
     id = "REPRO002"
     name = "wall-clock"
     description = "wall-clock read on a deterministic path"
-    scopes = ("repro/workloads/", "repro/images/", "repro/isa/",
-              "repro/core/", "repro/simulator/", "repro/experiments/",
-              "repro/cli.py", "repro/corpus/engine.py")
+    scopes = ("repro/",)
+
+    #: The only module allowed to read the wall clock.
+    _EXEMPT = ("repro/corpus/store.py",)
+
+    def applies_to(self, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        if any(exempt in posix for exempt in self._EXEMPT):
+            return False
+        return super().applies_to(posix)
 
     def check(self, tree: ast.Module, path: str) -> List[LintViolation]:
         findings: List[LintViolation] = []

@@ -13,7 +13,14 @@ replay them from disk.  ``repro corpus record|ls|verify|gc`` maintains
 the store (see :mod:`repro.corpus.cli`).  ``repro analyze`` runs the
 static dataflow passes that bound memo-table hit ratios, and ``repro
 lint`` checks the repo's determinism invariants (see
-:mod:`repro.analysis.cli`).
+:mod:`repro.analysis.cli`).  ``repro stats`` renders/validates metrics
+snapshots (see :mod:`repro.obs.cli`); ``--metrics-out PATH`` on an
+experiment run enables the observability layer and writes its snapshot.
+
+Serial and ``--jobs N`` runs share one code path
+(:func:`repro.corpus.engine.run_experiments`): durations are measured
+inside the worker in both cases, so the ``[per experiment: ...]``
+report line has an identical shape either way.
 """
 
 from __future__ import annotations
@@ -21,10 +28,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from typing import List, Optional
 
-from .experiments import experiment_names, run_experiment, run_experiments
+from .experiments import experiment_names, run_experiments
 from .experiments.plots import render_plot
 from .experiments.reference import compare_to_paper
 
@@ -88,6 +94,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "propagates to worker processes)"
         ),
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable the metrics registry (REPRO_METRICS) for this run and "
+            "write its JSON snapshot to PATH ('-' for stdout)"
+        ),
+    )
     return parser
 
 
@@ -129,6 +144,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .verify.cli import main as verify_main
 
         return verify_main(argv[1:])
+    if argv and argv[0] == "stats":
+        from .obs.cli import main as stats_main
+
+        return stats_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.scalar:
         from .core.kernel import set_scalar_mode
@@ -144,13 +163,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .corpus import set_active_corpus
 
         set_active_corpus(args.corpus_dir)
-    documents = []
-    if args.jobs > 1:
+    metrics_enabled = args.metrics_out is not None
+    if metrics_enabled:
+        from . import obs
+
+        # Sets REPRO_METRICS too, so --jobs worker processes inherit it.
+        obs.set_enabled(True)
+        obs.registry().clear()
+    try:
+        documents = []
         kwargs = {}
         if args.scale is not None:
             kwargs["scale"] = args.scale
+        # table1 reproduces a static latency table; no workload to scale.
+        overrides = {"table1": {}} if "scale" in kwargs else {}
         batch = run_experiments(
-            names, jobs=args.jobs, corpus_dir=args.corpus_dir, **kwargs
+            names,
+            jobs=args.jobs,
+            corpus_dir=args.corpus_dir,
+            overrides=overrides,
+            **kwargs,
         )
         for name, result in batch.results:
             _print_result(result, args)
@@ -161,36 +193,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"[{name}]")
             print()
             documents.append(result.to_dict())
-        stats = batch.corpus_stats
-        print(
-            f"[{len(names)} experiment(s) in {batch.elapsed:.1f}s with "
-            f"{batch.jobs} jobs; corpus: {batch.recorded} recorded, "
-            f"{stats.get('disk_hits', 0)} disk hits, "
-            f"{stats.get('memory_hits', 0)} memory hits]"
-        )
-        if batch.durations:
-            print(f"[per experiment: {_format_durations(batch.durations)}]")
-        print()
-    else:
-        durations: dict = {}
-        for name in names:
-            kwargs = {}
-            if args.scale is not None and name != "table1":
-                kwargs["scale"] = args.scale
-            started = time.perf_counter()
-            result = run_experiment(name, **kwargs)
-            durations[name] = time.perf_counter() - started
-            _print_result(result, args)
-            print(f"[{name} in {durations[name]:.1f}s]")
-            print()
-            documents.append(result.to_dict())
-        if len(names) > 1:
+        if len(names) > 1 or batch.jobs > 1:
+            stats = batch.corpus_stats
             print(
-                f"[{len(names)} experiment(s) in "
-                f"{sum(durations.values()):.1f}s; per experiment: "
-                f"{_format_durations(durations)}]"
+                f"[{len(names)} experiment(s) in {batch.elapsed:.1f}s with "
+                f"{batch.jobs} jobs; corpus: {batch.recorded} recorded, "
+                f"{stats.get('disk_hits', 0)} disk hits, "
+                f"{stats.get('memory_hits', 0)} memory hits]"
             )
+            if batch.durations:
+                print(
+                    f"[per experiment: {_format_durations(batch.durations)}]"
+                )
             print()
+        if metrics_enabled:
+            from . import obs
+            from .obs.cli import write_snapshot
+
+            write_snapshot(obs.registry().as_dict(), args.metrics_out)
+    finally:
+        if metrics_enabled:
+            obs.set_enabled(None)
     if args.json is not None:
         payload = json.dumps(
             documents[0] if len(documents) == 1 else documents, indent=2

@@ -32,11 +32,13 @@ probe loop; ``repro lint`` rule REPRO006 flags new ones anywhere else.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..isa.columns import ColumnBatch
 from ..isa.opcodes import OPCODE_INDEX, OPCODE_LIST, Opcode
 from .config import OperandKind, TagMode, TrivialPolicy
@@ -231,7 +233,49 @@ def probe_batch(
     mantissa tags, CACHE_ALL/INTEGRATED policies, custom tables, mixed
     int/float partitions -- takes the generic tier, which loops
     ``unit.execute`` and is therefore correct by construction.
+
+    With metrics enabled (:func:`repro.obs.enabled`), each partition is
+    additionally timed as a ``kernel.partition.<OP>`` span and its
+    probe/insert/evict counter deltas stream into the registry --
+    one snapshot per *batch*, never per event, and nothing at all when
+    the switch is off.
     """
+    if not obs.enabled():
+        return _probe_batch(
+            unit, a_values, b_values, results, validate, _np_a, _np_b
+        )
+    stats = unit.stats
+    before = stats.counters()
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    out = _probe_batch(
+        unit, a_values, b_values, results, validate, _np_a, _np_b
+    )
+    reg = obs.registry()
+    name = unit.operation.name
+    reg.record_span(
+        f"kernel.partition.{name}",
+        time.perf_counter() - wall0,
+        time.process_time() - cpu0,
+    )
+    reg.add_counters(
+        f"kernel.{name}",
+        {key: value - before.get(key, 0)
+         for key, value in stats.counters().items()},
+    )
+    return out
+
+
+def _probe_batch(
+    unit,
+    a_values: Sequence,
+    b_values: Sequence,
+    results: Optional[Sequence] = None,
+    validate: bool = False,
+    _np_a=None,
+    _np_b=None,
+) -> Tuple[int, int, int]:
+    """The uninstrumented :func:`probe_batch` body (tier dispatch)."""
     n = len(a_values)
     if not n:
         return 0, 0, 0
@@ -474,22 +518,33 @@ def run_events(
     (the Shade-style run).  ``scalar=True`` (or the process-wide
     :func:`scalar_mode`) forces the reference path.
     """
-    if not scalar and not scalar_mode():
-        batch = as_batch(events)
-        if batch is not None:
-            return _run_batch(
-                batch, units, machine, hierarchy, fp_add_latency,
-                validate, start, len(batch) if stop is None else stop,
+    with obs.span("kernel.run"):
+        if not scalar and not scalar_mode():
+            batch = as_batch(events)
+            if batch is not None:
+                report = _run_batch(
+                    batch, units, machine, hierarchy, fp_add_latency,
+                    validate, start, len(batch) if stop is None else stop,
+                )
+                if obs.enabled():
+                    obs.registry().counter_add(
+                        "kernel.instructions", report.instructions
+                    )
+                return report
+        if start or stop is not None:
+            end = len(events) if stop is None else stop
+            indexed = events
+            events = (indexed[i] for i in range(start, end))
+        report = run_events_scalar(
+            events, units,
+            machine=machine, hierarchy=hierarchy,
+            fp_add_latency=fp_add_latency, validate=validate,
+        )
+        if obs.enabled():
+            obs.registry().counter_add(
+                "kernel.instructions", report.instructions
             )
-    if start or stop is not None:
-        end = len(events) if stop is None else stop
-        indexed = events
-        events = (indexed[i] for i in range(start, end))
-    return run_events_scalar(
-        events, units,
-        machine=machine, hierarchy=hierarchy,
-        fp_add_latency=fp_add_latency, validate=validate,
-    )
+        return report
 
 
 def run_events_scalar(

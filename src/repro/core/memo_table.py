@@ -20,6 +20,7 @@ from __future__ import annotations
 import abc
 from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
+from .. import obs
 from .config import MemoTableConfig, OperandKind, TagMode
 from .indexing import index_function
 from .replacement import ReplacementPolicy, make_policy
@@ -238,6 +239,8 @@ class MemoTable(BaseMemoTable):
 
     def flush(self) -> None:
         self._sets = [[] for _ in range(self.config.n_sets)]
+        if obs.enabled():
+            obs.registry().counter_add("memo_table.flush")
 
     # -- inspection -------------------------------------------------------
 
@@ -310,6 +313,8 @@ class InfiniteMemoTable(BaseMemoTable):
 
     def flush(self) -> None:
         self._entries.clear()
+        if obs.enabled():
+            obs.registry().counter_add("memo_table.flush")
 
     def __len__(self) -> int:
         return len(self._entries)

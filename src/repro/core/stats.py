@@ -3,14 +3,58 @@
 The paper's two success indicators are the *hit ratio* (fraction of
 multi-cycle operations avoided) and the derived *speedup*; every counter
 needed to reproduce its tables lives here.
+
+``merge``, ``reset``, ``counters`` and ``as_dict`` are driven by
+``dataclasses.fields`` rather than hand-written field lists: a counter
+added to either dataclass is automatically merged, reset, exported and
+streamed into the metrics registry -- it can never again be silently
+dropped the way hand-maintained method bodies drift.  These objects
+remain the authoritative per-table/per-unit views; the observability
+layer (:mod:`repro.obs`) consumes them as snapshots.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 __all__ = ["MemoStats", "UnitStats"]
+
+
+def _merge_fields(target, other) -> None:
+    """Accumulate every dataclass field of ``other`` into ``target``.
+
+    Integer counters add; nested stats dataclasses merge recursively.
+    """
+    for spec in fields(target):
+        mine = getattr(target, spec.name)
+        theirs = getattr(other, spec.name)
+        if hasattr(mine, "merge"):
+            mine.merge(theirs)
+        else:
+            setattr(target, spec.name, mine + theirs)
+
+
+def _reset_fields(target) -> None:
+    """Zero every dataclass field of ``target`` (recursively)."""
+    for spec in fields(target):
+        value = getattr(target, spec.name)
+        if hasattr(value, "reset"):
+            value.reset()
+        else:
+            setattr(target, spec.name, type(value)())
+
+
+def _counter_fields(target, prefix: str = "") -> Dict[str, int]:
+    """Flat ``{name: value}`` of every counter field (recursively)."""
+    out: Dict[str, int] = {}
+    for spec in fields(target):
+        value = getattr(target, spec.name)
+        if hasattr(value, "counters"):
+            out.update(value.counters(prefix=f"{prefix}{spec.name}_"))
+        else:
+            out[f"{prefix}{spec.name}"] = value
+    return out
 
 
 @dataclass
@@ -36,29 +80,20 @@ class MemoStats:
 
     def merge(self, other: "MemoStats") -> None:
         """Accumulate ``other``'s counters into this object."""
-        self.lookups += other.lookups
-        self.hits += other.hits
-        self.insertions += other.insertions
-        self.evictions += other.evictions
-        self.commutative_hits += other.commutative_hits
+        _merge_fields(self, other)
 
     def reset(self) -> None:
-        self.lookups = 0
-        self.hits = 0
-        self.insertions = 0
-        self.evictions = 0
-        self.commutative_hits = 0
+        _reset_fields(self)
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """Every raw counter field, flat (the metrics-registry feed)."""
+        return _counter_fields(self, prefix)
 
     def as_dict(self) -> Dict[str, float]:
-        return {
-            "lookups": self.lookups,
-            "hits": self.hits,
-            "misses": self.misses,
-            "insertions": self.insertions,
-            "evictions": self.evictions,
-            "commutative_hits": self.commutative_hits,
-            "hit_ratio": self.hit_ratio,
-        }
+        out: Dict[str, float] = dict(self.counters())
+        out["misses"] = self.misses
+        out["hit_ratio"] = self.hit_ratio
+        return out
 
 
 @dataclass
@@ -110,31 +145,24 @@ class UnitStats:
         return self.cycles_base - self.cycles_memo
 
     def merge(self, other: "UnitStats") -> None:
-        self.operations += other.operations
-        self.trivial += other.trivial
-        self.trivial_hits += other.trivial_hits
-        self.cycles_base += other.cycles_base
-        self.cycles_memo += other.cycles_memo
-        self.table.merge(other.table)
+        _merge_fields(self, other)
 
     def reset(self) -> None:
-        self.operations = 0
-        self.trivial = 0
-        self.trivial_hits = 0
-        self.cycles_base = 0
-        self.cycles_memo = 0
-        self.table.reset()
+        _reset_fields(self)
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """Every raw counter field, flat, with nested table counters
+        prefixed ``table_`` (the metrics-registry feed)."""
+        return _counter_fields(self, prefix)
 
     def as_dict(self) -> Dict[str, float]:
         out: Dict[str, float] = {
-            "operations": self.operations,
-            "trivial": self.trivial,
-            "trivial_hits": self.trivial_hits,
-            "trivial_fraction": self.trivial_fraction,
-            "hit_ratio": self.hit_ratio,
-            "cycles_base": self.cycles_base,
-            "cycles_memo": self.cycles_memo,
-            "cycles_saved": self.cycles_saved,
+            key: value
+            for key, value in self.counters().items()
+            if not key.startswith("table_")
         }
+        out["trivial_fraction"] = self.trivial_fraction
+        out["hit_ratio"] = self.hit_ratio
+        out["cycles_saved"] = self.cycles_saved
         out.update({f"table_{k}": v for k, v in self.table.as_dict().items()})
         return out

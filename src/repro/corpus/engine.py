@@ -40,10 +40,12 @@ from .store import (
     default_corpus_dir,
     set_active_corpus,
 )
+from .. import obs
 from ..errors import CorpusError
 
 __all__ = [
     "ExperimentBatch",
+    "ExperimentTiming",
     "trace_plan",
     "record_trace_for_key",
     "prefetch_traces",
@@ -54,6 +56,20 @@ __all__ = [
 #: ``run()`` signature); used when the caller does not pass ``--scale``.
 _MM_SCALE = 0.15
 _SUITE_SCALE = 1.0
+
+
+@dataclass(frozen=True)
+class ExperimentTiming:
+    """Worker-side timing of one experiment.
+
+    Measured *inside* the worker with monotonic clocks
+    (``time.perf_counter`` / ``time.process_time``), so a serial run and
+    a ``--jobs N`` run report the same quantity: the time the experiment
+    itself took, never pool scheduling or result-pickling overhead.
+    """
+
+    wall: float = 0.0
+    cpu: float = 0.0
 
 
 @dataclass
@@ -73,8 +89,11 @@ class ExperimentBatch:
     recorded: int = 0
     elapsed: float = 0.0
     #: Per-experiment wall seconds (worker-side ``perf_counter`` spans),
-    #: keyed by experiment name in the order requested.
+    #: keyed by experiment name in the order requested.  Kept as the
+    #: compact view of :attr:`timings`.
     durations: Dict[str, float] = field(default_factory=dict)
+    #: Per-experiment worker-side wall/CPU timings, keyed by name.
+    timings: Dict[str, ExperimentTiming] = field(default_factory=dict)
 
 
 def _mm_keys(
@@ -198,14 +217,35 @@ def _prefetch_one(key: TraceKey) -> Dict[str, int]:
 
 
 def _run_one(item: Tuple[str, Dict[str, Any]]):
+    """Run one experiment; returns ``(name, result, corpus-delta,
+    timing, metrics-snapshot)``.
+
+    The timing is measured here, inside the worker, so serial and pooled
+    runs account durations identically.  When metrics are enabled the
+    experiment executes under its own scoped registry (the same code
+    path in-process and in a pool worker); the snapshot rides back with
+    the result for the parent to merge.
+    """
     from ..experiments import run_experiment
 
     name, kwargs = item
     before = _stats_snapshot()
-    started = time.perf_counter()
-    result = run_experiment(name, **kwargs)
-    duration = time.perf_counter() - started
-    return name, result, _stats_delta(before), duration
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    snapshot = None
+    if obs.enabled():
+        local = obs.MetricsRegistry()
+        with obs.use_registry(local):
+            with local.span(f"experiment.{name}"):
+                result = run_experiment(name, **kwargs)
+        snapshot = local.as_dict()
+    else:
+        result = run_experiment(name, **kwargs)
+    timing = ExperimentTiming(
+        wall=time.perf_counter() - wall0,
+        cpu=time.process_time() - cpu0,
+    )
+    return name, result, _stats_delta(before), timing, snapshot
 
 
 def _make_pool(jobs: int, corpus_dir: Optional[str], max_bytes: Optional[int]):
@@ -257,12 +297,29 @@ def prefetch_traces(
     return total
 
 
+def _absorb(
+    batch: ExperimentBatch,
+    total: CorpusStats,
+    outcome: Tuple[str, Any, Dict[str, int], ExperimentTiming, Optional[dict]],
+) -> None:
+    """Fold one :func:`_run_one` outcome into the batch (shared by the
+    serial and pooled branches, so both report identically)."""
+    name, result, delta, timing, snapshot = outcome
+    total.add(delta)
+    batch.results.append((name, result))
+    batch.timings[name] = timing
+    batch.durations[name] = timing.wall
+    if snapshot is not None and obs.enabled():
+        obs.registry().merge(snapshot)
+
+
 def run_experiments(
     names: Sequence[str],
     jobs: int = 1,
     corpus_dir: Union[str, None] = None,
     max_bytes: Optional[int] = None,
     prefetch: bool = True,
+    overrides: Optional[Dict[str, Dict[str, Any]]] = None,
     **kwargs,
 ) -> ExperimentBatch:
     """Run experiments, optionally across a worker pool.
@@ -272,9 +329,15 @@ def run_experiments(
     given, so ``--jobs 4`` output is byte-identical to a serial run.
     With ``jobs > 1`` and no explicit ``corpus_dir``, the active corpus
     (or the default corpus directory) is used so workers share traces.
+
+    ``overrides`` maps experiment names to *replacement* keyword
+    dictionaries: an experiment listed there receives exactly those
+    keywords instead of ``**kwargs`` (the CLI uses this to keep
+    ``--scale`` away from table1, which takes no workload).
     """
     names = list(names)
     jobs = max(1, int(jobs))
+    overrides = overrides or {}
     started = time.perf_counter()
     batch = ExperimentBatch(jobs=jobs)
     total = CorpusStats()
@@ -289,7 +352,10 @@ def run_experiments(
         names, scale=kwargs.get("scale")
     ) if prefetch and jobs > 1 else []
     batch.planned = len(plan)
-    items = [(name, dict(kwargs)) for name in names]
+    items = [
+        (name, dict(overrides[name]) if name in overrides else dict(kwargs))
+        for name in names
+    ]
 
     pool = None
     if jobs > 1:
@@ -300,10 +366,7 @@ def run_experiments(
 
     if pool is None:
         for item in items:
-            name, result, delta, duration = _run_one(item)
-            total.add(delta)
-            batch.results.append((name, result))
-            batch.durations[name] = duration
+            _absorb(batch, total, _run_one(item))
     else:
         with pool:
             if plan:
@@ -311,12 +374,8 @@ def run_experiments(
                     _prefetch_one, plan, chunksize=1
                 ):
                     total.add(delta)
-            for name, result, delta, duration in pool.map(
-                _run_one, items, chunksize=1
-            ):
-                total.add(delta)
-                batch.results.append((name, result))
-                batch.durations[name] = duration
+            for outcome in pool.map(_run_one, items, chunksize=1):
+                _absorb(batch, total, outcome)
 
     batch.corpus_stats = total.as_dict()
     batch.recorded = total.recorded

@@ -1,0 +1,81 @@
+"""``repro.obs`` -- the observability layer.
+
+One lightweight metrics registry (counters, gauges, monotonic timing
+spans) threaded through every hot layer of the pipeline:
+
+* :mod:`repro.core.kernel` -- per-opcode-partition batch spans and
+  probe/insert/evict counter deltas;
+* :mod:`repro.core.memo_table` / :mod:`repro.core.stats` -- the unit and
+  table counters stream into the registry at simulation boundaries
+  (``MemoStats``/``UnitStats`` stay the authoritative per-object views);
+* :mod:`repro.simulator.shade` / :mod:`repro.simulator.pipeline` --
+  per-phase spans around each simulated run;
+* :mod:`repro.corpus.engine` -- every experiment runs inside its own
+  scoped registry and span, so worker-side wall/CPU time flows back to
+  the parent and ``--jobs N`` reports exactly like a serial run.
+
+The whole layer is gated: with ``REPRO_METRICS`` unset (and no
+``--metrics-out``) producers perform one boolean check per batch and
+record nothing, and a parity test asserts instrumentation changes no
+simulation result bit.  Exporters (JSON / terminal table / Prometheus
+text) live in :mod:`repro.obs.export`; ``repro stats`` is the CLI.
+"""
+
+from .export import render_table, to_json, to_prometheus, validate_snapshot
+from .registry import (
+    ENV_VAR,
+    SCHEMA,
+    MetricsRegistry,
+    SpanStats,
+    enabled,
+    registry,
+    set_enabled,
+    span,
+    use_registry,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "SCHEMA",
+    "MetricsRegistry",
+    "SpanStats",
+    "enabled",
+    "registry",
+    "set_enabled",
+    "span",
+    "use_registry",
+    "emit_unit_counters",
+    "unit_counter_snapshot",
+    "render_table",
+    "to_json",
+    "to_prometheus",
+    "validate_snapshot",
+]
+
+
+def unit_counter_snapshot(units) -> dict:
+    """Field-driven counter snapshot of a unit bank (for delta emission)."""
+    return {op: unit.stats.counters() for op, unit in units.items()}
+
+
+def emit_unit_counters(prefix: str, units, before=None) -> None:
+    """Emit each unit's counter deltas (and hit-ratio gauge).
+
+    ``before`` is an earlier :func:`unit_counter_snapshot`; deltas are
+    emitted so tables that persist across runs are not double-counted.
+    The counter names come straight from ``dataclasses.fields`` of
+    :class:`~repro.core.stats.UnitStats`/``MemoStats``, so a counter
+    added to those dataclasses can never be silently dropped here.
+    """
+    reg = registry()
+    before = before or {}
+    for op, unit in units.items():
+        now = unit.stats.counters()
+        prior = before.get(op)
+        if prior:
+            delta = {key: value - prior.get(key, 0)
+                     for key, value in now.items()}
+        else:
+            delta = now
+        reg.add_counters(f"{prefix}.{op.name}", delta)
+        reg.gauge_set(f"{prefix}.{op.name}.hit_ratio", unit.stats.hit_ratio)

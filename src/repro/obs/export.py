@@ -1,0 +1,144 @@
+"""Exporters for :class:`~repro.obs.registry.MetricsRegistry` snapshots.
+
+Three output shapes, all fed by the same :meth:`as_dict` snapshot:
+
+* :func:`to_json` -- the ``--metrics-out`` document (validated by
+  :func:`validate_snapshot`, which the ``metrics-smoke`` CI job runs);
+* :func:`render_table` -- a human-readable terminal table
+  (``repro stats``'s default);
+* :func:`to_prometheus` -- Prometheus text exposition (``# TYPE`` lines
+  plus ``repro_*`` samples), so a scraper can watch a long campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import List, Mapping
+
+from .registry import SCHEMA
+
+__all__ = [
+    "to_json",
+    "render_table",
+    "to_prometheus",
+    "validate_snapshot",
+]
+
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def to_json(snapshot: Mapping[str, object]) -> str:
+    return json.dumps(snapshot, indent=2, sort_keys=True)
+
+
+def _prom_name(*parts: str) -> str:
+    return _PROM_SANITIZE.sub("_", "_".join(parts))
+
+
+def to_prometheus(snapshot: Mapping[str, object]) -> str:
+    """Prometheus text format: counters as ``*_total``, gauges verbatim,
+    spans as ``*_seconds_total`` + ``*_count`` pairs."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("# TYPE repro_counter counter")
+        for name, value in counters.items():
+            lines.append(f"{_prom_name('repro', name, 'total')} {value}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("# TYPE repro_gauge gauge")
+        for name, value in gauges.items():
+            lines.append(f"{_prom_name('repro', name)} {value:.6g}")
+    spans = snapshot.get("spans", {})
+    if spans:
+        lines.append("# TYPE repro_span summary")
+        for name, data in spans.items():
+            base = _prom_name("repro_span", name)
+            lines.append(f"{base}_seconds_total {data['wall_s']:.6f}")
+            lines.append(f"{base}_cpu_seconds_total {data['cpu_s']:.6f}")
+            lines.append(f"{base}_count {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_table(snapshot: Mapping[str, object]) -> str:
+    """Aligned terminal rendering of one snapshot."""
+    sections: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        width = max(len(name) for name in counters)
+        rows = [f"  {name.ljust(width)}  {value:>14,}"
+                for name, value in counters.items()]
+        sections.append("counters:\n" + "\n".join(rows))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        width = max(len(name) for name in gauges)
+        rows = [f"  {name.ljust(width)}  {value:>14.4f}"
+                for name, value in gauges.items()]
+        sections.append("gauges:\n" + "\n".join(rows))
+    spans = snapshot.get("spans", {})
+    if spans:
+        width = max(len(name) for name in spans)
+        header = (
+            f"  {'span'.ljust(width)}  {'count':>7}  {'wall':>10}"
+            f"  {'cpu':>10}  {'max':>10}"
+        )
+        rows = [header]
+        for name, data in spans.items():
+            rows.append(
+                f"  {name.ljust(width)}  {data['count']:>7}"
+                f"  {data['wall_s']:>9.3f}s  {data['cpu_s']:>9.3f}s"
+                f"  {data['max_wall_s']:>9.3f}s"
+            )
+        sections.append("spans:\n" + "\n".join(rows))
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def validate_snapshot(snapshot: object) -> List[str]:
+    """Schema check of one ``--metrics-out`` document.
+
+    Returns a list of problems (empty = valid).  Hand-rolled so no
+    jsonschema dependency is needed; this is what CI's metrics-smoke
+    job asserts against.
+    """
+    problems: List[str] = []
+    if not isinstance(snapshot, dict):
+        return [f"snapshot must be an object, got {type(snapshot).__name__}"]
+    if snapshot.get("schema") != SCHEMA:
+        problems.append(
+            f"schema must be {SCHEMA!r}, got {snapshot.get('schema')!r}"
+        )
+    counters = snapshot.get("counters")
+    if not isinstance(counters, dict):
+        problems.append("counters must be an object")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append(f"counter {name!r} must be an integer")
+            elif value < 0:
+                problems.append(f"counter {name!r} must be non-negative")
+    gauges = snapshot.get("gauges")
+    if not isinstance(gauges, dict):
+        problems.append("gauges must be an object")
+    else:
+        for name, value in gauges.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"gauge {name!r} must be a number")
+    spans = snapshot.get("spans")
+    if not isinstance(spans, dict):
+        problems.append("spans must be an object")
+    else:
+        for name, data in spans.items():
+            if not isinstance(data, dict):
+                problems.append(f"span {name!r} must be an object")
+                continue
+            for key in ("count", "wall_s", "cpu_s", "max_wall_s"):
+                if key not in data:
+                    problems.append(f"span {name!r} missing {key!r}")
+                elif not isinstance(data[key], (int, float)) or isinstance(
+                    data[key], bool
+                ):
+                    problems.append(f"span {name!r} field {key!r} not numeric")
+    return problems

@@ -1,0 +1,249 @@
+"""The metrics registry: counters, gauges and monotonic timing spans.
+
+The paper's whole argument is counters -- hit ratios, trivial-op
+fractions, Amdahl fractions -- and until now they surfaced only as
+end-of-run aggregates inside :class:`~repro.core.stats.MemoStats` /
+:class:`~repro.core.stats.UnitStats` dataclasses.  This registry is the
+one inspectable stream those counters (and the timing data around them)
+flow into, in the style of the per-opcode analyzer hooks large
+trace-driven simulators hang off their dispatch loop.
+
+Three primitives:
+
+* **counters** -- monotonically increasing integers (``counter_add``);
+* **gauges** -- last-written floats (``gauge_set``);
+* **spans** -- named timing aggregates fed by a context manager that
+  reads *monotonic* clocks only (``time.perf_counter`` for wall time,
+  ``time.process_time`` for CPU time; never ``time.time`` -- the repo
+  linter's REPRO002 rule enforces this repo-wide).
+
+Everything is plain data: :meth:`MetricsRegistry.as_dict` produces a
+JSON-able snapshot (schema ``repro.obs/v1``) and :meth:`merge` folds
+such a snapshot back in, which is how ``--jobs N`` worker processes
+ship their measurements to the parent.  The module-level switch
+(``REPRO_METRICS`` / :func:`set_enabled`) gates every producer: with
+metrics off the instrumented layers perform a single boolean check per
+*batch* (never per event), so the hot path stays unmeasurably close to
+the uninstrumented one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional
+
+__all__ = [
+    "SCHEMA",
+    "SpanStats",
+    "MetricsRegistry",
+    "enabled",
+    "set_enabled",
+    "registry",
+    "use_registry",
+    "span",
+]
+
+#: Snapshot schema identifier (bump on incompatible shape changes).
+SCHEMA = "repro.obs/v1"
+
+#: Environment switch mirrored by :func:`set_enabled` so worker
+#: processes (fork or spawn) inherit the choice, like ``REPRO_SCALAR``.
+ENV_VAR = "REPRO_METRICS"
+
+
+@dataclass
+class SpanStats:
+    """Aggregate of every completed span under one name."""
+
+    count: int = 0
+    wall: float = 0.0  # summed perf_counter seconds
+    cpu: float = 0.0   # summed process_time seconds
+    max_wall: float = 0.0
+
+    def record(self, wall: float, cpu: float) -> None:
+        self.count += 1
+        self.wall += wall
+        self.cpu += cpu
+        if wall > self.max_wall:
+            self.max_wall = wall
+
+    def add(self, other: "SpanStats") -> None:
+        self.count += other.count
+        self.wall += other.wall
+        self.cpu += other.cpu
+        if other.max_wall > self.max_wall:
+            self.max_wall = other.max_wall
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "wall_s": self.wall,
+            "cpu_s": self.cpu,
+            "max_wall_s": self.max_wall,
+        }
+
+
+class MetricsRegistry:
+    """One stream of counters, gauges and spans.
+
+    Deliberately free of locks: a registry is only ever touched from one
+    thread/process; cross-process aggregation happens by shipping
+    :meth:`as_dict` snapshots and :meth:`merge`-ing them.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.spans: Dict[str, SpanStats] = {}
+
+    # -- producers --------------------------------------------------------
+
+    def counter_add(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(delta)
+
+    def add_counters(self, prefix: str, values: Mapping[str, int]) -> None:
+        """Bulk ``counter_add`` of ``{suffix: delta}`` under one prefix."""
+        counters = self.counters
+        for suffix, delta in values.items():
+            if not delta:
+                continue
+            name = f"{prefix}.{suffix}"
+            counters[name] = counters.get(name, 0) + int(delta)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def record_span(self, name: str, wall: float, cpu: float) -> None:
+        stats = self.spans.get(name)
+        if stats is None:
+            stats = self.spans[name] = SpanStats()
+        stats.record(wall, cpu)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a block with monotonic wall and CPU clocks."""
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            self.record_span(
+                name,
+                time.perf_counter() - wall0,
+                time.process_time() - cpu0,
+            )
+
+    # -- aggregation ------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot (the ``--metrics-out`` document)."""
+        return {
+            "schema": SCHEMA,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "spans": {
+                name: stats.as_dict()
+                for name, stats in sorted(self.spans.items())
+            },
+        }
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold an :meth:`as_dict` snapshot (e.g. from a worker) in.
+
+        Counters and span aggregates add; gauges are last-write-wins,
+        matching their in-process semantics.
+        """
+        for name, value in dict(snapshot.get("counters", {})).items():
+            self.counter_add(name, int(value))
+        for name, value in dict(snapshot.get("gauges", {})).items():
+            self.gauge_set(name, float(value))
+        for name, data in dict(snapshot.get("spans", {})).items():
+            stats = self.spans.get(name)
+            if stats is None:
+                stats = self.spans[name] = SpanStats()
+            stats.add(SpanStats(
+                count=int(data.get("count", 0)),
+                wall=float(data.get("wall_s", 0.0)),
+                cpu=float(data.get("cpu_s", 0.0)),
+                max_wall=float(data.get("max_wall_s", 0.0)),
+            ))
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.spans.clear()
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.spans)
+
+
+# -- the process-wide switch and registry -----------------------------------
+
+_override: Optional[bool] = None
+_REGISTRY = MetricsRegistry()
+
+#: The environment value in place before the first override, so
+#: ``set_enabled(None)`` can put it back (sentinel = nothing saved).
+_ENV_UNSAVED = object()
+_env_saved: object = _ENV_UNSAVED
+
+
+def enabled() -> bool:
+    """True when the instrumented paths should record metrics."""
+    if _override is not None:
+        return _override
+    return os.environ.get(ENV_VAR, "") not in ("", "0")
+
+
+def set_enabled(on: Optional[bool]) -> None:
+    """Force metrics on/off for this process and (via ``REPRO_METRICS``)
+    any worker processes it starts; ``None`` reverts to the environment,
+    restoring whatever ``REPRO_METRICS`` value preceded the override."""
+    global _override, _env_saved
+    _override = None if on is None else bool(on)
+    if on is None:
+        if _env_saved is not _ENV_UNSAVED:
+            if _env_saved is None:
+                os.environ.pop(ENV_VAR, None)
+            else:
+                os.environ[ENV_VAR] = _env_saved  # type: ignore[assignment]
+            _env_saved = _ENV_UNSAVED
+        return
+    if _env_saved is _ENV_UNSAVED:
+        _env_saved = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = "1" if on else "0"
+
+
+def registry() -> MetricsRegistry:
+    """The active registry (swap with :func:`use_registry`)."""
+    return _REGISTRY
+
+
+@contextmanager
+def use_registry(target: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Route all module-level producers into ``target`` for a block.
+
+    The experiment engine gives every experiment its own scoped registry
+    so worker- and serial-side runs produce identical per-experiment
+    snapshots that merge into the parent stream the same way.
+    """
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = target
+    try:
+        yield target
+    finally:
+        _REGISTRY = previous
+
+
+@contextmanager
+def span(name: str) -> Iterator[None]:
+    """A span on the active registry; a no-op when metrics are disabled."""
+    if not enabled():
+        yield
+        return
+    with _REGISTRY.span(name):
+        yield

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
+from .. import obs
 from ..arch.latency import ProcessorModel
 from ..core import kernel
 from ..core.bank import MemoTableBank
@@ -97,14 +98,42 @@ class CycleModel:
     def run(self, events: Iterable[TraceEvent]) -> CycleReport:
         """Charge every event; returns totals for base and memoized machines."""
         bank = self.bank
-        result = kernel.run_events(
-            events,
-            bank.units if bank is not None else None,
-            machine=self.machine,
-            hierarchy=self.hierarchy,
-            fp_add_latency=self.fp_add_latency,
-            scalar=self.scalar,
-        )
+        instrumented = obs.enabled()
+        if instrumented:
+            before = (
+                obs.unit_counter_snapshot(bank.units)
+                if bank is not None
+                else {}
+            )
+            with obs.span("cycle.run"):
+                result = kernel.run_events(
+                    events,
+                    bank.units if bank is not None else None,
+                    machine=self.machine,
+                    hierarchy=self.hierarchy,
+                    fp_add_latency=self.fp_add_latency,
+                    scalar=self.scalar,
+                )
+            if bank is not None:
+                obs.emit_unit_counters("cycle", bank.units, before)
+            reg = obs.registry()
+            reg.add_counters(
+                "cycle",
+                {
+                    "instructions": result.instructions,
+                    "base_cycles": result.base_cycles,
+                    "memo_cycles": result.memo_cycles,
+                },
+            )
+        else:
+            result = kernel.run_events(
+                events,
+                bank.units if bank is not None else None,
+                machine=self.machine,
+                hierarchy=self.hierarchy,
+                fp_add_latency=self.fp_add_latency,
+                scalar=self.scalar,
+            )
         report = CycleReport(
             machine=self.machine.name,
             instructions=result.instructions,

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
+from .. import obs
 from ..core import kernel
 from ..core.bank import MemoTableBank
 from ..core.operations import Operation
@@ -72,12 +73,23 @@ class ShadeSimulator:
 
     def run(self, events: Iterable[TraceEvent]) -> SimulationReport:
         """Consume a trace; returns statistics.  Tables persist across runs."""
-        report = kernel.run_events(
-            events,
-            self.bank.units,
-            validate=self.validate,
-            scalar=self.scalar,
-        )
+        if obs.enabled():
+            before = obs.unit_counter_snapshot(self.bank.units)
+            with obs.span("shade.run"):
+                report = kernel.run_events(
+                    events,
+                    self.bank.units,
+                    validate=self.validate,
+                    scalar=self.scalar,
+                )
+            obs.emit_unit_counters("sim", self.bank.units, before)
+        else:
+            report = kernel.run_events(
+                events,
+                self.bank.units,
+                validate=self.validate,
+                scalar=self.scalar,
+            )
         return SimulationReport(
             instructions=report.instructions,
             breakdown=report.counts,

@@ -60,6 +60,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="skip the static-bounds cross-validation")
     fuzz.add_argument("--inject", choices=sorted(KERNEL_FAULTS),
                       help="plant a known kernel fault; exit 0 iff caught")
+    fuzz.add_argument("--metrics-out", metavar="PATH", default=None,
+                      help="enable the metrics registry for the campaign "
+                           "and write its JSON snapshot to PATH")
 
     smoke = sub.add_parser(
         "smoke", help="mutation-testing gate: clean pass + all faults caught"
@@ -150,7 +153,7 @@ def _run_fuzz(args) -> int:
         for line in result.divergences:
             print(f"  - {line}")
         if not args.no_shrink:
-            small = shrink_case(case)
+            small = shrink_case(case, result=result)
             final = run_case(small)
             print(f"  shrunk to {small.describe()}:")
             for line in final.divergences:
@@ -241,6 +244,19 @@ def _run_replay(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "fuzz":
+        if args.metrics_out is not None:
+            from .. import obs
+            from ..obs.cli import write_snapshot
+
+            obs.set_enabled(True)
+            obs.registry().clear()
+            try:
+                with obs.span("verify.fuzz"):
+                    status = _run_fuzz(args)
+                write_snapshot(obs.registry().as_dict(), args.metrics_out)
+            finally:
+                obs.set_enabled(None)
+            return status
         return _run_fuzz(args)
     if args.command == "smoke":
         return _run_smoke(args)

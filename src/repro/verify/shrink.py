@@ -11,15 +11,23 @@ it is reported or written to the regression corpus:
 3. **Config simplification** -- try the plainest table that still
    diverges (fewer entries, LRU, full tags, EXCLUDE, finite).
 
-Every candidate is re-run through the full differential check; the
-total number of re-runs is bounded, and the original case is returned
-unshrunk if reduction stalls.  Deterministic: no randomness at all.
+Every candidate is re-run through the full differential check **and
+must reproduce the original divergence**: a candidate is accepted only
+if its divergence signature (kind of report line; for crashes, the
+crashing path and exception class) intersects the signature of the case
+being shrunk.  Without this, ddmin happily walks from a genuine stats
+divergence to any unrelated crash a truncated trace happens to trigger
+-- the "decoy" bug this module's regression test pins down.
+
+The total number of re-runs is bounded, and the original case is
+returned unshrunk if reduction stalls.  Deterministic: no randomness.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import replace as dc_replace
-from typing import List
+from typing import FrozenSet, Iterable, List, Optional
 
 from ..core.config import (
     MemoTableConfig,
@@ -28,9 +36,15 @@ from ..core.config import (
     TrivialPolicy,
 )
 from ..isa.trace import TraceEvent
-from .differential import FuzzCase, canonicalize, run_case
+from .differential import CaseResult, FuzzCase, canonicalize, run_case
 
-__all__ = ["shrink_case"]
+__all__ = ["divergence_signature", "shrink_case"]
+
+#: ``crash: <path> raised <ExcClass>(...)`` -- the shape every crash
+#: divergence line of :mod:`repro.verify.differential` has.
+_CRASH_LINE = re.compile(
+    r"^crash: (?P<path>.+?) raised (?P<exc>[A-Za-z_][A-Za-z0-9_.]*)\("
+)
 
 #: Replacement candidates per operand kind, plainest first.
 _SIMPLE_FLOATS = (2.0, 1.5, 3.0, 0.5)
@@ -54,13 +68,52 @@ def _with_events(case: FuzzCase, events) -> FuzzCase:
     return dc_replace(case, events=canonicalize(events))
 
 
-def _diverges(case: FuzzCase, budget: _Budget) -> bool:
+def divergence_signature(divergences: Iterable[str]) -> FrozenSet[str]:
+    """The *kinds* of divergence in a report, as a comparable set.
+
+    Non-crash lines contribute their report kind (``stats``,
+    ``table contents``, ``delivered value``, ``report``, ``reuse
+    bound``); crash lines contribute ``crash:<path>:<ExcClass>`` so a
+    ``ZeroDivisionError`` from the oracle is never confused with, say, a
+    ``ValueError`` out of the batched kernel.
+    """
+    kinds = set()
+    for line in divergences:
+        match = _CRASH_LINE.match(line)
+        if match is not None:
+            kinds.add(f"crash:{match.group('path')}:{match.group('exc')}")
+        else:
+            kinds.add(line.split(":", 1)[0])
+    return frozenset(kinds)
+
+
+def _diverges(
+    case: FuzzCase,
+    budget: _Budget,
+    signature: Optional[FrozenSet[str]] = None,
+) -> bool:
+    """Does ``case`` still reproduce the divergence being shrunk?
+
+    With a ``signature``, a candidate only counts if at least one of its
+    divergence kinds matches the original's -- *any* divergence is not
+    good enough (a truncated trace can crash in ways the original case
+    never did).
+    """
     if not case.events or not budget.spend():
         return False
-    return bool(run_case(case).divergences)
+    divergences = run_case(case).divergences
+    if not divergences:
+        return False
+    if signature is None:
+        return True
+    return bool(divergence_signature(divergences) & signature)
 
 
-def _shrink_events(case: FuzzCase, budget: _Budget) -> FuzzCase:
+def _shrink_events(
+    case: FuzzCase,
+    budget: _Budget,
+    signature: Optional[FrozenSet[str]] = None,
+) -> FuzzCase:
     events = list(case.events)
     chunk = max(1, len(events) // 2)
     while chunk >= 1:
@@ -69,7 +122,7 @@ def _shrink_events(case: FuzzCase, budget: _Budget) -> FuzzCase:
             candidate = events[:i] + events[i + chunk:]
             if candidate:
                 smaller = _with_events(case, candidate)
-                if _diverges(smaller, budget):
+                if _diverges(smaller, budget, signature):
                     events = candidate
                     case = smaller
                     continue  # retry the same position
@@ -78,7 +131,11 @@ def _shrink_events(case: FuzzCase, budget: _Budget) -> FuzzCase:
     return case
 
 
-def _simplify_values(case: FuzzCase, budget: _Budget) -> FuzzCase:
+def _simplify_values(
+    case: FuzzCase,
+    budget: _Budget,
+    signature: Optional[FrozenSet[str]] = None,
+) -> FuzzCase:
     events: List[TraceEvent] = list(case.events)
     for i, event in enumerate(events):
         if event.opcode.operation is None:
@@ -93,7 +150,7 @@ def _simplify_values(case: FuzzCase, budget: _Budget) -> FuzzCase:
                 trial = list(events)
                 trial[i] = event._replace(**{which: value})
                 candidate = _with_events(case, trial)
-                if _diverges(candidate, budget):
+                if _diverges(candidate, budget, signature):
                     events = trial
                     event = trial[i]
                     case = candidate
@@ -103,13 +160,17 @@ def _simplify_values(case: FuzzCase, budget: _Budget) -> FuzzCase:
             trial = list(events)
             trial[i] = event._replace(address=None, dst=None, srcs=(), pc=None)
             candidate = _with_events(case, trial)
-            if _diverges(candidate, budget):
+            if _diverges(candidate, budget, signature):
                 events = trial
                 case = candidate
     return case
 
 
-def _simplify_config(case: FuzzCase, budget: _Budget) -> FuzzCase:
+def _simplify_config(
+    case: FuzzCase,
+    budget: _Budget,
+    signature: Optional[FrozenSet[str]] = None,
+) -> FuzzCase:
     cfg = case.config
     candidates = []
     if case.infinite:
@@ -127,7 +188,7 @@ def _simplify_config(case: FuzzCase, budget: _Budget) -> FuzzCase:
             case, config=dc_replace(cfg, replacement=ReplacementKind.LRU)
         ))
     for candidate in candidates:
-        if _diverges(candidate, budget):
+        if _diverges(candidate, budget, signature):
             case = candidate
             cfg = case.config
     # Smallest geometry that still diverges.
@@ -150,23 +211,36 @@ def _simplify_config(case: FuzzCase, budget: _Budget) -> FuzzCase:
         except Exception:
             break
         candidate = dc_replace(case, config=smaller_cfg)
-        if not _diverges(candidate, budget):
+        if not _diverges(candidate, budget, signature):
             break
         case = candidate
         cfg = smaller_cfg
     return case
 
 
-def shrink_case(case: FuzzCase, max_runs: int = 600) -> FuzzCase:
+def shrink_case(
+    case: FuzzCase,
+    max_runs: int = 600,
+    result: Optional[CaseResult] = None,
+) -> FuzzCase:
     """Reduce a diverging case; returns a (usually much) smaller one.
 
-    The result is guaranteed to still diverge (the last accepted
-    candidate always re-ran the differential check).
+    ``result`` is the original differential outcome, if the caller
+    already has it (the fuzz loop does); otherwise one re-run records
+    the divergence signature.  Every accepted reduction reproduces a
+    divergence of the *same kind* -- the result is never a smaller case
+    that fails differently from the one reported.
     """
     budget = _Budget(max_runs)
-    case = _shrink_events(case, budget)
-    case = _simplify_config(case, budget)
-    case = _simplify_values(case, budget)
+    if result is None:
+        budget.spend()
+        result = run_case(case)
+    signature: Optional[FrozenSet[str]] = (
+        divergence_signature(result.divergences) or None
+    )
+    case = _shrink_events(case, budget, signature)
+    case = _simplify_config(case, budget, signature)
+    case = _simplify_values(case, budget, signature)
     # One more event pass: simplified values often unlock more removal.
-    case = _shrink_events(case, budget)
+    case = _shrink_events(case, budget, signature)
     return dc_replace(case, label=f"{case.label}-shrunk")

@@ -1,0 +1,129 @@
+"""Field-driven ``merge``/``reset``/``counters`` on the stats dataclasses.
+
+The old hand-written method bodies silently dropped any counter they
+were not updated for; these tests pin the ``dataclasses.fields``-driven
+replacements, including the headline property: a *new* counter field
+needs no method changes at all to merge, reset and export correctly.
+"""
+
+import itertools
+from dataclasses import dataclass, fields
+
+from repro.core.stats import MemoStats, UnitStats
+
+
+def _memo(seed):
+    return MemoStats(
+        lookups=10 + seed,
+        hits=4 + seed,
+        insertions=3 + seed,
+        evictions=2 + seed,
+        commutative_hits=1 + seed,
+    )
+
+
+def _unit(seed):
+    return UnitStats(
+        operations=20 + seed,
+        trivial=5 + seed,
+        trivial_hits=2 + seed,
+        cycles_base=100 + seed,
+        cycles_memo=40 + seed,
+        table=_memo(seed),
+    )
+
+
+def _flat(stats):
+    return stats.counters()
+
+
+class TestMergeProperties:
+    def test_merge_equals_manual_field_addition(self):
+        a, b = _unit(1), _unit(7)
+        expected = {
+            key: a.counters()[key] + b.counters()[key] for key in a.counters()
+        }
+        a.merge(b)
+        assert a.counters() == expected
+
+    def test_merge_is_commutative(self):
+        for i, j in itertools.combinations(range(4), 2):
+            left = _unit(i)
+            left.merge(_unit(j))
+            right = _unit(j)
+            right.merge(_unit(i))
+            assert _flat(left) == _flat(right)
+
+    def test_merge_is_associative(self):
+        a1, b1, c1 = _unit(1), _unit(2), _unit(3)
+        b1.merge(c1)
+        a1.merge(b1)  # a + (b + c)
+        a2, b2, c2 = _unit(1), _unit(2), _unit(3)
+        a2.merge(b2)
+        a2.merge(c2)  # (a + b) + c
+        assert _flat(a1) == _flat(a2)
+
+    def test_identity_element(self):
+        a = _memo(3)
+        before = _flat(a)
+        a.merge(MemoStats())
+        assert _flat(a) == before
+
+
+class TestResetAndExport:
+    def test_reset_zeroes_everything_recursively(self):
+        stats = _unit(5)
+        stats.reset()
+        assert all(value == 0 for value in stats.counters().values())
+        assert stats.table.lookups == 0
+
+    def test_counters_covers_every_field(self):
+        flat = _unit(0).counters()
+        unit_names = {
+            spec.name for spec in fields(UnitStats) if spec.name != "table"
+        }
+        table_names = {f"table_{spec.name}" for spec in fields(MemoStats)}
+        assert set(flat) == unit_names | table_names
+
+    def test_as_dict_keys_are_stable(self):
+        memo_keys = set(MemoStats().as_dict())
+        assert memo_keys == {
+            "lookups", "hits", "insertions", "evictions",
+            "commutative_hits", "misses", "hit_ratio",
+        }
+        unit = UnitStats().as_dict()
+        assert "hit_ratio" in unit and "trivial_fraction" in unit
+        assert "cycles_saved" in unit and "table_hit_ratio" in unit
+
+    def test_hit_ratio_handles_zero_lookups(self):
+        assert MemoStats().hit_ratio == 0.0
+        assert UnitStats().hit_ratio == 0.0
+        assert UnitStats().trivial_fraction == 0.0
+        only_trivial = UnitStats(operations=4, trivial=4, trivial_hits=4)
+        assert only_trivial.hit_ratio == 1.0
+
+
+@dataclass
+class _ExtendedMemoStats(MemoStats):
+    """A MemoStats with one extra counter and no method overrides."""
+
+    probe_conflicts: int = 0
+
+
+class TestNewFieldsCannotBeDropped:
+    def test_extended_field_merges(self):
+        a = _ExtendedMemoStats(lookups=2, probe_conflicts=3)
+        b = _ExtendedMemoStats(lookups=5, probe_conflicts=4)
+        a.merge(b)
+        assert a.lookups == 7
+        assert a.probe_conflicts == 7
+
+    def test_extended_field_resets(self):
+        a = _ExtendedMemoStats(probe_conflicts=9)
+        a.reset()
+        assert a.probe_conflicts == 0
+
+    def test_extended_field_exports(self):
+        a = _ExtendedMemoStats(probe_conflicts=2)
+        assert a.counters()["probe_conflicts"] == 2
+        assert a.as_dict()["probe_conflicts"] == 2
