@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-batched reproduce compare corpus examples lint analyze verify verify-fuzz metrics-smoke clean
+.PHONY: install test bench bench-batched bench-serve reproduce compare corpus examples lint analyze verify verify-fuzz metrics-smoke serve-smoke clean
 
 # Differential fuzz campaign size for `make verify-fuzz`.
 FUZZ_BUDGET ?= 10000
@@ -26,6 +26,11 @@ bench:
 # exits non-zero if the batched tier is not faster than scalar).
 bench-batched:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_batched_sim.py
+
+# Service load test: 1000 jobs through a live `repro serve` instance
+# (writes BENCH_serve.json with jobs/sec and p50/p99 latency).
+bench-serve:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py
 
 # Regenerate every table and figure of the paper (plus extensions).
 reproduce:
@@ -81,6 +86,12 @@ metrics-smoke:
 		--format prom | grep -q "repro_kernel_FP_MUL_table_lookups_total"
 	rm -f metrics-smoke.json
 	@echo "metrics-smoke ok"
+
+# Service smoke: start `repro serve`, submit three bundled-program jobs
+# over HTTP, assert bit-identical results vs direct execution, dedup,
+# and the /metrics queue/job series (the serve-smoke CI job).
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.serve.smoke
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks

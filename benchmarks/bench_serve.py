@@ -1,0 +1,185 @@
+"""Service load test: >= 1000 jobs through the queue + worker pool.
+
+Starts a real ``repro serve`` subprocess (ephemeral port, temp queue),
+submits ``JOB_COUNT`` cheap bundled-program jobs over HTTP, polls to
+completion and writes ``BENCH_serve.json`` with sustained jobs/second
+plus p50/p99 end-to-end latency (submission to completion, derived from
+each durable record's ``queue_latency + wall``).
+
+Jobs vary ``n`` so every spec hashes to a distinct id (no dedup), and
+each executes in milliseconds -- the benchmark measures the *service*
+(queue claim/lease/complete churn and HTTP round-trips), not the
+simulator.  Runnable as a plain script (CI's serve-smoke job) or under
+pytest-benchmark with the rest of ``make bench``.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient, ServeError  # noqa: E402
+from repro.serve.server import endpoint_for  # noqa: E402
+
+#: Where the load-test numbers land (repo root, next to CHANGES.md).
+REPORT_PATH = REPO_ROOT / "BENCH_serve.json"
+
+#: Queued jobs per run (the ISSUE's load-test floor).
+JOB_COUNT = 1000
+
+#: Bundled programs cycled across the job stream.
+PROGRAMS = ("saxpy", "dot_product", "gamma_lut", "sobel_gx")
+
+#: Worker processes draining the queue.
+WORKERS = 4
+
+
+def _spec(index: int) -> dict:
+    # Every index yields a distinct (program, n, mantissa, ways) tuple
+    # => distinct content hash => no dedup -- while n stays small, so
+    # each job remains a milliseconds-cheap unit of service churn.
+    return {
+        "type": "program",
+        "program": PROGRAMS[index % len(PROGRAMS)],
+        "n": 8 + (index // len(PROGRAMS)) % 64,
+        "mantissa": bool((index // 256) % 2),
+        "ways": (2, 4)[(index // 512) % 2],
+    }
+
+
+def _percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _start_server(queue_dir: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--queue-dir", queue_dir, "--port", "0",
+            "--workers", str(WORKERS),
+            "--lease-ttl", "30", "--reap-interval", "1.0",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        cwd=str(REPO_ROOT), env=dict(
+            __import__("os").environ, PYTHONPATH=str(REPO_ROOT / "src")
+        ),
+    )
+
+
+def _wait_client(queue_dir: str, timeout: float = 30.0) -> ServeClient:
+    deadline = time.monotonic() + timeout
+    while True:
+        endpoint = endpoint_for(queue_dir)
+        if endpoint:
+            client = ServeClient(
+                f"http://{endpoint['host']}:{endpoint['port']}", timeout=60.0
+            )
+            try:
+                client.healthz()
+                return client
+            except ServeError:
+                pass
+        if time.monotonic() > deadline:
+            raise SystemExit("bench_serve: server did not come up")
+        time.sleep(0.1)
+
+
+def run_load_test(job_count: int = JOB_COUNT) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        queue_dir = str(Path(tmp) / "queue")
+        proc = _start_server(queue_dir)
+        try:
+            client = _wait_client(queue_dir)
+            started = time.perf_counter()
+            ids = []
+            for index in range(job_count):
+                ids.append(client.submit(_spec(index))["id"])
+            submitted = time.perf_counter() - started
+
+            pending = set(ids)
+            deadline = time.monotonic() + 1800.0
+            while pending:
+                if time.monotonic() > deadline:
+                    raise SystemExit(
+                        f"bench_serve: {len(pending)} jobs unfinished"
+                    )
+                for row in client.jobs(state="done"):
+                    pending.discard(row["id"])
+                for row in client.jobs(state="failed"):
+                    if row["id"] in pending:
+                        raise SystemExit(
+                            f"bench_serve: job failed: {row['error']}"
+                        )
+                if pending:
+                    time.sleep(0.2)
+            elapsed = time.perf_counter() - started
+
+            latencies = []
+            wall = cpu = 0.0
+            for job_id in ids:
+                record = client.job(job_id)
+                latencies.append(record["queue_latency"] + record["wall"])
+                wall += record["wall"]
+                cpu += record["cpu"]
+            metrics = client.metrics_text()
+            try:
+                client.stop()
+            except ServeError:
+                pass
+        finally:
+            try:
+                proc.wait(timeout=15.0)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+    for series in ("repro_serve_jobs_completed_total",
+                   "repro_span_serve_job_seconds_total"):
+        if series not in metrics:
+            raise SystemExit(f"bench_serve: /metrics missing {series}")
+
+    return {
+        "jobs": job_count,
+        "workers": WORKERS,
+        "submit_seconds": round(submitted, 3),
+        "elapsed_seconds": round(elapsed, 3),
+        "jobs_per_sec": round(job_count / elapsed, 1),
+        "latency_p50_seconds": round(_percentile(latencies, 0.50), 4),
+        "latency_p99_seconds": round(_percentile(latencies, 0.99), 4),
+        "worker_wall_seconds": round(wall, 3),
+        "worker_cpu_seconds": round(cpu, 3),
+    }
+
+
+def test_serve_load(benchmark):
+    """pytest-benchmark entry point (one full load-test round)."""
+    report = benchmark.pedantic(run_load_test, rounds=1, iterations=1)
+    benchmark.extra_info.update(report)
+    assert report["jobs"] >= 1000
+    assert report["jobs_per_sec"] > 0
+
+
+def main() -> int:
+    report = run_load_test()
+    REPORT_PATH.write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(report, indent=2))
+    print(f"wrote {REPORT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

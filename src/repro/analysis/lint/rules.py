@@ -201,9 +201,12 @@ class WallClockRule(LintRule):
     CPU accounting to ``time.process_time``; wall-clock reads make runs
     unreproducible, break trace-identity assumptions, and (in the
     metrics layer) make durations jump when NTP steps the clock.  The
-    rule covers the whole package; the corpus store's lock-staleness
-    and archive timestamps are the one sanctioned exception
-    (``repro/corpus/store.py``).
+    rule covers the whole package; the sanctioned exceptions are the
+    corpus store's lock-staleness/archive timestamps
+    (``repro/corpus/store.py``) and the serve queue's durable job
+    records (``repro/serve/queue.py``), whose submit/lease timestamps
+    must survive process restarts and so cannot come from a monotonic
+    clock.  Neither sits on a simulation path.
     """
 
     id = "REPRO002"
@@ -211,8 +214,8 @@ class WallClockRule(LintRule):
     description = "wall-clock read on a deterministic path"
     scopes = ("repro/",)
 
-    #: The only module allowed to read the wall clock.
-    _EXEMPT = ("repro/corpus/store.py",)
+    #: The only modules allowed to read the wall clock.
+    _EXEMPT = ("repro/corpus/store.py", "repro/serve/queue.py")
 
     def applies_to(self, path: str) -> bool:
         posix = path.replace("\\", "/")

@@ -16,6 +16,10 @@ lint`` checks the repo's determinism invariants (see
 :mod:`repro.analysis.cli`).  ``repro stats`` renders/validates metrics
 snapshots (see :mod:`repro.obs.cli`); ``--metrics-out PATH`` on an
 experiment run enables the observability layer and writes its snapshot.
+``repro serve`` runs the long-lived experiment service (durable leased
+job queue + worker pool + HTTP API), and ``repro submit`` / ``repro
+jobs`` / ``repro result`` are its client commands (see
+:mod:`repro.serve.cli`).
 
 Serial and ``--jobs N`` runs share one code path
 (:func:`repro.corpus.engine.run_experiments`): durations are measured
@@ -86,6 +90,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist/replay traces through an on-disk corpus at PATH",
     )
     parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-experiment wall-time bound for --jobs N runs; a hung "
+            "worker is replaced and the experiment retried with backoff"
+        ),
+    )
+    parser.add_argument(
+        "--job-retries",
+        type=int,
+        default=2,
+        help="retries after a --job-timeout expiry before failing (default 2)",
+    )
+    parser.add_argument(
         "--scalar",
         action="store_true",
         help=(
@@ -148,6 +167,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.cli import main as stats_main
 
         return stats_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .serve.cli import main_serve
+
+        return main_serve(argv[1:])
+    if argv and argv[0] == "submit":
+        from .serve.cli import main_submit
+
+        return main_submit(argv[1:])
+    if argv and argv[0] == "jobs":
+        from .serve.cli import main_jobs
+
+        return main_jobs(argv[1:])
+    if argv and argv[0] == "result":
+        from .serve.cli import main_result
+
+        return main_result(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.scalar:
         from .core.kernel import set_scalar_mode
@@ -182,6 +217,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
             corpus_dir=args.corpus_dir,
             overrides=overrides,
+            job_timeout=args.job_timeout,
+            job_retries=args.job_retries,
             **kwargs,
         )
         for name, result in batch.results:

@@ -11,7 +11,11 @@
     repro corpus gc        Evict least-recently-used traces to a size bound.
 
 All subcommands take ``--dir PATH`` (default: ``$REPRO_CORPUS_DIR`` or
-``~/.cache/repro/corpus``).
+``~/.cache/repro/corpus``).  The store shards objects into two-hex-digit
+prefix subdirectories (``objects/ab/<digest>.trc.gz``); every
+maintenance command traverses both the sharded and the legacy flat
+layout, counting each digest exactly once (shard copy wins), so a
+mid-migration corpus is always safe to ls/verify/gc.
 """
 
 from __future__ import annotations

@@ -313,6 +313,86 @@ def _absorb(
         obs.registry().merge(snapshot)
 
 
+def _count(name: str, delta: int = 1) -> None:
+    """Bump an obs counter iff the metrics layer is enabled."""
+    if obs.enabled():
+        obs.registry().counter_add(name, delta)
+
+
+def _run_pool_with_timeouts(
+    pool,
+    items: Sequence[Tuple[str, Dict[str, Any]]],
+    jobs: int,
+    corpus_dir: Optional[str],
+    max_bytes: Optional[int],
+    job_timeout: float,
+    job_retries: int,
+    retry_backoff: float,
+):
+    """Drain ``items`` through worker pools under a per-job timeout.
+
+    Every outstanding item is submitted with ``apply_async`` and results
+    are awaited in request order, each wait bounded by ``job_timeout``.
+    A job that blows its bound stalls exactly one wait: already-finished
+    siblings are harvested, the (possibly hung) pool is torn down with
+    ``terminate()``, and a fresh pool re-runs everything still missing.
+    The timed-out job itself is retried up to ``job_retries`` times with
+    exponential backoff (``retry_backoff * 2**attempt`` seconds) before
+    :class:`~repro.errors.ExperimentError` is raised.
+
+    Counters ``engine.jobs_timed_out`` / ``engine.jobs_retried`` stream
+    into :mod:`repro.obs` (rendered ``repro_engine_jobs_timed_out_total``
+    / ``repro_engine_jobs_retried_total``) when metrics are enabled.
+
+    Returns ``(pool, outcomes)``: the pool now owning the workers (the
+    caller closes it) and the per-index :func:`_run_one` outcomes.
+    """
+    import multiprocessing
+
+    from ..errors import ExperimentError
+
+    outcomes: Dict[int, Any] = {}
+    attempts: Dict[int, int] = {index: 0 for index in range(len(items))}
+    while True:
+        remaining = sorted(index for index in attempts if index not in outcomes)
+        if not remaining:
+            return pool, outcomes
+        asyncs = {
+            index: pool.apply_async(_run_one, (items[index],))
+            for index in remaining
+        }
+        timed_out = None
+        for index in remaining:
+            try:
+                outcomes[index] = asyncs[index].get(job_timeout)
+            except multiprocessing.TimeoutError:
+                timed_out = index
+                break
+        if timed_out is None:
+            return pool, outcomes
+        # Harvest siblings that finished before the hang was noticed, so
+        # their work survives the pool teardown.
+        for index in remaining:
+            if index not in outcomes and asyncs[index].ready():
+                try:
+                    outcomes[index] = asyncs[index].get(0)
+                except Exception:
+                    pass  # re-run it on the fresh pool
+        pool.terminate()
+        pool.join()
+        attempts[timed_out] += 1
+        _count("engine.jobs_timed_out")
+        name = items[timed_out][0]
+        if attempts[timed_out] > job_retries:
+            raise ExperimentError(
+                f"experiment {name!r} timed out "
+                f"({job_timeout:g}s x {attempts[timed_out]} attempt(s))"
+            )
+        _count("engine.jobs_retried")
+        time.sleep(retry_backoff * (2 ** (attempts[timed_out] - 1)))
+        pool = _make_pool(jobs, corpus_dir, max_bytes)
+
+
 def run_experiments(
     names: Sequence[str],
     jobs: int = 1,
@@ -320,6 +400,9 @@ def run_experiments(
     max_bytes: Optional[int] = None,
     prefetch: bool = True,
     overrides: Optional[Dict[str, Dict[str, Any]]] = None,
+    job_timeout: Optional[float] = None,
+    job_retries: int = 2,
+    retry_backoff: float = 0.5,
     **kwargs,
 ) -> ExperimentBatch:
     """Run experiments, optionally across a worker pool.
@@ -334,6 +417,14 @@ def run_experiments(
     dictionaries: an experiment listed there receives exactly those
     keywords instead of ``**kwargs`` (the CLI uses this to keep
     ``--scale`` away from table1, which takes no workload).
+
+    ``job_timeout`` bounds each pooled experiment's wall time: a job
+    that exceeds it is abandoned (the hung pool is torn down so no
+    other job stalls behind it) and retried up to ``job_retries`` times
+    with ``retry_backoff``-seconds exponential backoff, after which
+    :class:`~repro.errors.ExperimentError` is raised.  The serial path
+    cannot preempt an in-process experiment, so ``job_timeout`` only
+    applies when a worker pool is actually in use.
     """
     names = list(names)
     jobs = max(1, int(jobs))
@@ -368,14 +459,25 @@ def run_experiments(
         for item in items:
             _absorb(batch, total, _run_one(item))
     else:
-        with pool:
+        try:
             if plan:
                 for delta in pool.imap_unordered(
                     _prefetch_one, plan, chunksize=1
                 ):
                     total.add(delta)
-            for outcome in pool.map(_run_one, items, chunksize=1):
-                _absorb(batch, total, outcome)
+            if job_timeout is None:
+                for outcome in pool.map(_run_one, items, chunksize=1):
+                    _absorb(batch, total, outcome)
+            else:
+                pool, outcomes = _run_pool_with_timeouts(
+                    pool, items, jobs, corpus_dir, max_bytes,
+                    job_timeout, job_retries, retry_backoff,
+                )
+                for index in range(len(items)):
+                    _absorb(batch, total, outcomes[index])
+        finally:
+            pool.terminate()
+            pool.join()
 
     batch.corpus_stats = total.as_dict()
     batch.recorded = total.recorded

@@ -12,8 +12,19 @@ of a gzip read.
 Layout of a corpus directory::
 
     <root>/manifest.json          key metadata + integrity checksums
-    <root>/objects/<digest>.trc.gz   gzip'd v2 binary trace (annotations kept)
+    <root>/objects/<dd>/<digest>.trc.gz   gzip'd binary trace, sharded by
+                                  the first two digest hex chars
+    <root>/objects/<digest>.trc.gz   legacy flat layout (still readable)
     <root>/locks/                 cooperative lock files
+
+Objects are **sharded by content hash**: new writes land in a 256-way
+prefix fan-out (``objects/3f/<digest>.trc.gz``), which keeps directory
+listings bounded when the experiment service floods the store with
+thousands of traces, and gives a natural unit for placing shards on
+separate disks/hosts.  The migration is incremental and safe: the flat
+layout remains readable, a flat object is promoted into its shard on
+first use, and the maintenance paths (``verify``/``gc``/``ls``) see
+each digest exactly once no matter which layout(s) it occupies.
 
 Properties:
 
@@ -72,6 +83,10 @@ RECORDER_VERSION = 1
 
 _MANIFEST_FORMAT = 1
 _GZIP_LEVEL = 3
+
+#: Hex chars of the digest used as the shard directory name (2 -> 256
+#: subdirectories under ``objects/``).
+_SHARD_WIDTH = 2
 
 
 class TraceKey(NamedTuple):
@@ -313,17 +328,72 @@ class TraceCorpus:
         return [entry for _, entry in loaded]
 
     def _mtime(self, digest: str) -> float:
+        path = self._find_object(digest)
+        if path is None:
+            return 0.0
         try:
-            return self._object_path(digest).stat().st_mtime
+            return path.stat().st_mtime
         except OSError:
             return 0.0
 
     def _object_path(self, digest: str) -> Path:
+        """Canonical (sharded) location of a digest's object."""
+        return self.objects_dir / digest[:_SHARD_WIDTH] / f"{digest}.trc.gz"
+
+    def _flat_path(self, digest: str) -> Path:
+        """Pre-sharding flat location (still readable, never written)."""
         return self.objects_dir / f"{digest}.trc.gz"
+
+    def _find_object(self, digest: str) -> Optional[Path]:
+        """The on-disk object for a digest, preferring the shard."""
+        sharded = self._object_path(digest)
+        if sharded.exists():
+            return sharded
+        flat = self._flat_path(digest)
+        if flat.exists():
+            return flat
+        return None
+
+    def _object_exists(self, digest: str) -> bool:
+        return self._find_object(digest) is not None
+
+    def _unlink_object(self, digest: str) -> None:
+        """Remove every copy of a digest's object (both layouts)."""
+        for path in (self._object_path(digest), self._flat_path(digest)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _promote(self, digest: str) -> None:
+        """Move a flat-layout object into its shard (incremental
+        migration; atomic rename, no-op if already sharded)."""
+        flat = self._flat_path(digest)
+        sharded = self._object_path(digest)
+        if sharded.exists() or not flat.exists():
+            return
+        try:
+            sharded.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(flat, sharded)
+        except OSError:
+            pass  # raced with another promoter/evictor; either is fine
+
+    def _iter_objects(self) -> Dict[str, Path]:
+        """Every stored object, deduplicated: digest -> preferred path.
+
+        An object present in both layouts mid-migration counts exactly
+        once (the sharded copy wins).
+        """
+        objects: Dict[str, Path] = {}
+        for path in self.objects_dir.glob("*.trc.gz"):
+            objects[path.name[: -len(".trc.gz")]] = path
+        for path in self.objects_dir.glob(f"{'[0-9a-f]' * _SHARD_WIDTH}/*.trc.gz"):
+            objects[path.name[: -len(".trc.gz")]] = path
+        return objects
 
     def total_bytes(self) -> int:
         total = 0
-        for path in self.objects_dir.glob("*.trc.gz"):
+        for path in self._iter_objects().values():
             try:
                 total += path.stat().st_size
             except OSError:
@@ -353,10 +423,7 @@ class TraceCorpus:
     def _drop(self, digest: str) -> None:
         """Remove a corrupt/evicted entry (object file + manifest row)."""
         self._memory.pop(digest, None)
-        try:
-            self._object_path(digest).unlink()
-        except OSError:
-            pass
+        self._unlink_object(digest)
         self._update_manifest(lambda entries: entries.pop(digest, None))
 
     def get(self, key: TraceKey) -> Optional[Trace]:
@@ -374,10 +441,12 @@ class TraceCorpus:
         if entry is None:
             self.stats.misses += 1
             return None
-        path = self._object_path(digest)
+        path = self._find_object(digest)
         try:
-            blob = path.read_bytes()
+            blob = path.read_bytes() if path is not None else None
         except OSError:
+            blob = None
+        if blob is None:
             self.stats.misses += 1
             self._update_manifest(lambda entries: entries.pop(digest, None))
             return None
@@ -395,8 +464,11 @@ class TraceCorpus:
             return None
         self.stats.disk_hits += 1
         self.stats.bytes_read += len(blob)
+        self._promote(digest)  # incremental flat -> shard migration
         try:
-            os.utime(path)  # LRU recency for gc
+            path = self._find_object(digest)
+            if path is not None:
+                os.utime(path)  # LRU recency for gc
         except OSError:
             pass  # concurrently evicted; the blob in hand is still good
         self._memory_put(digest, trace)
@@ -407,9 +479,15 @@ class TraceCorpus:
         digest = key.digest
         blob = self._serialize(trace)
         path = self._object_path(digest)
-        tmp = self.objects_dir / f".tmp-{digest}-{os.getpid()}"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".tmp-{digest}-{os.getpid()}"
         tmp.write_bytes(blob)
         os.replace(tmp, path)
+        try:
+            # A re-recorded entry must not leave a stale flat twin behind.
+            self._flat_path(digest).unlink()
+        except OSError:
+            pass
         entry = CorpusEntry(
             suite=key.suite,
             name=key.name,
@@ -453,14 +531,22 @@ class TraceCorpus:
     # -- maintenance -------------------------------------------------------
 
     def verify(self) -> List[Tuple[CorpusEntry, bool, str]]:
-        """Re-hash and re-parse every entry; (entry, ok, reason) rows."""
+        """Re-hash and re-parse every entry; (entry, ok, reason) rows.
+
+        Shard-aware: each manifest digest is checked against its single
+        preferred object (sharded copy wins over a flat leftover), so an
+        entry occupying both layouts mid-migration is verified -- and
+        counted -- exactly once.
+        """
         report = []
         for entry in self.entries():
             digest = entry.key.digest
-            path = self._object_path(digest)
+            path = self._find_object(digest)
             try:
-                blob = path.read_bytes()
+                blob = path.read_bytes() if path is not None else None
             except OSError:
+                blob = None
+            if blob is None:
                 report.append((entry, False, "object file missing"))
                 continue
             if self._checksum(blob) != entry.checksum:
@@ -500,9 +586,19 @@ class TraceCorpus:
         now = time.time()
         with self._lock("gc"):
             entries = self._read_manifest()
-            known = {f"{digest}.trc.gz" for digest in entries}
-            for path in self.objects_dir.glob("*.trc.gz"):
-                if path.name in known:
+            known = set(entries)
+            for digest, path in self._iter_objects().items():
+                if digest in known:
+                    # De-duplicate mid-migration twins: when the shard
+                    # copy exists, a flat leftover is dead weight (put
+                    # and promote both target the shard) -- remove it so
+                    # nothing is ever counted or served twice.
+                    flat = self._flat_path(digest)
+                    if path != flat:
+                        try:
+                            flat.unlink()
+                        except OSError:
+                            pass
                     continue
                 try:
                     if now - path.stat().st_mtime < orphan_grace:
@@ -513,15 +609,16 @@ class TraceCorpus:
             removed = {
                 digest
                 for digest in entries
-                if not self._object_path(digest).exists()
+                if not self._object_exists(digest)
             }
             if bound is not None:
                 survivors = [d for d in entries if d not in removed]
                 survivors.sort(key=self._mtime)
                 sizes = {}
                 for digest in survivors:
+                    path = self._find_object(digest)
                     try:
-                        sizes[digest] = self._object_path(digest).stat().st_size
+                        sizes[digest] = path.stat().st_size if path else 0
                     except OSError:
                         sizes[digest] = 0
                 total = sum(sizes.values())
@@ -529,10 +626,7 @@ class TraceCorpus:
                     if total <= bound:
                         break
                     total -= sizes[digest]
-                    try:
-                        self._object_path(digest).unlink()
-                    except OSError:
-                        pass
+                    self._unlink_object(digest)
                     self._memory.pop(digest, None)
                     removed.add(digest)
                     evicted.append(CorpusEntry(**entries[digest]))

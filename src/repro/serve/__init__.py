@@ -1,0 +1,35 @@
+"""``repro.serve`` -- the experiment service layer.
+
+Turns the repository's batch tooling into a long-running service: a
+durable on-disk job queue with lease/heartbeat/requeue semantics
+(:mod:`repro.serve.queue`), a multiprocessing worker pool that drains it
+through the existing experiment/simulation code paths
+(:mod:`repro.serve.worker`, :mod:`repro.serve.jobs`), an asyncio HTTP
+front end (:mod:`repro.serve.server`) and a small client
+(:mod:`repro.serve.client`).  ``repro serve`` / ``repro submit`` /
+``repro jobs`` / ``repro result`` are the CLI entry points
+(:mod:`repro.serve.cli`).
+"""
+
+from .protocol import (
+    JOB_STATES,
+    JobRecord,
+    JobSpec,
+    job_id_for,
+    normalize_spec,
+)
+from .queue import JobQueue
+from .client import ServeClient, ServeError
+from .jobs import run_job
+
+__all__ = [
+    "JOB_STATES",
+    "JobRecord",
+    "JobSpec",
+    "JobQueue",
+    "ServeClient",
+    "ServeError",
+    "job_id_for",
+    "normalize_spec",
+    "run_job",
+]

@@ -1,0 +1,144 @@
+"""HTTP client for the experiment service (stdlib ``http.client``).
+
+Used by ``repro submit`` / ``repro jobs`` / ``repro result``, the
+serve-smoke gate, the load benchmark and the tests.  One small class,
+synchronous on purpose: callers poll, the server streams nothing it
+cannot re-serve from durable queue state.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional
+from urllib.parse import urlparse
+
+from ..errors import ReproError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """The service refused or could not be reached."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` instance (``http://host:port``)."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        parsed = urlparse(url if "//" in url else f"http://{url}")
+        if parsed.scheme not in ("http", ""):
+            raise ServeError(f"unsupported scheme {parsed.scheme!r} in {url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8642
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        raw: bool = False,
+    ) -> Any:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            status = response.status
+            connection.close()
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(
+                f"cannot reach repro serve at {self.host}:{self.port}: {exc}"
+            ) from exc
+        if raw:
+            if status >= 400:
+                raise ServeError(data.decode("utf-8", "replace"), status=status)
+            return data.decode("utf-8", "replace")
+        try:
+            document = json.loads(data.decode("utf-8")) if data else {}
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"malformed response from service: {exc}") from exc
+        if status >= 400:
+            raise ServeError(
+                str(document.get("error", f"HTTP {status}")), status=status
+            )
+        return document
+
+    # -- the protocol ------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics", raw=True)
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a job spec; returns ``{id, state, created, describe}``."""
+        return self._request("POST", "/jobs", payload=spec)
+
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        path = "/jobs" + (f"?state={state}" if state else "")
+        return list(self._request("GET", path).get("jobs", []))
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def stop(self) -> Dict[str, Any]:
+        return self._request("POST", "/stop")
+
+    # -- conveniences ------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the job settles; returns the final record.
+
+        Raises :class:`ServeError` on timeout.  ``done``/``failed``/
+        ``cancelled`` are all "settled" -- the caller inspects
+        ``state``.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.get("state") in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"job {job_id} still {record.get('state')!r} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def wait_ready(self, timeout: float = 10.0, poll: float = 0.1) -> None:
+        """Block until /healthz answers (server startup)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.healthz()
+                return
+            except ServeError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(poll)

@@ -1,0 +1,269 @@
+"""Job model and wire protocol of the experiment service.
+
+A *job spec* is a plain JSON object describing one unit of work.  Three
+job types cover every workload the repository already knows how to run:
+
+``experiment``
+    One registered experiment driver (``table7``, ``figure3``, ...)
+    executed through :func:`repro.experiments.run_experiment`; the
+    result document is :meth:`ExperimentResult.to_dict`.
+
+``program``
+    One bundled ISA program on the deterministic reference harness
+    (:func:`repro.analysis.static.memo.reference_machine`) replayed
+    through MEMO-TABLES; the result document carries the instruction
+    count and per-unit memo statistics.  Cheap (milliseconds), which is
+    what the load benchmark and the serve-smoke gate submit by the
+    thousand.
+
+``fuzz``
+    One differential fuzz campaign (:func:`repro.verify.fuzz.fuzz_run`);
+    the result document reports cases/coverage/divergences, so the
+    nightly fuzz workflow can run through the service path.
+
+Jobs are **content-hash keyed**: :func:`job_id_for` digests the
+canonicalized spec, so submitting the same spec twice yields the same
+job id and the queue deduplicates it (idempotent submission).  Specs are
+canonicalized by :func:`normalize_spec`, which also validates the job
+type and fills defaults, so two spellings of the same work hash alike.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = [
+    "JOB_STATES",
+    "JobSpec",
+    "JobRecord",
+    "ServeProtocolError",
+    "job_id_for",
+    "normalize_spec",
+]
+
+#: Every state a job record can be in.  Transitions::
+#:
+#:     queued -> leased -> done
+#:                      -> queued     (lease expired / worker died; requeue)
+#:                      -> failed     (attempts exhausted or fatal error)
+#:     queued -> cancelled
+#:     leased -> cancelled            (cancel honoured before execution)
+JOB_STATES = ("queued", "leased", "done", "failed", "cancelled")
+
+#: Known job types and their required/allowed parameters.
+JOB_TYPES = ("experiment", "program", "fuzz")
+
+#: Default lease duration: a worker must heartbeat within this window or
+#: the reaper hands the job to someone else.
+DEFAULT_LEASE_TTL = 30.0
+
+#: Default cap on executions of one job (first attempt + requeues).
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class ServeProtocolError(ReproError):
+    """A malformed job spec or protocol message."""
+
+
+def _require_str(spec: Dict[str, Any], key: str) -> str:
+    value = spec.get(key)
+    if not isinstance(value, str) or not value:
+        raise ServeProtocolError(f"job spec field {key!r} must be a non-empty string")
+    return value
+
+
+def _optional_number(
+    spec: Dict[str, Any], key: str, default: Optional[float] = None
+) -> Optional[float]:
+    value = spec.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServeProtocolError(f"job spec field {key!r} must be a number")
+    return float(value)
+
+
+def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a job spec and return its canonical form.
+
+    The canonical form is what gets hashed into the job id, so defaults
+    are made explicit and key order is irrelevant (hashing sorts keys).
+    Unknown top-level keys are rejected: a typo must not silently create
+    a *different* job.
+    """
+    if not isinstance(spec, dict):
+        raise ServeProtocolError("job spec must be a JSON object")
+    kind = _require_str(spec, "type")
+    if kind not in JOB_TYPES:
+        raise ServeProtocolError(
+            f"unknown job type {kind!r}; expected one of: {', '.join(JOB_TYPES)}"
+        )
+    out: Dict[str, Any] = {"type": kind}
+    allowed = {"type", "delay", "timeout"}
+    delay = _optional_number(spec, "delay", 0.0) or 0.0
+    if delay:
+        # Pacing/testing hook: the worker sleeps this long before
+        # executing (lets tests kill a worker mid-job deterministically).
+        out["delay"] = delay
+    timeout = _optional_number(spec, "timeout")
+    if timeout is not None:
+        out["timeout"] = timeout
+
+    if kind == "experiment":
+        allowed |= {"experiment", "kwargs"}
+        name = _require_str(spec, "experiment")
+        from ..experiments import experiment_names
+
+        if name not in experiment_names():
+            raise ServeProtocolError(
+                f"unknown experiment {name!r}; available: "
+                + ", ".join(experiment_names())
+            )
+        kwargs = spec.get("kwargs") or {}
+        if not isinstance(kwargs, dict):
+            raise ServeProtocolError("experiment job 'kwargs' must be an object")
+        out["experiment"] = name
+        out["kwargs"] = {str(k): kwargs[k] for k in sorted(kwargs)}
+    elif kind == "program":
+        allowed |= {"program", "n", "entries", "ways", "mantissa"}
+        name = _require_str(spec, "program")
+        from ..isa.programs import PROGRAMS
+
+        if name not in PROGRAMS:
+            raise ServeProtocolError(
+                f"unknown program {name!r}; available: " + ", ".join(PROGRAMS)
+            )
+        out["program"] = name
+        out["n"] = int(_optional_number(spec, "n", 64) or 64)
+        out["entries"] = int(_optional_number(spec, "entries", 32) or 32)
+        out["ways"] = int(_optional_number(spec, "ways", 4) or 4)
+        out["mantissa"] = bool(spec.get("mantissa", False))
+    else:  # fuzz
+        allowed |= {"budget", "seed", "max_events"}
+        out["budget"] = int(_optional_number(spec, "budget", 200) or 200)
+        out["seed"] = int(_optional_number(spec, "seed", 0) or 0)
+        max_events = int(_optional_number(spec, "max_events", 96) or 96)
+        if max_events < 48:
+            # The fuzzer's fresh-trace generator draws at least 48
+            # events per case; smaller caps would fault mid-campaign.
+            raise ServeProtocolError("fuzz job 'max_events' must be >= 48")
+        out["max_events"] = max_events
+
+    unknown = set(spec) - allowed
+    if unknown:
+        raise ServeProtocolError(
+            f"unknown job spec field(s): {', '.join(sorted(unknown))}"
+        )
+    return out
+
+
+def job_id_for(spec: Dict[str, Any]) -> str:
+    """Content-hash id of a canonical spec (16 hex chars)."""
+    material = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class JobSpec:
+    """A validated spec plus its content-hash identity."""
+
+    spec: Dict[str, Any]
+    id: str = ""
+
+    def __post_init__(self) -> None:
+        self.spec = normalize_spec(self.spec)
+        if not self.id:
+            self.id = job_id_for(self.spec)
+
+    def describe(self) -> str:
+        kind = self.spec["type"]
+        if kind == "experiment":
+            return f"experiment:{self.spec['experiment']}"
+        if kind == "program":
+            return f"program:{self.spec['program']}(n={self.spec['n']})"
+        return f"fuzz(budget={self.spec['budget']},seed={self.spec['seed']})"
+
+
+@dataclass
+class JobRecord:
+    """Durable bookkeeping for one job (the ``jobs/<id>.json`` document).
+
+    Timestamps are wall-clock epoch seconds written by the queue (the
+    one service module sanctioned to read the wall clock, like the
+    corpus store's lock staleness): lease deadlines must survive
+    process restarts, which rules out per-process monotonic clocks.
+    """
+
+    id: str
+    spec: Dict[str, Any]
+    state: str = "queued"
+    submitted: float = 0.0
+    #: Worker currently holding the lease (empty when not leased).
+    worker: str = ""
+    #: Epoch seconds the current lease expires (0 when not leased).
+    lease_deadline: float = 0.0
+    lease_ttl: float = DEFAULT_LEASE_TTL
+    #: Executions started (first claim sets it to 1).
+    attempts: int = 0
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    #: Times the job went back to ``queued`` after a lost lease.
+    requeues: int = 0
+    #: Seconds between submission and first claim.
+    queue_latency: float = 0.0
+    #: Worker-side execution timing of the completing attempt.
+    wall: float = 0.0
+    cpu: float = 0.0
+    #: Set when a cancel arrived while the job was leased; the worker
+    #: drops the job before execution if it sees the flag in time.
+    cancel_requested: bool = False
+    error: str = ""
+    finished: float = 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        """The compact row ``GET /jobs`` returns."""
+        return {
+            "id": self.id,
+            "type": self.spec.get("type", "?"),
+            "describe": JobSpec(dict(self.spec), id=self.id).describe(),
+            "state": self.state,
+            "attempts": self.attempts,
+            "requeues": self.requeues,
+            "worker": self.worker,
+            "error": self.error,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "spec": self.spec,
+            "state": self.state,
+            "submitted": self.submitted,
+            "worker": self.worker,
+            "lease_deadline": self.lease_deadline,
+            "lease_ttl": self.lease_ttl,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "requeues": self.requeues,
+            "queue_latency": self.queue_latency,
+            "wall": self.wall,
+            "cpu": self.cpu,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+            "finished": self.finished,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        fields: Tuple[str, ...] = (
+            "id", "spec", "state", "submitted", "worker", "lease_deadline",
+            "lease_ttl", "attempts", "max_attempts", "requeues",
+            "queue_latency", "wall", "cpu", "cancel_requested", "error",
+            "finished",
+        )
+        kwargs = {name: data[name] for name in fields if name in data}
+        return cls(**kwargs)

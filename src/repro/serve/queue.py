@@ -1,0 +1,597 @@
+"""Durable on-disk job queue with lease/heartbeat/requeue semantics.
+
+The queue is a directory; every operation is crash-safe file-system
+state, so worker death never loses a job and a restarted server picks
+up exactly where the last one stopped::
+
+    <root>/jobs/<id>.json      JobRecord (spec + state + bookkeeping)
+    <root>/results/<id>.json   result document of a ``done`` job
+    <root>/pending/<ready>-<id>   claimable marker, FIFO by ready-time
+    <root>/leased/<id>         lease marker; mtime = last heartbeat
+    <root>/locks/<id>.lock     per-record mutation lock
+    <root>/server.json         where the HTTP front end is listening
+
+The **claim protocol** is a single atomic rename: a worker picks the
+oldest ready marker in ``pending/`` and renames it into ``leased/``;
+whoever wins the rename owns the job.  No locks are held while
+scanning, so any number of workers can claim concurrently.
+
+The **lease protocol**: a claimed job must be heartbeaten (touching the
+lease marker's mtime) at least every ``lease_ttl`` seconds.  The
+reaper's :meth:`JobQueue.requeue_expired` renames stale markers back
+into ``pending/`` and bumps the record's ``requeues`` counter; a job
+that exhausts ``max_attempts`` is marked ``failed`` instead.  Because a
+completing worker flips the record to ``done`` *before* removing its
+marker, a crash between the two leaves a marker that the next claim or
+sweep simply discards -- completion is never lost, and duplicate
+execution of an already-completed job is impossible.
+
+This module (like ``repro/corpus/store.py``, and sanctioned the same
+way by the REPRO002 lint rule) reads the wall clock: lease deadlines
+and queue latencies must survive process restarts and be comparable
+across processes, which per-process monotonic clocks are not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import ReproError
+from ..obs.registry import MetricsRegistry
+from .protocol import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    JobRecord,
+    JobSpec,
+)
+
+__all__ = ["JobQueue", "QueueError", "default_queue_dir"]
+
+
+class QueueError(ReproError):
+    """A job queue operation could not be performed."""
+
+
+def default_queue_dir() -> Path:
+    """``$REPRO_QUEUE_DIR`` or ``~/.cache/repro/queue``."""
+    env = os.environ.get("REPRO_QUEUE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "queue"
+
+
+class _RecordLock:
+    """Cooperative ``O_CREAT|O_EXCL`` lock file with stale breaking
+    (the corpus store's lock, re-stated for the queue's lock dir)."""
+
+    def __init__(
+        self, path: Path, timeout: float = 30.0, stale_after: float = 120.0
+    ) -> None:
+        self.path = path
+        self.timeout = timeout
+        self.stale_after = stale_after
+
+    def __enter__(self) -> "_RecordLock":
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                return self
+            except FileExistsError:
+                try:
+                    age = time.time() - self.path.stat().st_mtime
+                    if age > self.stale_after:
+                        self.path.unlink()
+                        continue
+                except OSError:
+                    continue  # lock vanished between exists and stat
+                if time.monotonic() > deadline:
+                    raise QueueError(
+                        f"could not acquire {self.path} within {self.timeout}s"
+                    )
+                time.sleep(0.01)
+
+    def __exit__(self, *exc) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+def _atomic_write_json(path: Path, document: Dict[str, Any]) -> None:
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    with tmp.open("w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=1, sort_keys=True)
+        stream.write("\n")
+    os.replace(tmp, path)
+
+
+class JobQueue:
+    """The durable queue (see module docstring for the on-disk layout)."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        retry_backoff: float = 0.5,
+    ) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.results_dir = self.root / "results"
+        self.pending_dir = self.root / "pending"
+        self.leased_dir = self.root / "leased"
+        self.locks_dir = self.root / "locks"
+        for directory in (
+            self.root, self.jobs_dir, self.results_dir,
+            self.pending_dir, self.leased_dir, self.locks_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        self.lease_ttl = float(lease_ttl)
+        self.max_attempts = int(max_attempts)
+        self.retry_backoff = float(retry_backoff)
+
+    # -- record plumbing ---------------------------------------------------
+
+    def _record_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _result_path(self, job_id: str) -> Path:
+        return self.results_dir / f"{job_id}.json"
+
+    def _lease_marker(self, job_id: str) -> Path:
+        return self.leased_dir / job_id
+
+    def _pending_marker(self, job_id: str, ready: float) -> Path:
+        return self.pending_dir / f"{int(ready * 1e3):017d}-{job_id}"
+
+    def _lock(self, job_id: str) -> _RecordLock:
+        return _RecordLock(self.locks_dir / f"{job_id}.lock")
+
+    def _read_record(self, job_id: str) -> Optional[JobRecord]:
+        try:
+            with self._record_path(job_id).open("r", encoding="utf-8") as stream:
+                return JobRecord.from_dict(json.load(stream))
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError, TypeError, KeyError):
+            return None  # torn record; treated as absent until rewritten
+
+    def _write_record(self, record: JobRecord) -> None:
+        _atomic_write_json(self._record_path(record.id), record.to_dict())
+
+    def _mutate(
+        self, job_id: str, mutate: Callable[[JobRecord], Optional[JobRecord]]
+    ) -> Optional[JobRecord]:
+        """Read-modify-write one record under its lock.
+
+        ``mutate`` returns the record to persist, or None to leave the
+        stored record untouched (e.g. a transition raced and lost).
+        """
+        with self._lock(job_id):
+            record = self._read_record(job_id)
+            if record is None:
+                return None
+            updated = mutate(record)
+            if updated is None:
+                return None
+            self._write_record(updated)
+            return updated
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        spec: Union[Dict[str, Any], JobSpec],
+        lease_ttl: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+    ) -> Tuple[JobRecord, bool]:
+        """Enqueue a job; returns ``(record, created)``.
+
+        Submission is idempotent: the job id is the content hash of the
+        canonical spec, so a duplicate submit returns the existing
+        record (``created=False``) without touching its state -- except
+        that re-submitting a ``failed`` or ``cancelled`` job revives it
+        with a fresh attempt budget.
+        """
+        job = spec if isinstance(spec, JobSpec) else JobSpec(dict(spec))
+        with self._lock(job.id):
+            existing = self._read_record(job.id)
+            if existing is not None:
+                if existing.state not in ("failed", "cancelled"):
+                    return existing, False
+                # Revive: same identity, fresh execution budget.
+                existing.state = "queued"
+                existing.error = ""
+                existing.cancel_requested = False
+                existing.attempts = 0
+                existing.requeues = 0
+                existing.worker = ""
+                existing.lease_deadline = 0.0
+                existing.submitted = time.time()
+                self._write_record(existing)
+                self._ensure_pending_marker(existing)
+                return existing, True
+            now = time.time()
+            record = JobRecord(
+                id=job.id,
+                spec=job.spec,
+                submitted=now,
+                lease_ttl=self.lease_ttl if lease_ttl is None else float(lease_ttl),
+                max_attempts=(
+                    self.max_attempts if max_attempts is None else int(max_attempts)
+                ),
+            )
+            self._write_record(record)
+            self._pending_marker(job.id, now).touch()
+            return record, True
+
+    def _ensure_pending_marker(self, record: JobRecord) -> None:
+        """Create a claim marker for a queued record if none exists."""
+        for name in self._list_pending():
+            if name.endswith(record.id):
+                return
+        self._pending_marker(record.id, time.time()).touch()
+
+    # -- claiming ----------------------------------------------------------
+
+    def _list_pending(self) -> List[str]:
+        try:
+            names = sorted(os.listdir(self.pending_dir))
+        except OSError:
+            return []
+        return [name for name in names if "-" in name]
+
+    @staticmethod
+    def _marker_parts(name: str) -> Tuple[float, str]:
+        ready_ms, _, job_id = name.partition("-")
+        try:
+            return int(ready_ms) / 1e3, job_id
+        except ValueError:
+            return 0.0, job_id
+
+    def claim(self, worker: str) -> Optional[JobRecord]:
+        """Atomically lease the oldest ready job; None when idle.
+
+        The winning ``os.link`` of the pending marker into ``leased/``
+        *is* the claim (link fails if a lease marker already exists, so
+        a duplicate pending marker can never steal a live lease); the
+        record update that follows merely documents it.
+        """
+        for name in self._list_pending():
+            ready, job_id = self._marker_parts(name)
+            if ready > time.time():
+                break  # markers sort by ready-time; the rest are later
+            marker = self.pending_dir / name
+            lease = self._lease_marker(job_id)
+            try:
+                os.link(marker, lease)
+            except FileExistsError:
+                # Already leased (or a stale marker the reaper owns);
+                # this pending marker is a duplicate -- drop it.
+                try:
+                    marker.unlink()
+                except OSError:
+                    pass
+                continue
+            except OSError:
+                continue  # marker raced away; try the next one
+            try:
+                marker.unlink()
+            except OSError:
+                pass  # a racer consumed it; the link above is ours
+            os.utime(lease)  # heartbeat epoch starts at the claim
+            record = self._mutate(job_id, lambda r: self._lease(r, worker))
+            if record is not None and record.state == "leased":
+                return record
+            # Record gone or not claimable (done/cancelled/failed):
+            # drop the stray lease marker and keep scanning.
+            try:
+                lease.unlink()
+            except OSError:
+                pass
+        return None
+
+    def _lease(self, record: JobRecord, worker: str) -> Optional[JobRecord]:
+        if record.state == "queued" and not record.cancel_requested:
+            now = time.time()
+            if record.attempts == 0:
+                record.queue_latency = max(0.0, now - record.submitted)
+            record.state = "leased"
+            record.worker = worker
+            record.attempts += 1
+            record.lease_deadline = now + record.lease_ttl
+            return record
+        if record.cancel_requested and record.state == "queued":
+            record.state = "cancelled"
+            record.worker = ""
+            record.finished = time.time()
+            return record
+        return None
+
+    def heartbeat(self, job_id: str, worker: str) -> bool:
+        """Renew a lease; False means the lease was lost (job requeued,
+        cancelled, or completed by someone else) and the worker should
+        abandon the attempt's result."""
+        record = self._read_record(job_id)
+        if record is None or record.state != "leased" or record.worker != worker:
+            return False
+        marker = self._lease_marker(job_id)
+        try:
+            os.utime(marker)
+        except OSError:
+            return False  # marker gone: the reaper took the lease away
+        self._mutate(job_id, lambda r: self._renew(r, worker))
+        return True
+
+    @staticmethod
+    def _renew(record: JobRecord, worker: str) -> Optional[JobRecord]:
+        if record.state != "leased" or record.worker != worker:
+            return None
+        record.lease_deadline = time.time() + record.lease_ttl
+        return record
+
+    # -- completion --------------------------------------------------------
+
+    def complete(
+        self,
+        job_id: str,
+        worker: str,
+        result: Dict[str, Any],
+        wall: float = 0.0,
+        cpu: float = 0.0,
+    ) -> bool:
+        """Persist a result and mark the job ``done``.
+
+        The record flips to ``done`` *before* the lease marker is
+        removed (see module docstring); a lost lease (marker stolen and
+        record re-leased to another worker) makes this a no-op returning
+        False so the stale worker's result is dropped.
+        """
+        def _finish(record: JobRecord) -> Optional[JobRecord]:
+            if record.state != "leased" or record.worker != worker:
+                return None
+            record.state = "done"
+            record.worker = ""
+            record.lease_deadline = 0.0
+            record.wall = float(wall)
+            record.cpu = float(cpu)
+            record.error = ""
+            record.finished = time.time()
+            return record
+
+        _atomic_write_json(self._result_path(job_id), result)
+        updated = self._mutate(job_id, _finish)
+        if updated is None:
+            try:
+                self._result_path(job_id).unlink()
+            except OSError:
+                pass
+            return False
+        try:
+            self._lease_marker(job_id).unlink()
+        except OSError:
+            pass
+        return True
+
+    def fail(
+        self, job_id: str, worker: str, error: str, retryable: bool = True
+    ) -> Optional[str]:
+        """Record a failed attempt; returns the resulting state.
+
+        A retryable failure with remaining attempts goes back to
+        ``queued`` with exponential backoff (the pending marker's
+        ready-time is pushed out); otherwise the job is ``failed``.
+        """
+        def _fail(record: JobRecord) -> Optional[JobRecord]:
+            if record.state != "leased" or record.worker != worker:
+                return None
+            record.worker = ""
+            record.lease_deadline = 0.0
+            record.error = str(error)[:2000]
+            if retryable and record.attempts < record.max_attempts:
+                record.state = "queued"
+            else:
+                record.state = "failed"
+                record.finished = time.time()
+            return record
+
+        updated = self._mutate(job_id, _fail)
+        try:
+            self._lease_marker(job_id).unlink()
+        except OSError:
+            pass
+        if updated is None:
+            return None
+        if updated.state == "queued":
+            backoff = self.retry_backoff * (2 ** max(0, updated.attempts - 1))
+            self._pending_marker(job_id, time.time() + backoff).touch()
+        return updated.state
+
+    def cancel(self, job_id: str) -> Optional[str]:
+        """Cancel a job; returns the resulting state (None = unknown id).
+
+        Queued jobs are cancelled immediately; leased jobs get
+        ``cancel_requested`` set, which the worker honours before
+        execution starts (a running experiment is monolithic and runs
+        to completion -- its result is then kept).
+        """
+        def _cancel(record: JobRecord) -> Optional[JobRecord]:
+            if record.state == "queued":
+                record.state = "cancelled"
+                record.cancel_requested = True
+                record.finished = time.time()
+                return record
+            if record.state == "leased":
+                record.cancel_requested = True
+                return record
+            return None
+
+        updated = self._mutate(job_id, _cancel)
+        if updated is None:
+            record = self._read_record(job_id)
+            return record.state if record else None
+        if updated.state == "cancelled":
+            for name in self._list_pending():
+                if name.endswith(updated.id):
+                    try:
+                        (self.pending_dir / name).unlink()
+                    except OSError:
+                        pass
+        return updated.state
+
+    # -- the reaper --------------------------------------------------------
+
+    def requeue_expired(self) -> List[str]:
+        """Return expired leases to the queue (or fail them out).
+
+        Covers both failure shapes: a dead worker (marker mtime goes
+        stale) and a zombie record (``leased`` in the record but no
+        marker on disk, e.g. a crash mid-completion).  Returns the ids
+        acted upon.
+        """
+        acted: List[str] = []
+        now = time.time()
+        try:
+            markers = list(os.listdir(self.leased_dir))
+        except OSError:
+            markers = []
+        marker_ids = set(markers)
+        for job_id in markers:
+            marker = self._lease_marker(job_id)
+            record = self._read_record(job_id)
+            try:
+                age = now - marker.stat().st_mtime
+            except OSError:
+                marker_ids.discard(job_id)
+                continue  # completed/requeued concurrently
+            if record is None or record.state != "leased":
+                # Stale marker: a crash between claim-link and record
+                # update, or between completion and marker cleanup.
+                if age > self.lease_ttl:
+                    try:
+                        marker.unlink()
+                    except OSError:
+                        pass
+                    marker_ids.discard(job_id)
+                continue
+            if age <= (record.lease_ttl or self.lease_ttl):
+                continue
+            if self._requeue(job_id, marker):
+                acted.append(job_id)
+        # Zombie sweep: leased records whose marker vanished (crash
+        # between record write and marker cleanup) and queued records
+        # with no claim marker (crash between record write and touch).
+        pending_ids = {self._marker_parts(n)[1] for n in self._list_pending()}
+        for path in self.jobs_dir.glob("*.json"):
+            job_id = path.stem
+            if job_id in marker_ids or job_id in pending_ids:
+                continue
+            record = self._read_record(job_id)
+            if record is None:
+                continue
+            if record.state == "leased":
+                if now > record.lease_deadline and self._requeue(job_id, None):
+                    acted.append(job_id)
+            elif record.state == "queued":
+                self._pending_marker(job_id, now).touch()
+        return acted
+
+    def _requeue(self, job_id: str, marker: Optional[Path]) -> bool:
+        """Take one expired lease back; marker=None for zombie records."""
+        def _expire(record: JobRecord) -> Optional[JobRecord]:
+            if record.state != "leased":
+                return None
+            record.worker = ""
+            record.lease_deadline = 0.0
+            record.requeues += 1
+            if record.cancel_requested:
+                record.state = "cancelled"
+                record.finished = time.time()
+            elif record.attempts >= record.max_attempts:
+                record.state = "failed"
+                record.error = (
+                    "lease expired with no heartbeat after "
+                    f"{record.attempts} attempt(s) (worker died or hung)"
+                )
+                record.finished = time.time()
+            else:
+                record.state = "queued"
+            return record
+
+        updated = self._mutate(job_id, _expire)
+        if updated is None:
+            return False
+        if marker is not None:
+            try:
+                marker.unlink()
+            except OSError:
+                pass  # the leasing worker completed in the meantime
+        if updated.state == "queued":
+            self._pending_marker(job_id, time.time()).touch()
+        return True
+
+    # -- inspection --------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self._read_record(job_id)
+
+    def result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            with self._result_path(job_id).open("r", encoding="utf-8") as stream:
+                return json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def jobs(self, state: Optional[str] = None) -> List[JobRecord]:
+        """All records (optionally filtered), oldest submission first."""
+        records = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            record = self._read_record(path.stem)
+            if record is None:
+                continue
+            if state is None or record.state == state:
+                records.append(record)
+        records.sort(key=lambda r: (r.submitted, r.id))
+        return records
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for record in self.jobs():
+            tally[record.state] = tally.get(record.state, 0) + 1
+        return tally
+
+    # -- metrics -----------------------------------------------------------
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """A registry snapshot of the queue, derived from the durable
+        records (monotone as long as records are retained): per-state
+        gauges, lifetime counters, and queue-latency / job wall / job
+        CPU timing series for the ``/metrics`` endpoint."""
+        registry = MetricsRegistry()
+        states = {name: 0 for name in ("queued", "leased", "done", "failed", "cancelled")}
+        submitted = attempts = requeues = 0
+        for record in self.jobs():
+            states[record.state] = states.get(record.state, 0) + 1
+            submitted += 1
+            attempts += record.attempts
+            requeues += record.requeues
+            if record.state == "done":
+                registry.record_span("serve.queue_latency", record.queue_latency, 0.0)
+                registry.record_span("serve.job", record.wall, record.cpu)
+        registry.counter_add("serve.jobs_submitted", submitted)
+        registry.counter_add("serve.jobs_completed", states.get("done", 0))
+        registry.counter_add("serve.jobs_failed", states.get("failed", 0))
+        registry.counter_add("serve.jobs_cancelled", states.get("cancelled", 0))
+        registry.counter_add("serve.job_attempts", attempts)
+        registry.counter_add("serve.jobs_requeued", requeues)
+        registry.gauge_set("serve.queue_depth", states.get("queued", 0))
+        for name, value in states.items():
+            registry.gauge_set(f"serve.jobs_{name}", value)
+        return registry

@@ -1,0 +1,329 @@
+"""The asyncio HTTP front end and worker supervisor (``repro serve``).
+
+Stdlib only: a hand-rolled HTTP/1.1 request loop over
+``asyncio.start_server`` (the service speaks small JSON documents on a
+trusted network; a web framework would be a dependency for nothing).
+
+Routes::
+
+    GET    /healthz           liveness + queue state counts
+    GET    /metrics           Prometheus text (queue series + repro.obs)
+    POST   /jobs              submit a job spec  -> {id, state, created}
+    GET    /jobs[?state=S]    list job summaries
+    GET    /jobs/<id>         full job record
+    GET    /jobs/<id>/result  result document (409 until done)
+    DELETE /jobs/<id>         cancel
+    POST   /stop              graceful shutdown (smoke/test hook)
+
+Alongside the listener the server runs:
+
+* the **reaper** task -- periodically :meth:`JobQueue.requeue_expired`,
+  so a SIGKILLed worker's jobs go back to the queue within about one
+  lease TTL;
+* the **supervisor** -- restarts worker processes that died, so the
+  pool stays at full strength.
+
+On bind the server writes ``<queue>/server.json`` (host, port, pid) so
+clients, the smoke harness and the benchmark can discover an
+ephemeral-port instance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..obs.export import to_prometheus
+from .protocol import JobSpec, ServeProtocolError
+from .queue import JobQueue
+from .worker import STOP_MARKER, worker_main
+
+__all__ = ["ServeService"]
+
+_MAX_BODY = 1 << 20  # 1 MiB of JSON is plenty for any job spec
+
+
+def _response(
+    status: int, payload: Any, content_type: str = "application/json"
+) -> bytes:
+    if content_type == "application/json":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    else:
+        body = str(payload).encode("utf-8")
+    reason = {200: "OK", 201: "Created", 202: "Accepted", 400: "Bad Request",
+              404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+              500: "Internal Server Error"}.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+class ServeService:
+    """Queue + HTTP listener + reaper + supervised worker pool."""
+
+    def __init__(
+        self,
+        queue_dir: str,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        workers: int = 0,
+        corpus_dir: Optional[str] = None,
+        lease_ttl: float = 30.0,
+        reap_interval: float = 1.0,
+    ) -> None:
+        self.queue = JobQueue(queue_dir, lease_ttl=lease_ttl)
+        self.host = host
+        self.port = port
+        self.workers = max(0, int(workers))
+        self.corpus_dir = corpus_dir
+        self.reap_interval = reap_interval
+        self._procs: List[multiprocessing.Process] = []
+        self._stopping: Optional[asyncio.Event] = None  # created in serve()
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: Requeues observed by this server instance (reaper activity).
+        self.requeued = 0
+        self.restarted_workers = 0
+
+    # -- worker pool -------------------------------------------------------
+
+    def _spawn_worker(self, index: int) -> multiprocessing.Process:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        proc = context.Process(
+            target=worker_main,
+            args=(str(self.queue.root),),
+            kwargs={
+                "worker": f"worker-{index}-{os.getpid()}",
+                "corpus_dir": self.corpus_dir,
+            },
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def start_workers(self) -> None:
+        stop = self.queue.root / STOP_MARKER
+        try:
+            stop.unlink()
+        except OSError:
+            pass
+        self._procs = [self._spawn_worker(i) for i in range(self.workers)]
+
+    def stop_workers(self) -> None:
+        (self.queue.root / STOP_MARKER).touch()
+        for proc in self._procs:
+            proc.join(timeout=3.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        self._procs = []
+
+    def _supervise(self) -> None:
+        """Replace dead workers (the lease reaper already rescued their
+        jobs; this restores pool capacity)."""
+        if (self.queue.root / STOP_MARKER).exists():
+            return
+        for i, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                self.restarted_workers += 1
+                self._procs[i] = self._spawn_worker(i)
+
+    # -- HTTP --------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            response = await self._handle_request(reader)
+        except Exception as exc:  # noqa: BLE001 -- a broken request must not kill the listener
+            response = _response(500, {"error": f"{type(exc).__name__}: {exc}"})
+        try:
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except OSError:
+                pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader) -> bytes:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+        except asyncio.TimeoutError:
+            return _response(400, {"error": "request timeout"})
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return _response(400, {"error": "malformed request line"})
+        method, target = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return _response(400, {"error": "bad Content-Length"})
+        if length > _MAX_BODY:
+            return _response(400, {"error": "body too large"})
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return _response(400, {"error": "truncated body"})
+        path, _, query = target.partition("?")
+        return self._route(method, path, query, body)
+
+    def _route(self, method: str, path: str, query: str, body: bytes) -> bytes:
+        segments = [s for s in path.split("/") if s]
+        if path == "/healthz" and method == "GET":
+            return _response(200, {
+                "ok": True,
+                "pid": os.getpid(),
+                "workers": sum(p.is_alive() for p in self._procs),
+                "counts": self.queue.counts(),
+            })
+        if path == "/metrics" and method == "GET":
+            return _response(
+                200, self._metrics_text(), content_type="text/plain; version=0.0.4"
+            )
+        if path == "/stop" and method == "POST":
+            if self._stopping is not None:
+                self._stopping.set()
+            return _response(202, {"stopping": True})
+        if segments[:1] == ["jobs"]:
+            return self._route_jobs(method, segments[1:], query, body)
+        return _response(404, {"error": f"no route for {method} {path}"})
+
+    def _route_jobs(
+        self, method: str, rest: List[str], query: str, body: bytes
+    ) -> bytes:
+        if not rest:
+            if method == "POST":
+                return self._submit(body)
+            if method == "GET":
+                state = None
+                for pair in query.split("&"):
+                    key, _, value = pair.partition("=")
+                    if key == "state" and value:
+                        state = value
+                summaries = [r.summary() for r in self.queue.jobs(state=state)]
+                return _response(200, {"jobs": summaries})
+            return _response(405, {"error": "use GET or POST on /jobs"})
+        job_id = rest[0]
+        record = self.queue.get(job_id)
+        if record is None:
+            return _response(404, {"error": f"unknown job {job_id!r}"})
+        if len(rest) == 1:
+            if method == "GET":
+                return _response(200, record.to_dict())
+            if method == "DELETE":
+                state = self.queue.cancel(job_id)
+                return _response(200, {"id": job_id, "state": state})
+            return _response(405, {"error": "use GET or DELETE on /jobs/<id>"})
+        if rest[1] == "result" and method == "GET":
+            if record.state != "done":
+                return _response(409, {
+                    "error": f"job {job_id} is {record.state}, not done",
+                    "state": record.state,
+                })
+            result = self.queue.result(job_id)
+            if result is None:
+                return _response(500, {"error": "result document missing"})
+            return _response(200, result)
+        return _response(404, {"error": "unknown job subresource"})
+
+    def _submit(self, body: bytes) -> bytes:
+        try:
+            spec = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return _response(400, {"error": f"bad JSON body: {exc}"})
+        try:
+            job = JobSpec(spec)
+        except ServeProtocolError as exc:
+            return _response(400, {"error": str(exc)})
+        record, created = self.queue.submit(job)
+        return _response(201 if created else 200, {
+            "id": record.id,
+            "state": record.state,
+            "created": created,
+            "describe": job.describe(),
+        })
+
+    def _metrics_text(self) -> str:
+        registry = self.queue.metrics_registry()
+        registry.counter_add("serve.jobs_requeued_by_reaper", self.requeued)
+        registry.counter_add("serve.workers_restarted", self.restarted_workers)
+        registry.gauge_set(
+            "serve.workers_alive", sum(p.is_alive() for p in self._procs)
+        )
+        # Fold in whatever the in-process obs registry accumulated (the
+        # server itself is not on a hot path, but exporters are cheap).
+        registry.merge(obs.registry().as_dict())
+        return to_prometheus(registry.as_dict())
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _write_endpoint(self, host: str, port: int) -> None:
+        document = {"host": host, "port": port, "pid": os.getpid()}
+        path = self.queue.root / "server.json"
+        tmp = path.with_name(".server.json.tmp")
+        tmp.write_text(json.dumps(document) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    async def _reap_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.reap_interval)
+            self.requeued += len(self.queue.requeue_expired())
+            self._supervise()
+
+    async def serve(self) -> None:
+        """Run until ``POST /stop`` (or cancellation)."""
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        bound: Tuple[str, int] = self._server.sockets[0].getsockname()[:2]
+        self._write_endpoint(bound[0], bound[1])
+        self.start_workers()
+        reaper = asyncio.ensure_future(self._reap_loop())
+        try:
+            await self._stopping.wait()
+        finally:
+            reaper.cancel()
+            self._server.close()
+            await self._server.wait_closed()
+            self.stop_workers()
+
+    def run(self) -> int:
+        """Blocking entry point (what ``repro serve`` calls)."""
+        try:
+            asyncio.run(self.serve())
+        except KeyboardInterrupt:
+            self.stop_workers()
+        return 0
+
+
+def endpoint_for(queue_dir: str) -> Optional[Dict[str, Any]]:
+    """Read ``<queue>/server.json`` (None when no server has bound)."""
+    path = Path(queue_dir) / "server.json"
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None

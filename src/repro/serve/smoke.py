@@ -1,0 +1,140 @@
+"""The serve-smoke gate: ``python -m repro.serve.smoke``.
+
+End-to-end check of the service path, small enough for PR-time CI:
+
+1. start ``repro serve`` as a subprocess on an ephemeral port with a
+   fresh queue directory;
+2. submit three bundled-program jobs over HTTP and poll to completion;
+3. assert each result is **bit-identical** to running the same spec
+   directly in this process (same executors, no service in between);
+4. re-submit one spec and assert idempotent deduplication;
+5. fetch ``/metrics`` and assert the queue/job series are present.
+
+Exit code 0 = every assertion held.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List
+
+from .client import ServeClient, ServeError
+from .jobs import run_job
+from .server import endpoint_for
+
+#: The three bundled-program jobs the gate submits.
+SMOKE_SPECS = (
+    {"type": "program", "program": "saxpy", "n": 48},
+    {"type": "program", "program": "dot_product", "n": 48},
+    {"type": "program", "program": "gamma_lut", "n": 48, "mantissa": True},
+)
+
+#: Series names the /metrics exposition must carry.
+METRIC_NAMES = (
+    "repro_serve_queue_depth",
+    "repro_serve_jobs_submitted_total",
+    "repro_serve_jobs_completed_total",
+    "repro_span_serve_queue_latency_seconds_total",
+    "repro_span_serve_job_seconds_total",
+)
+
+
+def _wait_endpoint(queue_dir: str, timeout: float = 20.0) -> ServeClient:
+    deadline = time.monotonic() + timeout
+    while True:
+        endpoint = endpoint_for(queue_dir)
+        if endpoint:
+            client = ServeClient(f"http://{endpoint['host']}:{endpoint['port']}")
+            try:
+                client.healthz()
+                return client
+            except ServeError:
+                pass
+        if time.monotonic() > deadline:
+            raise SystemExit("serve-smoke: server did not come up")
+        time.sleep(0.1)
+
+
+def main(argv: List[str] = ()) -> int:
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        queue_dir = str(Path(tmp) / "queue")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--queue-dir", queue_dir, "--port", "0", "--workers", "2",
+                "--lease-ttl", "10", "--reap-interval", "0.5",
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            client = _wait_endpoint(queue_dir)
+            ids = []
+            for spec in SMOKE_SPECS:
+                submitted = client.submit(dict(spec))
+                ids.append(submitted["id"])
+                print(f"submitted {submitted['id']} ({submitted['describe']})")
+            for spec, job_id in zip(SMOKE_SPECS, ids):
+                record = client.wait(job_id, timeout=120.0)
+                if record["state"] != "done":
+                    failures.append(
+                        f"{job_id} finished {record['state']}: "
+                        f"{record.get('error')}"
+                    )
+                    continue
+                served = client.result(job_id)
+                direct = run_job(dict(spec))
+                if served != direct:
+                    failures.append(
+                        f"{job_id}: served result differs from direct run\n"
+                        f"  served: {json.dumps(served, sort_keys=True)[:400]}\n"
+                        f"  direct: {json.dumps(direct, sort_keys=True)[:400]}"
+                    )
+                else:
+                    print(f"{job_id}: served == direct (bit-identical)")
+            duplicate = client.submit(dict(SMOKE_SPECS[0]))
+            if duplicate["id"] != ids[0] or duplicate.get("created"):
+                failures.append(
+                    "duplicate submission was not deduplicated: "
+                    f"{duplicate}"
+                )
+            else:
+                print(f"{duplicate['id']}: duplicate submit deduplicated")
+            metrics = client.metrics_text()
+            for name in METRIC_NAMES:
+                if name not in metrics:
+                    failures.append(f"/metrics missing series {name}")
+            if not any(f.startswith("/metrics") for f in failures):
+                print(f"/metrics carries {len(METRIC_NAMES)} expected series")
+            try:
+                client.stop()
+            except ServeError:
+                pass
+        finally:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+            output = proc.stdout.read().decode("utf-8", "replace") if proc.stdout else ""
+    if failures:
+        print("\nserve-smoke FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        if output:
+            print("\nserver output:\n" + output, file=sys.stderr)
+        return 1
+    print("serve-smoke ok: 3 jobs served bit-identically, dedup + metrics verified")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,152 @@
+"""The worker: claim -> heartbeat -> execute -> complete.
+
+A worker is one process in the service's pool.  Its loop:
+
+1. :meth:`JobQueue.claim` the oldest ready job (sleep briefly when the
+   queue is idle);
+2. start a daemon heartbeat thread that renews the lease every
+   ``lease_ttl / 3`` seconds -- but only until the job's optional
+   ``timeout`` elapses, so a *hung* job eventually stops heartbeating,
+   its lease expires, and the reaper hands it to another worker;
+3. execute the spec through :func:`repro.serve.jobs.run_job`, timing it
+   with monotonic clocks exactly like the experiment engine does;
+4. :meth:`JobQueue.complete` (or :meth:`JobQueue.fail`, which retries
+   with backoff while attempts remain).
+
+If the heartbeat thread ever observes the lease lost (marker stolen by
+the reaper after a stall, job cancelled, queue wiped), the attempt's
+result is dropped on the floor: whoever owns the lease now is the one
+whose result counts.  Results are deterministic, so a requeued job
+re-executed elsewhere completes with bit-identical output -- the
+worker-kill test asserts this end to end.
+
+Workers are top-level-function processes (spawn-safe); the server
+starts and supervises them, restarting any that die.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from typing import Optional
+
+from .jobs import run_job
+from .queue import JobQueue
+
+__all__ = ["worker_main", "run_one_job"]
+
+#: Queue-idle polling interval (seconds).
+IDLE_POLL = 0.05
+
+#: A stop-file in the queue root that makes every worker exit cleanly.
+STOP_MARKER = "stop"
+
+
+class _Heartbeat:
+    """Daemon thread renewing one lease until stopped or timed out."""
+
+    def __init__(
+        self, queue: JobQueue, job_id: str, worker: str,
+        interval: float, renew_deadline: Optional[float],
+    ) -> None:
+        self._queue = queue
+        self._job_id = job_id
+        self._worker = worker
+        self._interval = max(0.05, interval)
+        self._renew_deadline = renew_deadline  # perf_counter instant
+        self._stop = threading.Event()
+        self.lease_lost = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if (
+                self._renew_deadline is not None
+                and time.perf_counter() > self._renew_deadline
+            ):
+                # Job exceeded its timeout: stop renewing and let the
+                # lease lapse so the reaper can requeue or fail it.
+                return
+            if not self._queue.heartbeat(self._job_id, self._worker):
+                self.lease_lost.set()
+                return
+
+
+def run_one_job(queue: JobQueue, worker: str) -> bool:
+    """Claim and run at most one job; False when the queue was idle."""
+    record = queue.claim(worker)
+    if record is None:
+        return False
+    if record.cancel_requested:
+        # Cancel arrived between submit and claim; honour it now.
+        queue.fail(record.id, worker, "cancelled before execution",
+                   retryable=False)
+        return True
+    spec = record.spec
+    timeout = spec.get("timeout")
+    renew_deadline = (
+        time.perf_counter() + float(timeout) if timeout else None
+    )
+    heartbeat = _Heartbeat(
+        queue, record.id, worker,
+        interval=(record.lease_ttl or queue.lease_ttl) / 3.0,
+        renew_deadline=renew_deadline,
+    )
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    with heartbeat:
+        try:
+            result = run_job(spec)
+        except Exception as exc:  # noqa: BLE001 -- any job error is data
+            queue.fail(
+                record.id, worker,
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=8)}",
+            )
+            return True
+    wall = time.perf_counter() - wall0
+    cpu = time.process_time() - cpu0
+    if heartbeat.lease_lost.is_set():
+        return True  # someone else owns the job now; drop our result
+    queue.complete(record.id, worker, result, wall=wall, cpu=cpu)
+    return True
+
+
+def worker_main(
+    queue_root: str,
+    worker: Optional[str] = None,
+    corpus_dir: Optional[str] = None,
+    poll: float = IDLE_POLL,
+    max_jobs: Optional[int] = None,
+) -> int:
+    """Drain the queue until the stop marker appears.
+
+    ``corpus_dir`` routes experiment jobs' traces through the shared
+    sharded store exactly like ``--jobs`` pool workers do.  Returns the
+    number of jobs executed (used by tests; the service runs forever).
+    """
+    queue = JobQueue(queue_root)
+    name = worker or f"worker-{os.getpid()}"
+    if corpus_dir:
+        from ..corpus.store import TraceCorpus, set_active_corpus
+
+        set_active_corpus(TraceCorpus(corpus_dir))
+    done = 0
+    stop_path = queue.root / STOP_MARKER
+    while not stop_path.exists():
+        if run_one_job(queue, name):
+            done += 1
+            if max_jobs is not None and done >= max_jobs:
+                break
+        else:
+            time.sleep(poll)
+    return done

@@ -63,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--metrics-out", metavar="PATH", default=None,
                       help="enable the metrics registry for the campaign "
                            "and write its JSON snapshot to PATH")
+    fuzz.add_argument("--submit", action="store_true",
+                      help="run the campaign as a job on a running "
+                           "`repro serve` instance instead of in-process "
+                           "(endpoint discovered via the default queue "
+                           "directory's server.json)")
 
     smoke = sub.add_parser(
         "smoke", help="mutation-testing gate: clean pass + all faults caught"
@@ -110,7 +115,42 @@ def _static_cross_check(seed: int) -> List[str]:
     return failures
 
 
+def _submit_fuzz(args) -> int:
+    """Run the campaign as a ``fuzz`` job on a live ``repro serve``.
+
+    The service executes the identical :func:`fuzz_run` the in-process
+    path uses, so the verdict (and exit status) carries over; shrinking
+    and fault injection stay local-only concerns.
+    """
+    from ..serve.cli import _default_url, render_result_document
+    from ..serve.client import ServeClient, ServeError
+
+    if args.inject:
+        print("--submit cannot be combined with --inject", file=sys.stderr)
+        return 2
+    spec = {"type": "fuzz", "budget": args.budget, "seed": args.seed,
+            "max_events": args.max_events}
+    client = ServeClient(_default_url(None))
+    try:
+        submitted = client.submit(spec)
+        job_id = submitted["id"]
+        print(f"{job_id} submitted ({submitted.get('describe')})")
+        record = client.wait(job_id)
+        if record["state"] != "done":
+            print(f"job {job_id} {record['state']}: {record.get('error')}",
+                  file=sys.stderr)
+            return 1
+        document = client.result(job_id)
+    except ServeError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(render_result_document(document))
+    return 0 if document.get("ok", not document.get("divergent")) else 1
+
+
 def _run_fuzz(args) -> int:
+    if args.submit:
+        return _submit_fuzz(args)
     if kernel.scalar_mode():
         # Faults and most divergences live in the batched fast path;
         # forcing scalar everywhere would fuzz a path against itself.

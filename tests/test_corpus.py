@@ -111,7 +111,7 @@ class TestStoreRoundTrip:
 
 class TestIntegrity:
     def _object_path(self, corpus):
-        (path,) = corpus.objects_dir.glob("*.trc.gz")
+        (path,) = corpus.objects_dir.rglob("*.trc.gz")
         return path
 
     def test_corrupted_entry_detected_and_rerecorded(self, tmp_path):
@@ -155,7 +155,7 @@ class TestIntegrity:
         report = corpus.verify()
         assert all(ok for _, ok, _ in report)
         digest = _key(1).digest
-        target = corpus.objects_dir / f"{digest}.trc.gz"
+        target = corpus._find_object(digest)
         blob = bytearray(target.read_bytes())
         blob[-1] ^= 0xFF
         target.write_bytes(bytes(blob))
@@ -179,7 +179,7 @@ class TestGC:
         for n in range(6):
             corpus.put(_key(n), _trace(n, events=50))
             # Distinct mtimes so LRU order is unambiguous.
-            path = corpus.objects_dir / f"{_key(n).digest}.trc.gz"
+            path = corpus._find_object(_key(n).digest)
             os.utime(path, (1000 + n, 1000 + n))
         per_entry = corpus.total_bytes() // 6
         bound = int(per_entry * 2.5)
@@ -211,7 +211,7 @@ class TestGC:
     def test_gc_drops_manifest_rows_without_objects(self, tmp_path):
         corpus = TraceCorpus(tmp_path)
         corpus.put(_key(), _trace())
-        (corpus.objects_dir / f"{_key().digest}.trc.gz").unlink()
+        corpus._unlink_object(_key().digest)
         corpus.gc()
         assert len(corpus) == 0
 

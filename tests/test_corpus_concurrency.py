@@ -80,7 +80,7 @@ def test_two_processes_share_one_corpus_without_corruption(tmp_path):
     corpus.gc(orphan_grace=0.0)
     manifest_digests = {entry.key.digest for entry in corpus.entries()}
     on_disk = {p.name[: -len(".trc.gz")]
-               for p in corpus.objects_dir.glob("*.trc.gz")}
+               for p in corpus.objects_dir.rglob("*.trc.gz")}
     assert on_disk == manifest_digests
 
 

@@ -1,0 +1,132 @@
+"""Per-job timeout + bounded retry in the experiment engine.
+
+`run_experiments(job_timeout=...)` must never let one hung worker stall
+the pool: the stuck job's wait is bounded, already-finished siblings are
+harvested, the pool is rebuilt, and the job retries with exponential
+backoff until ``job_retries`` is exhausted (then ``ExperimentError``).
+
+The tests monkeypatch ``engine._run_one`` with controllable fakes.  The
+fakes are module-level (``apply_async`` pickles them by reference) and
+parameterized through an environment variable, which fork-start-method
+pool workers inherit.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+import repro.corpus.engine as engine
+from repro import obs
+from repro.corpus import set_active_corpus
+from repro.errors import ExperimentError
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="needs fork start method (workers must inherit the patch)",
+)
+
+#: Path of the hang-once flag file (consumed by the first attempt).
+FLAG_ENV = "REPRO_TEST_ENGINE_RETRY_FLAG"
+
+
+@pytest.fixture(autouse=True)
+def _no_active_corpus():
+    # run_experiments(corpus_dir=...) installs a process-wide corpus;
+    # don't leak it into later test files.
+    set_active_corpus(None)
+    yield
+    set_active_corpus(None)
+
+
+def _ok(name: str):
+    return (name, f"ok-{name}", {}, engine.ExperimentTiming(0.01, 0.01), None)
+
+
+def _fake_ok(item):
+    return _ok(item[0])
+
+
+def _fake_hang_once(item):
+    name, _ = item
+    if name == "hangme":
+        flag = os.environ[FLAG_ENV]
+        if os.path.exists(flag):
+            os.unlink(flag)  # first attempt hangs; the retry succeeds
+            time.sleep(3600)
+        return (name, "recovered", {},
+                engine.ExperimentTiming(0.01, 0.01), None)
+    return _ok(name)
+
+
+def _fake_hang_always(item):
+    name, _ = item
+    if name == "hangme":
+        time.sleep(3600)
+    return _ok(name)
+
+
+def _run(names, **kwargs):
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("prefetch", False)
+    kwargs.setdefault("retry_backoff", 0.05)
+    return engine.run_experiments(names, **kwargs)
+
+
+def test_timeout_run_without_hang_matches_plain_run(monkeypatch):
+    monkeypatch.setattr(engine, "_run_one", _fake_ok)
+    batch = _run(["a", "b", "c"], job_timeout=30.0)
+    assert batch.results == [("a", "ok-a"), ("b", "ok-b"), ("c", "ok-c")]
+
+
+def test_hung_job_is_requeued_and_recovers(monkeypatch, tmp_path):
+    flag = tmp_path / "hang-once"
+    flag.touch()
+    monkeypatch.setenv(FLAG_ENV, str(flag))
+    monkeypatch.setattr(engine, "_run_one", _fake_hang_once)
+    obs.set_enabled(True)
+    obs.registry().clear()
+    try:
+        batch = _run(["a", "hangme", "b"], job_timeout=1.5, job_retries=2)
+        counters = obs.registry().as_dict()["counters"]
+    finally:
+        obs.set_enabled(None)
+
+    # Request order preserved, every sibling's work survives the
+    # teardown of the hung pool.
+    assert batch.results == [
+        ("a", "ok-a"), ("hangme", "recovered"), ("b", "ok-b")
+    ]
+    assert counters["engine.jobs_timed_out"] == 1
+    assert counters["engine.jobs_retried"] == 1
+
+
+def test_retries_exhausted_raises(monkeypatch):
+    monkeypatch.setattr(engine, "_run_one", _fake_hang_always)
+    obs.set_enabled(True)
+    obs.registry().clear()
+    try:
+        with pytest.raises(ExperimentError, match="hangme.*timed out"):
+            _run(["hangme"], job_timeout=0.4, job_retries=1)
+        counters = obs.registry().as_dict()["counters"]
+    finally:
+        obs.set_enabled(None)
+    assert counters["engine.jobs_timed_out"] == 2  # initial + 1 retry
+    assert counters["engine.jobs_retried"] == 1
+
+
+def test_backoff_grows_exponentially(monkeypatch):
+    monkeypatch.setattr(engine, "_run_one", _fake_hang_always)
+    started = time.perf_counter()
+    with pytest.raises(ExperimentError):
+        _run(["hangme"], job_timeout=0.2, job_retries=2, retry_backoff=0.2)
+    elapsed = time.perf_counter() - started
+    # 3 timeouts (0.2s each) + backoffs of 0.2s and 0.4s >= 1.2s total.
+    assert elapsed >= 1.0
+
+
+def test_no_timeout_keeps_map_path(monkeypatch):
+    monkeypatch.setattr(engine, "_run_one", _fake_ok)
+    batch = _run(["a", "b"])  # job_timeout=None: plain pool.map
+    assert batch.results == [("a", "ok-a"), ("b", "ok-b")]
