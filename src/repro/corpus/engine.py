@@ -353,44 +353,58 @@ def _run_pool_with_timeouts(
 
     outcomes: Dict[int, Any] = {}
     attempts: Dict[int, int] = {index: 0 for index in range(len(items))}
-    while True:
-        remaining = sorted(index for index in attempts if index not in outcomes)
-        if not remaining:
-            return pool, outcomes
-        asyncs = {
-            index: pool.apply_async(_run_one, (items[index],))
-            for index in remaining
-        }
-        timed_out = None
-        for index in remaining:
-            try:
-                outcomes[index] = asyncs[index].get(job_timeout)
-            except multiprocessing.TimeoutError:
-                timed_out = index
-                break
-        if timed_out is None:
-            return pool, outcomes
-        # Harvest siblings that finished before the hang was noticed, so
-        # their work survives the pool teardown.
-        for index in remaining:
-            if index not in outcomes and asyncs[index].ready():
-                try:
-                    outcomes[index] = asyncs[index].get(0)
-                except Exception:
-                    pass  # re-run it on the fresh pool
-        pool.terminate()
-        pool.join()
-        attempts[timed_out] += 1
-        _count("engine.jobs_timed_out")
-        name = items[timed_out][0]
-        if attempts[timed_out] > job_retries:
-            raise ExperimentError(
-                f"experiment {name!r} timed out "
-                f"({job_timeout:g}s x {attempts[timed_out]} attempt(s))"
+    try:
+        while True:
+            remaining = sorted(
+                index for index in attempts if index not in outcomes
             )
-        _count("engine.jobs_retried")
-        time.sleep(retry_backoff * (2 ** (attempts[timed_out] - 1)))
-        pool = _make_pool(jobs, corpus_dir, max_bytes)
+            if not remaining:
+                return pool, outcomes
+            asyncs = {
+                index: pool.apply_async(_run_one, (items[index],))
+                for index in remaining
+            }
+            timed_out = None
+            for index in remaining:
+                try:
+                    outcomes[index] = asyncs[index].get(job_timeout)
+                except multiprocessing.TimeoutError:
+                    timed_out = index
+                    break
+            if timed_out is None:
+                return pool, outcomes
+            # Harvest siblings that finished before the hang was
+            # noticed, so their work survives the pool teardown.
+            for index in remaining:
+                if index not in outcomes and asyncs[index].ready():
+                    try:
+                        outcomes[index] = asyncs[index].get(0)
+                    except Exception:
+                        pass  # re-run it on the fresh pool
+            pool.terminate()
+            pool.join()
+            attempts[timed_out] += 1
+            _count("engine.jobs_timed_out")
+            name = items[timed_out][0]
+            if attempts[timed_out] > job_retries:
+                raise ExperimentError(
+                    f"experiment {name!r} timed out "
+                    f"({job_timeout:g}s x {attempts[timed_out]} attempt(s))"
+                )
+            _count("engine.jobs_retried")
+            time.sleep(retry_backoff * (2 ** (attempts[timed_out] - 1)))
+            pool = _make_pool(jobs, corpus_dir, max_bytes)
+    except BaseException:
+        # The caller's ``finally`` only sees the pool object it passed
+        # in; after a rebuild that object is already dead and the live
+        # replacement would leak its workers.  Tear down whichever pool
+        # is current before propagating (double-terminate is harmless).
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:
+            pass
+        raise
 
 
 def run_experiments(

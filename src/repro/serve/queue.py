@@ -353,10 +353,19 @@ class JobQueue:
         removed (see module docstring); a lost lease (marker stolen and
         record re-leased to another worker) makes this a no-op returning
         False so the stale worker's result is dropped.
+
+        The result file is written inside the mutate callback -- after
+        the ownership check, under the record lock -- so a stale worker
+        never touches ``results/``: it cannot overwrite (or roll back
+        and delete) a result that a re-leased worker already persisted.
+        A crash between the result write and the record write leaves the
+        record ``leased``; the reaper requeues it and the re-run simply
+        rewrites the result.
         """
         def _finish(record: JobRecord) -> Optional[JobRecord]:
             if record.state != "leased" or record.worker != worker:
                 return None
+            _atomic_write_json(self._result_path(job_id), result)
             record.state = "done"
             record.worker = ""
             record.lease_deadline = 0.0
@@ -366,13 +375,8 @@ class JobQueue:
             record.finished = time.time()
             return record
 
-        _atomic_write_json(self._result_path(job_id), result)
         updated = self._mutate(job_id, _finish)
         if updated is None:
-            try:
-                self._result_path(job_id).unlink()
-            except OSError:
-                pass
             return False
         try:
             self._lease_marker(job_id).unlink()
@@ -403,12 +407,15 @@ class JobQueue:
             return record
 
         updated = self._mutate(job_id, _fail)
+        if updated is None:
+            # Lease lost (requeued and possibly re-leased to another
+            # worker): leave the marker alone -- it may be someone
+            # else's live lease now.  Mirrors complete().
+            return None
         try:
             self._lease_marker(job_id).unlink()
         except OSError:
             pass
-        if updated is None:
-            return None
         if updated.state == "queued":
             backoff = self.retry_backoff * (2 ** max(0, updated.attempts - 1))
             self._pending_marker(job_id, time.time() + backoff).touch()

@@ -46,6 +46,7 @@ from .worker import STOP_MARKER, worker_main
 __all__ = ["ServeService"]
 
 _MAX_BODY = 1 << 20  # 1 MiB of JSON is plenty for any job spec
+_REQUEST_TIMEOUT = 10.0  # seconds to read one full request
 
 
 def _response(
@@ -145,7 +146,14 @@ class ServeService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            response = await self._handle_request(reader)
+            # One budget for the whole request read (line + headers +
+            # body), so a client that stalls mid-request cannot pin a
+            # handler task and its socket open indefinitely.
+            response = await asyncio.wait_for(
+                self._handle_request(reader), timeout=_REQUEST_TIMEOUT
+            )
+        except asyncio.TimeoutError:
+            response = _response(400, {"error": "request timeout"})
         except Exception as exc:  # noqa: BLE001 -- a broken request must not kill the listener
             response = _response(500, {"error": f"{type(exc).__name__}: {exc}"})
         try:
@@ -160,10 +168,9 @@ class ServeService:
                 pass
 
     async def _handle_request(self, reader: asyncio.StreamReader) -> bytes:
-        try:
-            request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
-        except asyncio.TimeoutError:
-            return _response(400, {"error": "request timeout"})
+        # Timeout is enforced by the wait_for wrapping this call in
+        # _handle(); every read below shares that one budget.
+        request_line = await reader.readline()
         parts = request_line.decode("latin-1").split()
         if len(parts) < 2:
             return _response(400, {"error": "malformed request line"})

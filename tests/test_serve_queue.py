@@ -95,6 +95,38 @@ class TestLeases:
         assert queue.result(record.id) is None
         assert queue.get(record.id).state == "leased"
 
+    def test_stale_complete_cannot_destroy_finished_result(self, tmp_path):
+        """w0 stalls, the job is re-leased to w1, w1 completes; w0's
+        late complete() must neither overwrite nor delete w1's result
+        (the 'completion is never lost' invariant)."""
+        queue = _queue(tmp_path)
+        record, _ = queue.submit(SPEC)
+        queue.claim("w0")
+        time.sleep(0.5)
+        assert queue.requeue_expired() == [record.id]
+        assert queue.claim("w1") is not None
+        assert queue.complete(record.id, "w1", {"winner": "w1"})
+        # The stale worker wakes up last and reports its attempt.
+        assert not queue.complete(record.id, "w0", {"winner": "w0"})
+        assert queue.get(record.id).state == "done"
+        assert queue.result(record.id) == {"winner": "w1"}
+
+    def test_stale_fail_cannot_steal_live_lease_marker(self, tmp_path):
+        """w0 stalls, the job is re-leased to w1; w0's late fail() must
+        not unlink w1's lease marker -- w1 keeps heartbeating and its
+        completion lands."""
+        queue = _queue(tmp_path)
+        record, _ = queue.submit(SPEC)
+        queue.claim("w0")
+        time.sleep(0.5)
+        assert queue.requeue_expired() == [record.id]
+        assert queue.claim("w1") is not None
+        assert queue.fail(record.id, "w0", "late error") is None
+        assert (queue.leased_dir / record.id).exists()
+        assert queue.heartbeat(record.id, "w1")
+        assert queue.complete(record.id, "w1", {"ok": True})
+        assert queue.get(record.id).state == "done"
+
     def test_heartbeat_keeps_lease_alive(self, tmp_path):
         queue = _queue(tmp_path)
         record, _ = queue.submit(SPEC)
