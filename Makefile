@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-batched bench-serve reproduce compare corpus examples lint analyze verify verify-fuzz metrics-smoke serve-smoke clean
+.PHONY: install test bench bench-batched bench-serve reproduce compare corpus examples lint analyze analyze-concurrency verify verify-fuzz metrics-smoke serve-smoke clean
 
 # Differential fuzz campaign size for `make verify-fuzz`.
 FUZZ_BUDGET ?= 10000
@@ -62,6 +62,14 @@ lint:
 # Static dataflow analysis with dynamic cross-validation (the CI gate).
 analyze:
 	$(PYTHON) -m repro.cli analyze --check
+
+# Race & filesystem-atomicity analyzer over the service/corpus layer:
+# the tree must be clean and the checked-in regression fixtures must
+# still be caught (both halves gate CI).
+analyze-concurrency:
+	$(PYTHON) -m repro.cli analyze --concurrency
+	! $(PYTHON) -m repro.cli analyze --concurrency tests/fixtures/concurrency >/dev/null 2>&1
+	@echo "analyze-concurrency ok (tree clean, fixtures caught)"
 
 # Mutation smoke: the differential harness must catch every planted
 # kernel fault and stay silent on the clean tree (the PR-time gate).

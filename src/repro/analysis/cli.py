@@ -7,12 +7,15 @@ Dispatched from the main ``repro`` command::
     repro analyze --check             # + dynamic cross-validation (CI gate)
     repro analyze --json report.json
 
+    repro analyze --concurrency       # race/atomicity analyzer (CI gate)
+    repro analyze --concurrency tests/fixtures/concurrency
+
     repro lint                        # lint the installed repro package
     repro lint src/repro/workloads    # lint specific paths
     repro lint --json lint.json
 
-Both exit non-zero on failure (bound violation / lint finding), so they
-gate CI directly.
+All exit non-zero on failure (bound violation / finding), so they gate
+CI directly.
 """
 
 from __future__ import annotations
@@ -68,14 +71,88 @@ def _analyze_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the full report as JSON ('-' for stdout)",
     )
+    group = parser.add_argument_group(
+        "concurrency analysis",
+        "flow-sensitive race & filesystem-atomicity checks over the "
+        "service/corpus layer (positional arguments become paths)",
+    )
+    group.add_argument(
+        "--concurrency",
+        action="store_true",
+        help=(
+            "run the CONC race/atomicity checks instead of the memo-site "
+            "classifier (default paths: repro.serve, repro.corpus, "
+            "repro.obs, repro.fsutil)"
+        ),
+    )
+    group.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="accepted-findings baseline JSON to subtract from the report",
+    )
+    group.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write the current findings out as a new baseline and exit 0",
+    )
+    group.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="list the CONC check ids and exit",
+    )
     return parser
 
 
+def _main_concurrency(args: argparse.Namespace) -> int:
+    from .concurrency import CHECKS, Baseline, run
+
+    if args.list_checks:
+        for check_id, (name, description) in CHECKS.items():
+            print(f"{check_id}  {name:<24} {description}")
+        return 0
+    paths = [Path(token) for token in args.programs] or None
+    baseline = None
+    if args.baseline:
+        baseline = Baseline.load(Path(args.baseline))
+    report = run(paths=paths, baseline=baseline)
+    if args.write_baseline:
+        fresh = Baseline.from_findings(report.findings)
+        fresh.save(Path(args.write_baseline))
+        print(
+            f"wrote {args.write_baseline} "
+            f"({len(report.findings)} accepted finding(s))"
+        )
+        return 0
+    if args.json is not None:
+        payload = json.dumps(report.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n", encoding="utf-8")
+            print(f"wrote {args.json}")
+    print(report.render())
+    if report.findings:
+        print(f"{len(report.findings)} concurrency finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main_analyze(argv: Optional[List[str]] = None) -> int:
+    args = _analyze_parser().parse_args(argv)
+    if args.concurrency or args.list_checks:
+        return _main_concurrency(args)
+    if args.baseline or args.write_baseline:
+        print(
+            "--baseline/--write-baseline require --concurrency",
+            file=sys.stderr,
+        )
+        return 2
+
     from ..isa.programs import PROGRAMS
     from .static import REFERENCE_N, SiteClass, analyze_source, check_program
 
-    args = _analyze_parser().parse_args(argv)
     names = args.programs or list(PROGRAMS)
     unknown = [name for name in names if name not in PROGRAMS]
     if unknown:

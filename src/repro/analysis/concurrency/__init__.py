@@ -1,0 +1,42 @@
+"""repro.analysis.concurrency -- static race & atomicity analyzer.
+
+A flow-sensitive analyzer over the repo's multi-process surface (the
+``serve`` and ``corpus`` packages, ``obs``, and ``fsutil``), built on
+the same worklist dataflow solver the PR 2 ISA analyzer uses -- here
+over statement-level CFGs of Python functions (:mod:`.pycfg`).
+
+Seven checks, CONC001..CONC007 (catalogue in :data:`.model.CHECKS` and
+``docs/analysis.md``): inferred lock discipline and lock ordering
+(:mod:`.locks`), the stage/publish, claim-link and lease-ownership
+filesystem protocols (:mod:`.atomicity`), and cross-process global
+state (:mod:`.procstate`).  Each is tuned to the bug classes this repo
+actually shipped and fixed: the PR 4 store race and the two PR 6
+stale-lease bugs are checked in as regression fixtures the test suite
+asserts the analyzer still catches.
+
+Surface: ``repro analyze --concurrency`` (a blocking CI step) and
+:func:`run` for programmatic use.
+"""
+
+from .driver import ALL_CHECKS, default_targets, load_targets, run
+from .index import FunctionInfo, ModuleInfo, load_module
+from .model import CHECKS, Baseline, Finding, Report, Suppressions
+from .pycfg import PyBlock, PyCFG, build_pycfg
+
+__all__ = [
+    "ALL_CHECKS",
+    "CHECKS",
+    "Baseline",
+    "Finding",
+    "FunctionInfo",
+    "ModuleInfo",
+    "PyBlock",
+    "PyCFG",
+    "Report",
+    "Suppressions",
+    "build_pycfg",
+    "default_targets",
+    "load_module",
+    "load_targets",
+    "run",
+]

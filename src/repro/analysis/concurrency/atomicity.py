@@ -1,0 +1,484 @@
+"""Filesystem atomicity: CONC003/004/005.
+
+Three protocols the durable layers rely on, each modelled as facts over
+the statement CFG and solved with the PR 2 worklist solver
+(:func:`repro.analysis.static.dataflow.solve` runs unchanged on the
+Python CFG -- it is duck typed over blocks and edges).
+
+**CONC003 (atomic-publish)** -- publish is stage-then-rename: write a
+``*tmp*`` sibling, then ``os.replace`` it over the destination.  A
+forward *may* analysis tracks "dirty" staged names (gen at the staging
+write, kill at replace/rename/unlink); any name still dirty at the
+function exit was staged but can leave the function unpublished.
+
+**CONC004 (claim-link)** -- an ``os.link`` claim is *designed* to lose
+races; a link call whose block has no enclosing handler for
+``FileExistsError`` (or a parent) turns the expected collision into a
+crash.
+
+**CONC005 (lease-ownership)** -- the PR 6 bug shapes.  Mutating a lease
+marker or a result document is only sound when some justifying fact
+*must* hold on every path reaching the mutation:
+
+* ``OWNERSHIP`` -- a worker/owner equality check succeeded (branch
+  edges where ``record.worker != worker``-style tests are false);
+* ``MUTATE_CONFIRMED`` -- a ``_mutate``-style compare-and-swap returned
+  non-None (the stored record really made the transition);
+* ``LINK_OWNED`` -- this very path created the lease via ``os.link``;
+* ``EXPIRY_CHECKED`` -- a staleness comparison (age/ttl/deadline) was
+  made, legitimizing reaper take-overs.
+
+The facts are solved as a *must* (intersection-join) problem, so a
+single unchecked path -- writing the result before the ownership check,
+unlinking the marker without confirming the mutate -- loses the fact
+and is flagged.  ``None`` is the lattice top for unreachable blocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..static.dataflow import DataflowProblem, solve
+from .index import (
+    FunctionInfo,
+    ModuleInfo,
+    callee_name,
+    calls_in,
+    node_names,
+    own_nodes,
+)
+from .model import Finding
+from .pycfg import PyCFG
+
+__all__ = [
+    "check_atomic_publish",
+    "check_claim_link",
+    "check_lease_ownership",
+]
+
+Facts = Optional[FrozenSet[str]]
+
+
+class _FactProblem(DataflowProblem):
+    """Generic gen-only facts over a :class:`PyCFG`.
+
+    ``must=True`` intersects at joins (None = top, for blocks no path
+    reaches); ``must=False`` unions (classic may analysis) and also
+    supports per-block kills.
+    """
+
+    def __init__(
+        self,
+        cfg: PyCFG,
+        gen: Dict[int, FrozenSet[str]],
+        kill: Optional[Dict[int, FrozenSet[str]]] = None,
+        must: bool = True,
+    ) -> None:
+        self.name = "concurrency-facts"
+        self.cfg = cfg
+        self.gen = gen
+        self.kill = kill or {}
+        self.must = must
+
+    def initial(self) -> Facts:
+        return None if self.must else frozenset()
+
+    def boundary(self) -> Facts:
+        return frozenset()
+
+    def join(self, left: Facts, right: Facts) -> Facts:
+        if self.must:
+            if left is None:
+                return right
+            if right is None:
+                return left
+            return left & right
+        assert left is not None and right is not None
+        return left | right
+
+    def transfer(self, block_id: int, value: Facts) -> Facts:
+        if value is None:
+            return None
+        out = value | self.gen.get(block_id, frozenset())
+        killed = self.kill.get(block_id)
+        return out - killed if killed else out
+
+
+def _strings_of(node: ast.AST) -> str:
+    return " ".join(
+        child.value.lower()
+        for child in ast.walk(node)
+        if isinstance(child, ast.Constant) and isinstance(child.value, str)
+    )
+
+
+def _assigned_from(
+    function: FunctionInfo, classify
+) -> Set[str]:
+    """Names assigned (anywhere in the function) from a matching RHS."""
+    names: Set[str] = set()
+    for node in ast.walk(function.node):
+        if isinstance(node, ast.Assign) and classify(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if classify(node.value) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _is_os_call(call: ast.Call, attr: str) -> bool:
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == attr
+        and isinstance(call.func.value, ast.Name)
+        and call.func.value.id == "os"
+    )
+
+
+def _write_mode(call: ast.Call) -> bool:
+    """True when an ``open``-style call's mode argument writes."""
+    mode = None
+    offset = 1 if isinstance(call.func, ast.Name) else 0
+    if len(call.args) > offset:
+        mode = call.args[offset]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False
+    return isinstance(mode, ast.Constant) and isinstance(
+        mode.value, str
+    ) and any(flag in mode.value for flag in ("w", "a", "x"))
+
+
+# -- CONC003: staged tmp files must be published ---------------------------
+
+
+def check_atomic_publish(modules: Sequence[ModuleInfo]) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in modules:
+        for function in module.functions:
+            findings.extend(_dirty_tmps(module, function))
+    return findings
+
+
+def _dirty_tmps(module: ModuleInfo, function: FunctionInfo) -> List[Finding]:
+    tmp_names = _assigned_from(
+        function, lambda rhs: "tmp" in _strings_of(rhs)
+    )
+    if not tmp_names:
+        return []
+    gen: Dict[int, FrozenSet[str]] = {}
+    kill: Dict[int, FrozenSet[str]] = {}
+    first_write: Dict[str, int] = {}
+    for block in function.cfg.blocks:
+        generated: Set[str] = set()
+        killed: Set[str] = set()
+        for node in own_nodes(block):
+            for call in calls_in(node):
+                staged = _staged_tmp(call, tmp_names)
+                if staged is not None:
+                    generated.add(staged)
+                    first_write.setdefault(staged, call.lineno)
+                published = _published_tmp(call, tmp_names)
+                if published is not None:
+                    killed.add(published)
+        if generated:
+            gen[block.index] = frozenset(generated)
+        if killed:
+            kill[block.index] = frozenset(killed)
+    if not gen:
+        return []
+    inputs = solve(
+        function.cfg, _FactProblem(function.cfg, gen, kill, must=False)
+    )
+    dirty = inputs.get(function.cfg.exit_index) or frozenset()
+    return [
+        Finding(
+            check="CONC003",
+            path=module.rel,
+            line=first_write.get(name, function.def_line),
+            col=0,
+            function=function.qualname,
+            message=(
+                f"staged file {name!r} is written but some path exits "
+                "without publishing it via os.replace (readers can "
+                "observe a missing/stale destination)"
+            ),
+        )
+        for name in sorted(dirty)
+    ]
+
+
+def _staged_tmp(call: ast.Call, tmp_names: Set[str]) -> Optional[str]:
+    """The tmp name this call writes to, if any."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        name = func.value.id
+        if name in tmp_names:
+            if func.attr in ("write_bytes", "write_text"):
+                return name
+            if func.attr == "open" and _write_mode(call):
+                return name
+    if isinstance(func, ast.Name) and func.id == "open" and call.args:
+        target = call.args[0]
+        if isinstance(target, ast.Name) and target.id in tmp_names:
+            if _write_mode(call):
+                return target.id
+    return None
+
+
+def _published_tmp(call: ast.Call, tmp_names: Set[str]) -> Optional[str]:
+    """The tmp name this call publishes (or abandons), if any."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in ("replace", "rename")
+        and isinstance(func.value, ast.Name)
+    ):
+        if func.value.id == "os":  # os.replace(tmp, dst)
+            if call.args and isinstance(call.args[0], ast.Name):
+                name = call.args[0].id
+                if name in tmp_names:
+                    return name
+        elif func.value.id in tmp_names:  # tmp.replace(dst)
+            return func.value.id
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "unlink"
+        and isinstance(func.value, ast.Name)
+        and func.value.id in tmp_names
+    ):
+        return func.value.id  # staging explicitly abandoned
+    return None
+
+
+# -- CONC004: os.link claims must tolerate losing -------------------------
+
+#: Handler names that absorb a link collision.
+_LINK_HANDLERS = frozenset(
+    {"FileExistsError", "OSError", "Exception", "BaseException", ""}
+)
+
+
+def check_claim_link(modules: Sequence[ModuleInfo]) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in modules:
+        for function in module.functions:
+            for block in function.cfg.blocks:
+                for node in own_nodes(block):
+                    for call in calls_in(node):
+                        if not _is_os_call(call, "link"):
+                            continue
+                        if block.caught & _LINK_HANDLERS:
+                            continue
+                        findings.append(Finding(
+                            check="CONC004",
+                            path=module.rel,
+                            line=call.lineno,
+                            col=call.col_offset,
+                            function=function.qualname,
+                            message=(
+                                "os.link claim without a FileExistsError "
+                                "handler: losing the claim race (the "
+                                "designed outcome) becomes a crash"
+                            ),
+                        ))
+    return findings
+
+
+# -- CONC005: lease/result mutations need a dominating check ---------------
+
+_OWNER_WORDS = ("worker", "owner")
+_EXPIRY_WORDS = ("ttl", "deadline", "stale", "grace", "expir")
+
+
+def _expiryish(name: str) -> bool:
+    """A name that denotes file age / staleness.  "age" must stand on
+    its own (``age``, ``mtime_age``) -- as a bare substring it would
+    match ``message``/``storage``-style names."""
+    if name == "age" or name.endswith("_age") or name.startswith("age_"):
+        return True
+    return any(word in name for word in _EXPIRY_WORDS)
+_JUSTIFYING = frozenset(
+    {"OWNERSHIP", "MUTATE_CONFIRMED", "LINK_OWNED", "EXPIRY_CHECKED"}
+)
+
+
+def check_lease_ownership(modules: Sequence[ModuleInfo]) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in modules:
+        for function in module.functions:
+            findings.extend(_lease_findings(module, function))
+    return findings
+
+
+def _lease_findings(
+    module: ModuleInfo, function: FunctionInfo
+) -> List[Finding]:
+    lease_vars = _assigned_from(
+        function, lambda rhs: _mentions(rhs, ("lease_marker", "leased_dir"))
+    )
+    result_vars = _assigned_from(
+        function, lambda rhs: _mentions(rhs, ("result_path", "results_dir"))
+    )
+    targets = _protected_ops(function, lease_vars, result_vars)
+    if not targets:
+        return []
+    gen = _conc5_gen(function)
+    inputs = solve(function.cfg, _FactProblem(function.cfg, gen, must=True))
+    findings = []
+    for block_index, call, what in targets:
+        facts = inputs.get(block_index)
+        if facts is None:
+            continue  # unreachable
+        facts = facts | gen.get(block_index, frozenset())
+        if facts & _JUSTIFYING:
+            continue
+        findings.append(Finding(
+            check="CONC005",
+            path=module.rel,
+            line=call.lineno,
+            col=call.col_offset,
+            function=function.qualname,
+            message=(
+                f"{what} without a dominating ownership, staleness or "
+                "mutate-confirmation check: a stale worker can clobber "
+                "state that now belongs to someone else"
+            ),
+        ))
+    return findings
+
+
+def _mentions(node: ast.AST, fragments: Tuple[str, ...]) -> bool:
+    for name in node_names(node):
+        lowered = name.lower()
+        if any(fragment in lowered for fragment in fragments):
+            return True
+    return False
+
+
+def _protected_ops(
+    function: FunctionInfo, lease_vars: Set[str], result_vars: Set[str]
+) -> List[Tuple[int, ast.Call, str]]:
+    """(block, call, description) for every guarded-protocol operation."""
+
+    def is_lease(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name) and node.id in lease_vars:
+            return True
+        return _mentions(node, ("lease_marker", "leased_dir"))
+
+    def is_result(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name) and node.id in result_vars:
+            return True
+        return _mentions(node, ("result_path", "results_dir"))
+
+    ops = []
+    for block in function.cfg.blocks:
+        for node in own_nodes(block):
+            for call in calls_in(node):
+                func = call.func
+                if isinstance(func, ast.Attribute):
+                    if func.attr in ("unlink", "touch", "utime") and is_lease(
+                        func.value
+                    ):
+                        ops.append((
+                            block.index, call,
+                            f"lease marker {func.attr}()",
+                        ))
+                        continue
+                    if func.attr in (
+                        "write_text", "write_bytes", "unlink"
+                    ) and is_result(func.value):
+                        ops.append((
+                            block.index, call,
+                            f"result file {func.attr}()",
+                        ))
+                        continue
+                name = callee_name(func)
+                if name in ("touch", "utime") and any(
+                    is_lease(arg) for arg in call.args
+                ):
+                    ops.append((block.index, call, "lease marker touch"))
+                elif name in ("atomic_write_json", "dump") and any(
+                    is_result(arg) for arg in call.args
+                ):
+                    ops.append((block.index, call, "result file write"))
+    return ops
+
+
+def _conc5_gen(function: FunctionInfo) -> Dict[int, FrozenSet[str]]:
+    mutate_vars = _assigned_from(
+        function,
+        lambda rhs: isinstance(rhs, ast.Call)
+        and "mutate" in (callee_name(rhs.func) or "").lower(),
+    )
+    gen: Dict[int, FrozenSet[str]] = {}
+    for block in function.cfg.blocks:
+        facts: Set[str] = set()
+        if block.kind == "assume" and block.test is not None:
+            facts |= _assume_facts(block.test, bool(block.polarity), mutate_vars)
+        else:
+            for node in own_nodes(block):
+                for call in calls_in(node):
+                    if _is_os_call(call, "link"):
+                        facts.add("LINK_OWNED")
+        if facts:
+            gen[block.index] = frozenset(facts)
+    return gen
+
+
+def _assume_facts(
+    test: ast.expr, polarity: bool, mutate_vars: Set[str]
+) -> Set[str]:
+    """Facts established on one branch edge.
+
+    Boolean operators decompose only when the edge pins every operand:
+    the false edge of an ``or`` (all operands false), the true edge of
+    an ``and`` (all operands true).
+    """
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _assume_facts(test.operand, not polarity, mutate_vars)
+    if isinstance(test, ast.BoolOp):
+        facts: Set[str] = set()
+        decomposes = (isinstance(test.op, ast.Or) and not polarity) or (
+            isinstance(test.op, ast.And) and polarity
+        )
+        if decomposes:
+            for value in test.values:
+                facts |= _assume_facts(value, polarity, mutate_vars)
+        return facts
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return set()
+    facts = set()
+    op = test.ops[0]
+    #: Does this edge assert the comparison's *equality* form?
+    equality_holds = (
+        polarity and isinstance(op, (ast.Eq, ast.Is, ast.In))
+    ) or (
+        not polarity and isinstance(op, (ast.NotEq, ast.IsNot, ast.NotIn))
+    )
+    names = [name.lower() for name in node_names(test)]
+    if equality_holds and any(
+        any(word in name for word in _OWNER_WORDS) for name in names
+    ):
+        facts.add("OWNERSHIP")
+    if any(_expiryish(name) for name in names):
+        facts.add("EXPIRY_CHECKED")
+    comparator = test.comparators[0]
+    is_none = isinstance(comparator, ast.Constant) and comparator.value is None
+    if (
+        is_none
+        and isinstance(test.left, ast.Name)
+        and test.left.id in mutate_vars
+    ):
+        #: "x is None" known False / "x is not None" known True.
+        confirmed = (isinstance(op, ast.Is) and not polarity) or (
+            isinstance(op, ast.IsNot) and polarity
+        )
+        if confirmed:
+            facts.add("MUTATE_CONFIRMED")
+    return facts

@@ -1,0 +1,129 @@
+"""Running the concurrency analyzer over a set of target files.
+
+The default target set is the repo's multi-process surface: the
+``serve`` and ``corpus`` packages, the ``obs`` package (its registry is
+swapped inside pool workers), and ``fsutil`` (the shared lock/publish
+primitives).  Anything else can be analyzed by passing explicit paths
+-- the regression-fixture tests do exactly that.
+
+:func:`run` loads the modules, runs every check, then splits raw
+findings three ways: inline-suppressed (``# conc: ok[...]``),
+baselined (accepted in a ``baseline.json``), and active (everything
+else -- these fail the CI gate).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .atomicity import (
+    check_atomic_publish,
+    check_claim_link,
+    check_lease_ownership,
+)
+from .index import ModuleInfo, load_module
+from .locks import check_lock_guards, check_lock_order
+from .model import Baseline, Finding, Report
+from .procstate import check_toggle_mirror, check_worker_globals
+
+__all__ = ["ALL_CHECKS", "default_targets", "load_targets", "run"]
+
+#: Every check, in report order.
+ALL_CHECKS: Tuple[Callable[[Sequence[ModuleInfo]], List[Finding]], ...] = (
+    check_lock_guards,
+    check_lock_order,
+    check_atomic_publish,
+    check_claim_link,
+    check_lease_ownership,
+    check_worker_globals,
+    check_toggle_mirror,
+)
+
+
+def default_targets() -> List[Path]:
+    """The installed multi-process surface of the ``repro`` package."""
+    package = Path(__file__).resolve().parent.parent.parent
+    return [
+        package / "serve",
+        package / "corpus",
+        package / "obs",
+        package / "fsutil.py",
+    ]
+
+
+def _python_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    seen = set()
+    unique = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _display_path(path: Path) -> str:
+    """Repo-relative when possible (stable across checkouts)."""
+    resolved = path.resolve()
+    for anchor in ("src", "tests"):
+        parts = resolved.parts
+        if anchor in parts:
+            return str(Path(*parts[parts.index(anchor):]))
+    return str(path)
+
+
+def load_targets(paths: Optional[Sequence[Path]] = None) -> List[ModuleInfo]:
+    """Parse and index every target file (unparsable files are skipped
+    -- the linter, not this analyzer, owns syntax gating)."""
+    modules = []
+    for path in _python_files(paths if paths else default_targets()):
+        try:
+            modules.append(load_module(path, rel=_display_path(path)))
+        except (OSError, SyntaxError):
+            continue
+    return modules
+
+
+def run(
+    paths: Optional[Sequence[Path]] = None,
+    baseline: Optional[Baseline] = None,
+    checks: Optional[Sequence[str]] = None,
+) -> Report:
+    """Analyze ``paths`` (default: the multi-process surface).
+
+    ``checks`` optionally restricts to a set of check ids.
+    """
+    modules = load_targets(paths)
+    report = Report(files=len(modules))
+    report.functions = sum(len(module.functions) for module in modules)
+    by_rel: Dict[str, ModuleInfo] = {module.rel: module for module in modules}
+    raw: List[Finding] = []
+    for check in ALL_CHECKS:
+        raw.extend(check(modules))
+    if checks is not None:
+        wanted = {check.upper() for check in checks}
+        raw = [finding for finding in raw if finding.check in wanted]
+    raw.sort(key=lambda f: (f.path, f.line, f.check))
+    for finding in raw:
+        module = by_rel.get(finding.path)
+        def_line = None
+        if module is not None:
+            function = module.function_at(finding.function)
+            if function is not None:
+                def_line = function.def_line
+        if module is not None and module.suppressions.covers(
+            finding, def_line
+        ):
+            report.suppressed.append(finding)
+        elif baseline is not None and baseline.covers(finding):
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    return report

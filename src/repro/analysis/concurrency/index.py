@@ -1,0 +1,242 @@
+"""Module/function index shared by every concurrency check.
+
+Loading a target file produces a :class:`ModuleInfo`: the parsed tree,
+its inline suppressions, and one :class:`FunctionInfo` per function --
+including methods and nested ``def``\\ s -- each with a qualified name
+and a statement-level CFG (:func:`repro.analysis.concurrency.pycfg`).
+
+Also home to the small AST conventions every pass shares: how a callee
+is named, what counts as a lock acquisition in a ``with`` item, and
+which expression nodes belong to a CFG block itself (as opposed to the
+nested statements a compound header dominates).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .model import Suppressions
+from .pycfg import PyBlock, PyCFG, build_pycfg
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "load_module",
+    "callee_name",
+    "lock_token",
+    "own_nodes",
+    "calls_in",
+    "node_names",
+]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def callee_name(func: ast.expr) -> Optional[str]:
+    """The bare name a call targets (``f(...)`` or ``x.f(...)``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def lock_token(expr: ast.expr) -> Optional[str]:
+    """The lock identity a ``with`` item acquires, or None.
+
+    Anything whose name mentions "lock" counts: ``self._lock("gc")``
+    yields the constant token ``"gc"``; a dynamic first argument yields
+    a parameterized token (``self._lock(job_id)`` -> ``"<job_id>"``);
+    a bare lock object (``with self._lock:``) yields its own name.
+    """
+    if isinstance(expr, ast.Call):
+        name = callee_name(expr.func)
+        if name is None or "lock" not in name.lower():
+            return None
+        if not expr.args:
+            return name
+        arg = expr.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        if isinstance(arg, ast.Name):
+            return f"<{arg.id}>"
+        if isinstance(arg, ast.Attribute):
+            return f"<{arg.attr}>"
+        return "<dynamic>"
+    if isinstance(expr, ast.Attribute) and "lock" in expr.attr.lower():
+        return expr.attr
+    if isinstance(expr, ast.Name) and "lock" in expr.id.lower():
+        return expr.id
+    return None
+
+
+def own_nodes(block: PyBlock) -> List[ast.AST]:
+    """The expression/statement nodes *this* block evaluates.
+
+    A compound statement's head block owns only its header (an ``if``
+    owns its test, a ``with`` its items); the nested statements have
+    blocks of their own.  Assume blocks own nothing -- their test
+    already belongs to the branch head.
+    """
+    if block.kind != "stmt" or block.stmt is None:
+        return []
+    stmt = block.stmt
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        nodes: List[ast.AST] = []
+        for item in stmt.items:
+            nodes.append(item.context_expr)
+            if item.optional_vars is not None:
+                nodes.append(item.optional_vars)
+        return nodes
+    if isinstance(stmt, _FUNCTION_NODES + (ast.ClassDef,)):
+        return []  # a nested definition runs later, under its own CFG
+    return [stmt]
+
+
+def calls_in(node: ast.AST) -> Iterator[ast.Call]:
+    """Every call this node evaluates *now* -- lambda bodies and nested
+    definitions are deferred code and excluded."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.Lambda,) + _FUNCTION_NODES):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def node_names(node: ast.AST) -> List[str]:
+    """Every identifier an expression mentions (names and attributes)."""
+    names = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.append(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.append(child.attr)
+    return names
+
+
+@dataclass(eq=False)  # identity semantics: used as a graph node / dict key
+class FunctionInfo:
+    """One analyzed function (module-level, method, or nested)."""
+
+    module: "ModuleInfo"
+    qualname: str
+    name: str
+    cls: Optional[str]  # innermost enclosing class, if any
+    node: ast.AST
+    cfg: PyCFG
+    #: True for a ``def`` nested inside another function.
+    nested: bool = False
+
+    @property
+    def def_line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+    def body_calls(self) -> Iterator[ast.Call]:
+        """Calls executed by this function's own blocks."""
+        for block in self.cfg.blocks:
+            for node in own_nodes(block):
+                yield from calls_in(node)
+
+
+@dataclass(eq=False)
+class ModuleInfo:
+    """One target source file, parsed and indexed."""
+
+    path: Path
+    rel: str  # display path (repo-relative when possible)
+    tree: ast.Module
+    source: str
+    suppressions: Suppressions
+    functions: List[FunctionInfo] = field(default_factory=list)
+    #: (class or None, bare name) -> function, for call resolution.
+    by_name: Dict[Tuple[Optional[str], str], FunctionInfo] = field(
+        default_factory=dict
+    )
+
+    def resolve_call(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> Optional[FunctionInfo]:
+        """Module-local resolution: plain names bind to module-level
+        functions, ``self.x``/``cls.x`` to methods of the caller's
+        class.  Anything else (imports, parameters) stays unresolved."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self.by_name.get((None, func.id))
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and caller.cls is not None
+        ):
+            return self.by_name.get((caller.cls, func.attr))
+        return None
+
+    def function_at(self, qualname: str) -> Optional[FunctionInfo]:
+        for function in self.functions:
+            if function.qualname == qualname:
+                return function
+        return None
+
+
+def load_module(path: Path, rel: Optional[str] = None) -> ModuleInfo:
+    """Parse one file and build per-function CFGs."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    module = ModuleInfo(
+        path=path,
+        rel=rel if rel is not None else str(path),
+        tree=tree,
+        source=source,
+        suppressions=Suppressions(source),
+    )
+    _collect(module, tree.body, cls=None, prefix="", nested=False)
+    return module
+
+
+def _collect(
+    module: ModuleInfo,
+    body: List[ast.stmt],
+    cls: Optional[str],
+    prefix: str,
+    nested: bool,
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, _FUNCTION_NODES):
+            qualname = f"{prefix}{stmt.name}"
+            info = FunctionInfo(
+                module=module,
+                qualname=qualname,
+                name=stmt.name,
+                cls=cls,
+                node=stmt,
+                cfg=build_pycfg(stmt, lock_token),
+                nested=nested,
+            )
+            module.functions.append(info)
+            if not nested:
+                module.by_name.setdefault((cls, stmt.name), info)
+            _collect(
+                module,
+                stmt.body,
+                cls=cls,
+                prefix=f"{qualname}.<locals>.",
+                nested=True,
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            _collect(
+                module,
+                stmt.body,
+                cls=stmt.name,
+                prefix=f"{prefix}{stmt.name}.",
+                nested=nested,
+            )

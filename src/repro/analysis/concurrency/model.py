@@ -1,0 +1,252 @@
+"""Findings, suppressions and baselines for the concurrency analyzer.
+
+A :class:`Finding` is one protocol violation at one source location.
+Two mechanisms keep the CI gate green while still reporting honestly:
+
+* **inline suppressions** -- a ``# conc: ok[CONC006] reason`` comment on
+  the flagged line (or on the ``def`` line of the enclosing function)
+  acknowledges a finding as a sanctioned exception.  The reason text is
+  mandatory culture, not mandatory syntax; the catalogue in
+  ``docs/analysis.md`` documents every live suppression.
+* **a baseline file** -- a JSON list of accepted findings (matched by
+  check id + path suffix + function, deliberately *not* by line number
+  so unrelated edits don't churn it).  New findings outside the
+  baseline fail the gate; fixed findings leave stale baseline rows that
+  ``--write-baseline`` prunes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "Suppressions",
+    "Baseline",
+    "Report",
+    "CHECKS",
+]
+
+#: Check id -> (name, one-line description).  The catalogue rendered by
+#: ``repro analyze --concurrency --list-checks`` and docs/analysis.md.
+CHECKS: Dict[str, Tuple[str, str]] = {
+    "CONC001": (
+        "lock-guarded-call",
+        "a mutation helper that is elsewhere always called under a lock "
+        "is called without one",
+    ),
+    "CONC002": (
+        "lock-order",
+        "two lock classes are acquired in inconsistent nesting order "
+        "(deadlock cycle)",
+    ),
+    "CONC003": (
+        "atomic-publish",
+        "a durable file is written in place, or a staged tmp file is "
+        "never published via os.replace",
+    ),
+    "CONC004": (
+        "claim-link",
+        "an os.link claim does not tolerate losing the race "
+        "(no FileExistsError handler)",
+    ),
+    "CONC005": (
+        "lease-ownership",
+        "a lease marker or result document is mutated without a "
+        "dominating ownership/staleness re-check",
+    ),
+    "CONC006": (
+        "worker-global-mutation",
+        "code reachable from a pool worker mutates module-level state "
+        "(lost on fork, diverges on spawn)",
+    ),
+    "CONC007": (
+        "worker-toggle-mirror",
+        "a runtime toggle read by workers is only settable parent-side "
+        "and is not mirrored through the environment",
+    ),
+}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*conc:\s*ok\[(?P<ids>[A-Z0-9, ]+)\]\s*(?P<reason>.*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One protocol violation: where, which check, and why it matters."""
+
+    check: str
+    path: str
+    line: int
+    col: int
+    function: str  # qualified name ("Class.method" / "outer.<locals>.inner")
+    message: str
+
+    @property
+    def name(self) -> str:
+        return CHECKS.get(self.check, ("?", ""))[0]
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}:{self.col}"
+        scope = f" in {self.function}" if self.function else ""
+        return f"{where}: {self.check} [{self.name}]{scope} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "check": self.check,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "function": self.function,
+            "message": self.message,
+        }
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-insensitive identity used by the baseline file."""
+        return (self.check, _path_suffix(self.path), self.function)
+
+
+def _path_suffix(path: str, parts: int = 3) -> str:
+    """The trailing path components (stable across checkouts)."""
+    pieces = Path(path).as_posix().split("/")
+    return "/".join(pieces[-parts:])
+
+
+class Suppressions:
+    """Inline ``# conc: ok[...]`` comments of one source file."""
+
+    def __init__(self, source: str) -> None:
+        #: line number -> set of check ids acknowledged on that line.
+        self.by_line: Dict[int, Set[str]] = {}
+        self.reasons: Dict[int, str] = {}
+        for number, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            ids = {
+                token.strip()
+                for token in match.group("ids").split(",")
+                if token.strip()
+            }
+            self.by_line[number] = ids
+            self.reasons[number] = match.group("reason").strip()
+
+    def covers(self, finding: Finding, def_line: Optional[int]) -> bool:
+        """True when the finding's line -- or its function's ``def``
+        line -- carries a matching suppression."""
+        for line in (finding.line, def_line):
+            if line is None:
+                continue
+            if finding.check in self.by_line.get(line, set()):
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.by_line)
+
+
+class Baseline:
+    """The accepted-findings file (``baseline.json``)."""
+
+    FORMAT = 1
+
+    def __init__(self, accepted: Optional[Sequence[Dict[str, str]]] = None) -> None:
+        self.accepted: List[Dict[str, str]] = list(accepted or [])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return cls()
+        if document.get("format") != cls.FORMAT:
+            return cls()
+        rows = document.get("accepted", [])
+        return cls([row for row in rows if isinstance(row, dict)])
+
+    def save(self, path: Path) -> None:
+        document = {
+            "format": self.FORMAT,
+            "accepted": sorted(
+                self.accepted,
+                key=lambda row: (
+                    row.get("check", ""),
+                    row.get("path", ""),
+                    row.get("function", ""),
+                ),
+            ),
+        }
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def _keys(self) -> Set[Tuple[str, str, str]]:
+        return {
+            (
+                row.get("check", ""),
+                row.get("path", ""),
+                row.get("function", ""),
+            )
+            for row in self.accepted
+        }
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.baseline_key() in self._keys()
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        rows = []
+        for finding in findings:
+            check, path, function = finding.baseline_key()
+            rows.append({"check": check, "path": path, "function": function})
+        return cls(rows)
+
+    def __len__(self) -> int:
+        return len(self.accepted)
+
+
+@dataclass
+class Report:
+    """Everything one analyzer run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    files: int = 0
+    functions: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that should fail the gate."""
+        return self.findings
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s) "
+            f"({len(self.suppressed)} suppressed, "
+            f"{len(self.baselined)} baselined) over "
+            f"{self.files} file(s), {self.functions} function(s)"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "files": self.files,
+            "functions": self.functions,
+            "checks": {
+                check: {"name": name, "description": description}
+                for check, (name, description) in CHECKS.items()
+            },
+        }

@@ -1,0 +1,262 @@
+"""Cross-process state: CONC006/007.
+
+``--jobs N`` pool workers and the serve fleet's spawned processes do
+not share memory with the parent.  Two bug shapes follow, both
+generalizing the syntactic REPRO004 lint rule into a reachability pass:
+
+**CONC006 (worker-global-mutation)** -- a function *reachable from a
+worker entry point* that rebinds module-level state (``global X; X =
+...``) mutates a copy: the write is lost to the parent under fork and
+diverges entirely under spawn.  Worker roots are the functions handed
+to ``Pool``/``Process`` (``initializer=``, ``target=``, and the
+``map``/``imap``/``apply`` family); reachability follows bare callee
+names across all analyzed modules, including functions passed around
+as values.  ``threading.Thread`` targets are *not* roots -- threads
+share memory, and their races are CONC001's department.  A mutator that
+touches ``os.environ`` is sanctioned: state written to (or derived
+from) the environment is exactly the cross-process configuration
+channel this check wants people to use.
+
+**CONC007 (worker-toggle-mirror)** -- the dual: a runtime toggle (a
+module global with a ``global``-declaring setter) that worker-reachable
+code *reads* is a silent no-op in the fleet unless some setter is
+itself worker-reachable or mirrors the value through ``os.environ``
+(the ``REPRO_METRICS`` pattern).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .index import FunctionInfo, ModuleInfo, callee_name
+from .model import Finding
+
+__all__ = ["check_worker_globals", "check_toggle_mirror", "worker_reachable"]
+
+_POOL_METHODS = frozenset({
+    "map", "imap", "imap_unordered", "map_async",
+    "starmap", "starmap_async", "apply", "apply_async",
+})
+_SPAWN_KEYWORDS = frozenset({"initializer", "target"})
+
+
+def _function_ref(node: ast.AST) -> Optional[str]:
+    """The bare name of a function passed as a value, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _body_nodes(function: FunctionInfo) -> List[ast.AST]:
+    """The function's own AST, nested definitions excluded (they are
+    separate :class:`FunctionInfo` entries)."""
+    nodes: List[ast.AST] = []
+    stack: List[ast.AST] = list(ast.iter_child_nodes(function.node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        nodes.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return nodes
+
+
+def _call_graph(
+    modules: Sequence[ModuleInfo],
+) -> Tuple[Dict[str, List[FunctionInfo]], Dict[FunctionInfo, Set[str]]]:
+    """Bare-name function registry + per-function referenced names.
+
+    Name-based linking deliberately crosses modules: a package
+    ``__init__`` re-export (``obs.use_registry``) resolves to the
+    defining module without tracking imports.  References include both
+    calls and function values passed as arguments (callbacks).
+    """
+    registry: Dict[str, List[FunctionInfo]] = {}
+    for module in modules:
+        for function in module.functions:
+            registry.setdefault(function.name, []).append(function)
+    references: Dict[FunctionInfo, Set[str]] = {}
+    for module in modules:
+        for function in module.functions:
+            names: Set[str] = set()
+            for node in _body_nodes(function):
+                if isinstance(node, ast.Call):
+                    called = callee_name(node.func)
+                    if called is not None:
+                        names.add(called)
+                    for arg in list(node.args) + [
+                        keyword.value for keyword in node.keywords
+                    ]:
+                        ref = _function_ref(arg)
+                        if ref is not None and ref in registry:
+                            names.add(ref)
+            #: A nested def is deferred code its parent may invoke.
+            for sibling in module.functions:
+                if sibling.nested and sibling.qualname.startswith(
+                    function.qualname + ".<locals>."
+                ):
+                    names.add(sibling.name)
+            references[function] = names
+    return registry, references
+
+
+def _roots(modules: Sequence[ModuleInfo]) -> Set[str]:
+    """Bare names of functions handed to another *process*."""
+    roots: Set[str] = set()
+    for module in modules:
+        for function in module.functions:
+            for node in _body_nodes(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                called = callee_name(node.func) or ""
+                if "Thread" in called:
+                    continue  # same-process: not a worker boundary
+                if called in _POOL_METHODS and node.args:
+                    ref = _function_ref(node.args[0])
+                    if ref is not None:
+                        roots.add(ref)
+                for keyword in node.keywords:
+                    if keyword.arg in _SPAWN_KEYWORDS:
+                        ref = _function_ref(keyword.value)
+                        if ref is not None:
+                            roots.add(ref)
+    return roots
+
+
+def worker_reachable(
+    modules: Sequence[ModuleInfo],
+) -> Set[FunctionInfo]:
+    """Functions a pool/process worker may execute."""
+    registry, references = _call_graph(modules)
+    queue: List[FunctionInfo] = []
+    for name in _roots(modules):
+        queue.extend(registry.get(name, ()))
+    reached: Set[FunctionInfo] = set(queue)
+    while queue:
+        function = queue.pop()
+        for name in references.get(function, ()):
+            for callee in registry.get(name, ()):
+                if callee not in reached:
+                    reached.add(callee)
+                    queue.append(callee)
+    return reached
+
+
+def _global_writes(function: FunctionInfo) -> List[Tuple[str, int]]:
+    """(name, line) for every module-global this function rebinds."""
+    declared: Set[str] = set()
+    for node in _body_nodes(function):
+        if isinstance(node, ast.Global):
+            declared.update(node.names)
+    if not declared:
+        return []
+    writes = []
+    for node in _body_nodes(function):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in declared:
+                writes.append((target.id, node.lineno))
+    return writes
+
+
+def _touches_environ(function: FunctionInfo) -> bool:
+    for node in _body_nodes(function):
+        if isinstance(node, ast.Attribute) and node.attr == "environ":
+            return True
+    return False
+
+
+def check_worker_globals(modules: Sequence[ModuleInfo]) -> List[Finding]:
+    findings: List[Finding] = []
+    reached = worker_reachable(modules)
+    for module in modules:
+        for function in module.functions:
+            if function not in reached:
+                continue
+            writes = _global_writes(function)
+            if not writes or _touches_environ(function):
+                continue
+            names = sorted({name for name, _ in writes})
+            line = min(line for _, line in writes)
+            findings.append(Finding(
+                check="CONC006",
+                path=module.rel,
+                line=line,
+                col=0,
+                function=function.qualname,
+                message=(
+                    f"{function.name}() is reachable from a worker "
+                    f"process and rebinds module global(s) "
+                    f"{', '.join(names)}: the write is invisible to "
+                    "the parent (and to spawn-started siblings); "
+                    "mirror through os.environ or pass the value "
+                    "through the pool explicitly"
+                ),
+            ))
+    return findings
+
+
+def check_toggle_mirror(modules: Sequence[ModuleInfo]) -> List[Finding]:
+    findings: List[Finding] = []
+    reached = worker_reachable(modules)
+    for module in modules:
+        #: toggle name -> setter functions (those declaring it global).
+        setters: Dict[str, List[FunctionInfo]] = {}
+        for function in module.functions:
+            for name, _ in _global_writes(function):
+                setters.setdefault(name, []).append(function)
+        for name, writers in sorted(setters.items()):
+            mirrored = any(
+                writer in reached or _touches_environ(writer)
+                for writer in writers
+            )
+            if mirrored:
+                continue
+            reader = _worker_reader(module, name, writers, reached)
+            if reader is None:
+                continue
+            function, line = reader
+            findings.append(Finding(
+                check="CONC007",
+                path=module.rel,
+                line=line,
+                col=0,
+                function=function.qualname,
+                message=(
+                    f"worker-reachable code reads toggle {name!r}, but "
+                    f"its only setter(s) "
+                    f"({', '.join(w.name for w in writers)}) run "
+                    "parent-side and do not mirror the value through "
+                    "os.environ: the toggle silently never applies in "
+                    "the worker fleet"
+                ),
+            ))
+    return findings
+
+
+def _worker_reader(
+    module: ModuleInfo,
+    name: str,
+    writers: Sequence[FunctionInfo],
+    reached: Set[FunctionInfo],
+) -> Optional[Tuple[FunctionInfo, int]]:
+    """The first worker-reachable function reading module-global
+    ``name`` (writers excluded), with the read's line."""
+    for function in module.functions:
+        if function not in reached or function in writers:
+            continue
+        for node in _body_nodes(function):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return function, node.lineno
+    return None

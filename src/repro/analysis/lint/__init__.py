@@ -14,6 +14,8 @@ from .rules import (
     FloatEqualityRule,
     LintRule,
     LintViolation,
+    MutableDefaultRule,
+    NonAtomicWriteRule,
     OpcodeExhaustivenessRule,
     PerRecordProbeLoopRule,
     PoolCallbackMutationRule,
@@ -34,6 +36,8 @@ __all__ = [
     "PoolCallbackMutationRule",
     "OpcodeExhaustivenessRule",
     "PerRecordProbeLoopRule",
+    "MutableDefaultRule",
+    "NonAtomicWriteRule",
     "default_target",
     "lint_paths",
     "lint_source",

@@ -20,6 +20,11 @@ REPRO005   the interpreter handles every Opcode; the latency model
 REPRO006   per-record MEMO-TABLE probe loops live only in
            ``repro.core.kernel`` (every other layer routes batches
            through ``probe_batch``/``run_events``)
+REPRO007   no mutable default arguments anywhere in the package (a
+           shared default dict/list is cross-call -- and under a fork
+           pool, cross-copy -- hidden state)
+REPRO008   durable JSON/state files are published atomically (tmp write
+           + ``os.replace``), never ``open(path, "w")`` in place
 =========  ==============================================================
 """
 
@@ -40,6 +45,8 @@ __all__ = [
     "PoolCallbackMutationRule",
     "OpcodeExhaustivenessRule",
     "PerRecordProbeLoopRule",
+    "MutableDefaultRule",
+    "NonAtomicWriteRule",
     "ALL_RULES",
     "default_target",
     "lint_source",
@@ -203,10 +210,12 @@ class WallClockRule(LintRule):
     metrics layer) make durations jump when NTP steps the clock.  The
     rule covers the whole package; the sanctioned exceptions are the
     corpus store's lock-staleness/archive timestamps
-    (``repro/corpus/store.py``) and the serve queue's durable job
-    records (``repro/serve/queue.py``), whose submit/lease timestamps
-    must survive process restarts and so cannot come from a monotonic
-    clock.  Neither sits on a simulation path.
+    (``repro/corpus/store.py``), the serve queue's durable job records
+    (``repro/serve/queue.py``), and the shared filesystem primitives
+    both are built on (``repro/fsutil.py``), whose submit/lease/lock
+    timestamps must survive process restarts and be comparable across
+    processes -- which per-process monotonic clocks are not.  None sits
+    on a simulation path.
     """
 
     id = "REPRO002"
@@ -215,7 +224,11 @@ class WallClockRule(LintRule):
     scopes = ("repro/",)
 
     #: The only modules allowed to read the wall clock.
-    _EXEMPT = ("repro/corpus/store.py", "repro/serve/queue.py")
+    _EXEMPT = (
+        "repro/corpus/store.py",
+        "repro/serve/queue.py",
+        "repro/fsutil.py",
+    )
 
     def applies_to(self, path: str) -> bool:
         posix = path.replace("\\", "/")
@@ -553,6 +566,180 @@ class PerRecordProbeLoopRule(LintRule):
         return findings
 
 
+# -- REPRO007: mutable default arguments -----------------------------------
+
+class MutableDefaultRule(LintRule):
+    """No mutable default arguments anywhere in the package.
+
+    A default ``{}``/``[]``/``set()`` is evaluated once and shared by
+    every call -- hidden cross-call state that additionally diverges
+    per-process under the fork pool (each worker mutates its own copy).
+    Every layer of this repo passes results through return values; a
+    mutable default is the one loophole the other rules cannot see.
+    """
+
+    id = "REPRO007"
+    name = "mutable-default"
+    description = "mutable default argument"
+    scopes = ("repro/",)
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "OrderedDict", "defaultdict",
+                      "Counter", "deque"}
+
+    def check(self, tree: ast.Module, path: str) -> List[LintViolation]:
+        findings: List[LintViolation] = []
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults if d is not None)
+            for default in defaults:
+                if self._is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    findings.append(self.violation(
+                        default, path,
+                        f"{label}() takes a mutable default argument; "
+                        "default to None and allocate inside the body",
+                    ))
+        return findings
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            leaf = dotted.rpartition(".")[2] if dotted else None
+            return leaf in self._MUTABLE_CALLS
+        return False
+
+
+# -- REPRO008: non-atomic durable writes -----------------------------------
+
+class NonAtomicWriteRule(LintRule):
+    """Durable state files are published via tmp write + ``os.replace``.
+
+    The corpus manifest, job records and result documents are read by
+    concurrent processes; an in-place ``open(path, "w")`` exposes a
+    torn file to every reader between truncate and close (the exact
+    shape of the PR 4 manifest race).  Writers must stage into a
+    tmp-named sibling and ``os.replace`` it into place --
+    :func:`repro.fsutil.atomic_write_json` is the shared helper.
+
+    Scoped to the durable-state layers (``repro/serve/``,
+    ``repro/corpus/``); sanctioned exemptions (none today) use the same
+    mechanism as REPRO002's wall-clock list.
+    """
+
+    id = "REPRO008"
+    name = "non-atomic-write"
+    description = "non-atomic write to a durable path"
+    scopes = ("repro/serve/", "repro/corpus/")
+
+    #: Modules sanctioned to write durable files in place (none today;
+    #: the REPRO002-style escape hatch for layers that prove they are
+    #: single-writer).
+    _EXEMPT: Tuple[str, ...] = ()
+
+    _WRITE_MODES = {"w", "wb", "w+", "wb+", "wt"}
+
+    def applies_to(self, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        if any(exempt in posix for exempt in self._EXEMPT):
+            return False
+        return super().applies_to(posix)
+
+    def check(self, tree: ast.Module, path: str) -> List[LintViolation]:
+        findings: List[LintViolation] = []
+        for scope in ast.walk(tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            has_replace = any(
+                isinstance(node, ast.Call)
+                and _dotted_name(node.func) in ("os.replace", "os.rename")
+                for node in ast.walk(scope)
+            )
+            if has_replace:
+                continue  # the function publishes atomically
+            tmp_names = self._tmp_names(scope)
+            for node in ast.walk(scope):
+                target = self._written_path(node)
+                if target is None:
+                    continue
+                if self._is_tmp(target, tmp_names):
+                    continue  # staged write; some caller replaces it
+                findings.append(self.violation(
+                    node, path,
+                    "in-place write to a durable path; stage into a "
+                    "tmp sibling and os.replace it "
+                    "(repro.fsutil.atomic_write_json)",
+                ))
+        return findings
+
+    def _written_path(self, node: ast.AST) -> Optional[ast.AST]:
+        """The path expression a call writes to, or None."""
+        if not isinstance(node, ast.Call):
+            return None
+        dotted = _dotted_name(node.func)
+        if dotted == "open" and node.args:
+            mode = self._mode_of(node)
+            if mode in self._WRITE_MODES:
+                return node.args[0]
+            return None
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "open":
+                mode = self._mode_of(node)
+                if mode in self._WRITE_MODES:
+                    return node.func.value
+                return None
+            if node.func.attr in ("write_text", "write_bytes"):
+                return node.func.value
+        return None
+
+    @staticmethod
+    def _mode_of(call: ast.Call) -> Optional[str]:
+        candidates = [arg for arg in call.args[1:]]
+        candidates.extend(
+            kw.value for kw in call.keywords if kw.arg == "mode"
+        )
+        for candidate in candidates:
+            if isinstance(candidate, ast.Constant) and isinstance(
+                candidate.value, str
+            ):
+                return candidate.value
+        return None
+
+    @staticmethod
+    def _tmp_names(scope: ast.AST) -> Set[str]:
+        """Names assigned from expressions that smell like tmp paths."""
+        names: Set[str] = set()
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Assign):
+                continue
+            if "tmp" in _strings_of(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    @staticmethod
+    def _is_tmp(target: ast.AST, tmp_names: Set[str]) -> bool:
+        if isinstance(target, ast.Name) and target.id in tmp_names:
+            return True
+        return "tmp" in _strings_of(target)
+
+
+def _strings_of(node: ast.AST) -> str:
+    """Every string literal under ``node``, concatenated (tmp sniffing)."""
+    parts: List[str] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant) and isinstance(child.value, str):
+            parts.append(child.value)
+    return "\x00".join(parts)
+
+
 #: Factory producing one fresh instance of every rule.
 def ALL_RULES() -> List[LintRule]:
     return [
@@ -562,6 +749,8 @@ def ALL_RULES() -> List[LintRule]:
         PoolCallbackMutationRule(),
         OpcodeExhaustivenessRule(),
         PerRecordProbeLoopRule(),
+        MutableDefaultRule(),
+        NonAtomicWriteRule(),
     ]
 
 

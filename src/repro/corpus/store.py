@@ -61,6 +61,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, NamedTuple, Optional, Tuple, Union
 
 from ..errors import CorpusError, CorpusLockError, TraceFormatError
+from ..fsutil import FileLock, atomic_write_json, mtime, mtime_age, touch
 from ..isa.binfmt import read_column_blocks, write_column_trace
 from ..isa.columns import ColumnBatch
 from ..isa.trace import Trace
@@ -163,46 +164,6 @@ class CorpusStats:
         }
 
 
-class _FileLock:
-    """Cooperative ``O_CREAT|O_EXCL`` lock file with stale-lock breaking."""
-
-    def __init__(
-        self, path: Path, timeout: float = 120.0, stale_after: float = 600.0
-    ) -> None:
-        self.path = path
-        self.timeout = timeout
-        self.stale_after = stale_after
-
-    def __enter__(self) -> "_FileLock":
-        deadline = time.monotonic() + self.timeout
-        while True:
-            try:
-                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-                os.write(fd, str(os.getpid()).encode("ascii"))
-                os.close(fd)
-                return self
-            except FileExistsError:
-                try:
-                    age = time.time() - self.path.stat().st_mtime
-                    if age > self.stale_after:
-                        # Holder died; break the lock and retry.
-                        self.path.unlink()
-                        continue
-                except OSError:
-                    continue  # lock vanished between exists and stat
-                if time.monotonic() > deadline:
-                    raise CorpusLockError(
-                        f"could not acquire {self.path} within {self.timeout}s"
-                    )
-                time.sleep(0.02)
-
-    def __exit__(self, *exc) -> None:
-        try:
-            self.path.unlink()
-        except OSError:
-            pass
-
-
 def default_corpus_dir() -> Path:
     """``$REPRO_CORPUS_DIR`` or ``~/.cache/repro/corpus``."""
     env = os.environ.get("REPRO_CORPUS_DIR")
@@ -292,13 +253,7 @@ class TraceCorpus:
             "recorder_version": RECORDER_VERSION,
             "entries": entries,
         }
-        tmp = self.manifest_path.with_name(
-            f".manifest-{os.getpid()}.tmp"
-        )
-        with tmp.open("w", encoding="utf-8") as stream:
-            json.dump(document, stream, indent=1, sort_keys=True)
-            stream.write("\n")
-        os.replace(tmp, self.manifest_path)
+        atomic_write_json(self.manifest_path, document)
 
     def _update_manifest(
         self, mutate: Callable[[Dict[str, dict]], None]
@@ -310,9 +265,13 @@ class TraceCorpus:
             self._write_manifest(entries)
         return entries
 
-    def _lock(self, name: str) -> _FileLock:
-        return _FileLock(
-            self.locks_dir / f"{name}.lock", timeout=self.lock_timeout
+    def _lock(self, name: str) -> FileLock:
+        return FileLock(
+            self.locks_dir / f"{name}.lock",
+            timeout=self.lock_timeout,
+            stale_after=600.0,
+            error=CorpusLockError,
+            poll=0.02,
         )
 
     def entries(self) -> List[CorpusEntry]:
@@ -331,10 +290,8 @@ class TraceCorpus:
         path = self._find_object(digest)
         if path is None:
             return 0.0
-        try:
-            return path.stat().st_mtime
-        except OSError:
-            return 0.0
+        stamp = mtime(path)
+        return 0.0 if stamp is None else stamp
 
     def _object_path(self, digest: str) -> Path:
         """Canonical (sharded) location of a digest's object."""
@@ -465,12 +422,11 @@ class TraceCorpus:
         self.stats.disk_hits += 1
         self.stats.bytes_read += len(blob)
         self._promote(digest)  # incremental flat -> shard migration
-        try:
-            path = self._find_object(digest)
-            if path is not None:
-                os.utime(path)  # LRU recency for gc
-        except OSError:
-            pass  # concurrently evicted; the blob in hand is still good
+        path = self._find_object(digest)
+        if path is not None:
+            # LRU recency for gc; a concurrent eviction is fine -- the
+            # blob in hand is still good.
+            touch(path)
         self._memory_put(digest, trace)
         return trace
 
@@ -600,9 +556,10 @@ class TraceCorpus:
                         except OSError:
                             pass
                     continue
+                age = mtime_age(path, now)
+                if age is not None and age < orphan_grace:
+                    continue  # likely a put() awaiting its manifest row
                 try:
-                    if now - path.stat().st_mtime < orphan_grace:
-                        continue  # likely a put() awaiting its manifest row
                     path.unlink()
                 except OSError:
                     pass  # another process already removed it
@@ -661,7 +618,7 @@ def active_corpus() -> Optional[TraceCorpus]:
     return _active
 
 
-def set_active_corpus(
+def set_active_corpus(  # conc: ok[CONC006] per-process config: each worker opens its own view, corpus_dir rides in via initializer/env
     corpus: Union[TraceCorpus, str, Path, None], **kwargs
 ) -> Optional[TraceCorpus]:
     """Install (or, with None, disable) the process-wide corpus."""

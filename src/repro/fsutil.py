@@ -1,0 +1,141 @@
+"""Shared filesystem primitives for the durable-state layers.
+
+The corpus store and the serve queue are both directories of small
+files mutated by many processes at once, and they grew the same four
+primitives independently: a cooperative ``O_CREAT|O_EXCL`` lock file
+with stale-lock breaking, a tmp-then-``os.replace`` JSON publish, and
+guarded ``utime``/``stat`` touches whose failure means "the file raced
+away, not an error".  Two copies drift -- the PR 4 store races were
+exactly a guarded-``utime`` fix that existed on one side and not the
+other -- so the heartbeat (queue) and GC (store) paths now share this
+one module.
+
+Like its two callers (``repro/corpus/store.py`` and
+``repro/serve/queue.py``, sanctioned by the REPRO002 lint rule's
+exemption list), this module reads the wall clock: lock staleness is an
+*inter-process* age judged against file mtimes, which per-process
+monotonic clocks cannot express.  Nothing here sits on a simulation
+path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Type, Union
+
+from .errors import ReproError
+
+__all__ = [
+    "FileLock",
+    "atomic_write_json",
+    "touch",
+    "mtime",
+    "mtime_age",
+]
+
+
+def touch(path: Union[str, Path]) -> bool:
+    """Bump ``path``'s mtime; False when it raced away.
+
+    The single sanctioned way to heartbeat a lease marker or refresh an
+    object's LRU recency: a vanished file is an expected outcome (the
+    reaper reclaimed the lease, GC evicted the object), never an error.
+    """
+    try:
+        os.utime(path)
+        return True
+    except OSError:
+        return False
+
+
+def mtime(path: Union[str, Path]) -> Optional[float]:
+    """``path``'s mtime in epoch seconds, or None when it raced away."""
+    try:
+        return Path(path).stat().st_mtime
+    except OSError:
+        return None
+
+
+def mtime_age(path: Union[str, Path], now: float) -> Optional[float]:
+    """Seconds since ``path`` was last touched, judged against ``now``
+    (the caller's wall-clock read), or None when the file raced away."""
+    stamp = mtime(path)
+    if stamp is None:
+        return None
+    return now - stamp
+
+
+def atomic_write_json(
+    path: Path, document: Dict[str, Any], indent: int = 1
+) -> None:
+    """Publish ``document`` at ``path`` via tmp-write + ``os.replace``.
+
+    Readers never observe a torn file: they see the old document or the
+    new one, nothing in between.  A crash before the replace leaves only
+    a dotted ``.tmp`` sibling for the owning layer's sweep to collect.
+    """
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    with tmp.open("w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=indent, sort_keys=True)
+        stream.write("\n")
+    os.replace(tmp, path)
+
+
+class FileLock:
+    """Cooperative ``O_CREAT|O_EXCL`` lock file with stale breaking.
+
+    The create-exclusive open *is* the acquisition; the file holds the
+    owner's pid for post-mortems.  A holder that dies leaves the file
+    behind, so contenders break locks older than ``stale_after``
+    (judged by mtime against the shared wall clock) and retry.
+    ``error`` names the exception type raised on timeout, so each layer
+    surfaces its own error family (``CorpusLockError``, ``QueueError``).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        timeout: float = 30.0,
+        stale_after: float = 120.0,
+        error: Type[ReproError] = ReproError,
+        poll: float = 0.01,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.stale_after = stale_after
+        self.error = error
+        self.poll = poll
+
+    def __enter__(self) -> "FileLock":
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                return self
+            except FileExistsError:
+                age = mtime_age(self.path, time.time())
+                if age is None:
+                    continue  # lock vanished between exists and stat
+                if age > self.stale_after:
+                    # Holder died; break the lock and retry.
+                    try:
+                        self.path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() > deadline:
+                    raise self.error(
+                        f"could not acquire {self.path} within {self.timeout}s"
+                    )
+                time.sleep(self.poll)
+
+    def __exit__(self, *exc: object) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

@@ -223,7 +223,7 @@ def registry() -> MetricsRegistry:
 
 
 @contextmanager
-def use_registry(target: MetricsRegistry) -> Iterator[MetricsRegistry]:
+def use_registry(target: MetricsRegistry) -> Iterator[MetricsRegistry]:  # conc: ok[CONC006] scoped swap restored in finally; the snapshot rides back to the parent explicitly
     """Route all module-level producers into ``target`` for a block.
 
     The experiment engine gives every experiment its own scoped registry

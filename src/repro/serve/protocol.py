@@ -88,6 +88,23 @@ def _optional_number(
     return float(value)
 
 
+def _int_field(
+    spec: Dict[str, Any], key: str, default: int, floor: Optional[int] = None
+) -> int:
+    """An integer field with an explicit default.
+
+    Unlike ``value or default``, a present-but-zero value is *kept* (and
+    then rejected by ``floor`` where zero is meaningless) -- silently
+    replacing 0 with the default would hash the spec to the default
+    job's identity.
+    """
+    value = _optional_number(spec, key, float(default))
+    number = int(default if value is None else value)
+    if floor is not None and number < floor:
+        raise ServeProtocolError(f"job spec field {key!r} must be >= {floor}")
+    return number
+
+
 def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
     """Validate a job spec and return its canonical form.
 
@@ -139,20 +156,17 @@ def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
                 f"unknown program {name!r}; available: " + ", ".join(PROGRAMS)
             )
         out["program"] = name
-        out["n"] = int(_optional_number(spec, "n", 64) or 64)
-        out["entries"] = int(_optional_number(spec, "entries", 32) or 32)
-        out["ways"] = int(_optional_number(spec, "ways", 4) or 4)
+        out["n"] = _int_field(spec, "n", 64, floor=1)
+        out["entries"] = _int_field(spec, "entries", 32, floor=1)
+        out["ways"] = _int_field(spec, "ways", 4, floor=1)
         out["mantissa"] = bool(spec.get("mantissa", False))
     else:  # fuzz
         allowed |= {"budget", "seed", "max_events"}
-        out["budget"] = int(_optional_number(spec, "budget", 200) or 200)
-        out["seed"] = int(_optional_number(spec, "seed", 0) or 0)
-        max_events = int(_optional_number(spec, "max_events", 96) or 96)
-        if max_events < 48:
-            # The fuzzer's fresh-trace generator draws at least 48
-            # events per case; smaller caps would fault mid-campaign.
-            raise ServeProtocolError("fuzz job 'max_events' must be >= 48")
-        out["max_events"] = max_events
+        out["budget"] = _int_field(spec, "budget", 200, floor=1)
+        out["seed"] = _int_field(spec, "seed", 0)
+        # The fuzzer's fresh-trace generator draws at least 48 events
+        # per case; smaller caps would fault mid-campaign.
+        out["max_events"] = _int_field(spec, "max_events", 96, floor=48)
 
     unknown = set(spec) - allowed
     if unknown:

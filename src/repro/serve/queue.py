@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..errors import ReproError
+from ..fsutil import FileLock, atomic_write_json, mtime_age, touch
 from ..obs.registry import MetricsRegistry
 from .protocol import (
     DEFAULT_LEASE_TTL,
@@ -62,54 +63,6 @@ def default_queue_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro" / "queue"
-
-
-class _RecordLock:
-    """Cooperative ``O_CREAT|O_EXCL`` lock file with stale breaking
-    (the corpus store's lock, re-stated for the queue's lock dir)."""
-
-    def __init__(
-        self, path: Path, timeout: float = 30.0, stale_after: float = 120.0
-    ) -> None:
-        self.path = path
-        self.timeout = timeout
-        self.stale_after = stale_after
-
-    def __enter__(self) -> "_RecordLock":
-        deadline = time.monotonic() + self.timeout
-        while True:
-            try:
-                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-                os.write(fd, str(os.getpid()).encode("ascii"))
-                os.close(fd)
-                return self
-            except FileExistsError:
-                try:
-                    age = time.time() - self.path.stat().st_mtime
-                    if age > self.stale_after:
-                        self.path.unlink()
-                        continue
-                except OSError:
-                    continue  # lock vanished between exists and stat
-                if time.monotonic() > deadline:
-                    raise QueueError(
-                        f"could not acquire {self.path} within {self.timeout}s"
-                    )
-                time.sleep(0.01)
-
-    def __exit__(self, *exc) -> None:
-        try:
-            self.path.unlink()
-        except OSError:
-            pass
-
-
-def _atomic_write_json(path: Path, document: Dict[str, Any]) -> None:
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    with tmp.open("w", encoding="utf-8") as stream:
-        json.dump(document, stream, indent=1, sort_keys=True)
-        stream.write("\n")
-    os.replace(tmp, path)
 
 
 class JobQueue:
@@ -151,8 +104,15 @@ class JobQueue:
     def _pending_marker(self, job_id: str, ready: float) -> Path:
         return self.pending_dir / f"{int(ready * 1e3):017d}-{job_id}"
 
-    def _lock(self, job_id: str) -> _RecordLock:
-        return _RecordLock(self.locks_dir / f"{job_id}.lock")
+    def _lock(self, job_id: str) -> FileLock:
+        # The corpus store's lock, re-parameterized for the queue's
+        # faster cadence (short leases want short stale-break windows).
+        return FileLock(
+            self.locks_dir / f"{job_id}.lock",
+            timeout=30.0,
+            stale_after=120.0,
+            error=QueueError,
+        )
 
     def _read_record(self, job_id: str) -> Optional[JobRecord]:
         try:
@@ -164,7 +124,7 @@ class JobQueue:
             return None  # torn record; treated as absent until rewritten
 
     def _write_record(self, record: JobRecord) -> None:
-        _atomic_write_json(self._record_path(record.id), record.to_dict())
+        atomic_write_json(self._record_path(record.id), record.to_dict())
 
     def _mutate(
         self, job_id: str, mutate: Callable[[JobRecord], Optional[JobRecord]]
@@ -286,7 +246,7 @@ class JobQueue:
                 marker.unlink()
             except OSError:
                 pass  # a racer consumed it; the link above is ours
-            os.utime(lease)  # heartbeat epoch starts at the claim
+            touch(lease)  # heartbeat epoch starts at the claim
             record = self._mutate(job_id, lambda r: self._lease(r, worker))
             if record is not None and record.state == "leased":
                 return record
@@ -323,9 +283,7 @@ class JobQueue:
         if record is None or record.state != "leased" or record.worker != worker:
             return False
         marker = self._lease_marker(job_id)
-        try:
-            os.utime(marker)
-        except OSError:
+        if not touch(marker):
             return False  # marker gone: the reaper took the lease away
         self._mutate(job_id, lambda r: self._renew(r, worker))
         return True
@@ -365,7 +323,7 @@ class JobQueue:
         def _finish(record: JobRecord) -> Optional[JobRecord]:
             if record.state != "leased" or record.worker != worker:
                 return None
-            _atomic_write_json(self._result_path(job_id), result)
+            atomic_write_json(self._result_path(job_id), result)
             record.state = "done"
             record.worker = ""
             record.lease_deadline = 0.0
@@ -473,9 +431,8 @@ class JobQueue:
         for job_id in markers:
             marker = self._lease_marker(job_id)
             record = self._read_record(job_id)
-            try:
-                age = now - marker.stat().st_mtime
-            except OSError:
+            age = mtime_age(marker, now)
+            if age is None:
                 marker_ids.discard(job_id)
                 continue  # completed/requeued concurrently
             if record is None or record.state != "leased":

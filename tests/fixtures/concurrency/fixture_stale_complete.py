@@ -1,0 +1,62 @@
+"""Regression fixture: the PR 6 stale-lease completion bug.
+
+A minimal queue whose ``complete`` writes the result file *before* the
+ownership check inside the mutate callback runs -- the first of the two
+stale-lease races the PR 6 review found.  A worker whose lease was
+reaped and re-issued to someone else still lands its (now unwanted)
+result document, clobbering the new owner's.
+
+The analyzer must flag the ``atomic_write_json`` of the result path as
+CONC005: no ownership / mutate-confirmation fact dominates the write.
+"""
+
+import json
+import os
+from pathlib import Path
+
+
+def atomic_write_json(path, document):
+    tmp = path.with_name(f".{path.name}.tmp")
+    tmp.write_text(json.dumps(document))
+    os.replace(tmp, path)
+
+
+class StaleCompleteQueue:
+    def __init__(self, root):
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.leased_dir = self.root / "leased"
+
+    def _result_path(self, job_id):
+        return self.results_dir / f"{job_id}.json"
+
+    def _lease_marker(self, job_id):
+        return self.leased_dir / job_id
+
+    def _read_record(self, job_id):
+        try:
+            return json.loads((self.root / f"{job_id}.json").read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _write_record(self, job_id, record):
+        atomic_write_json(self.root / f"{job_id}.json", record)
+
+    def complete(self, job_id, worker, result):
+        # BUG (the PR 6 shape): the result lands on disk before anyone
+        # checks that this worker still owns the lease.  A stale worker
+        # overwrites the re-leased owner's result document.
+        atomic_write_json(self._result_path(job_id), result)
+        record = self._read_record(job_id)
+        if record is None:
+            return False
+        if record["state"] != "leased" or record["worker"] != worker:
+            return False
+        record["state"] = "done"
+        record["worker"] = ""
+        self._write_record(job_id, record)
+        try:
+            self._lease_marker(job_id).unlink()
+        except OSError:
+            pass
+        return True

@@ -1,0 +1,76 @@
+"""Regression fixture: the PR 6 stale-lease failure-path bug.
+
+A minimal queue whose ``fail`` unlinks the lease marker without
+checking whether its compare-and-swap actually happened -- the second
+stale-lease race the PR 6 review found.  When the mutate lost (lease
+requeued and re-issued to another worker), the unconditional unlink
+destroys the *new* owner's live lease marker, so the reaper requeues
+the job a second time and it runs twice.
+
+The analyzer must flag the marker unlink as CONC005: the ``_mutate``
+result is never confirmed non-None on the path reaching it.
+"""
+
+import json
+from pathlib import Path
+
+
+class FileLock:
+    def __init__(self, path):
+        self.path = Path(path)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        pass
+
+
+class StaleFailQueue:
+    def __init__(self, root):
+        self.root = Path(root)
+        self.leased_dir = self.root / "leased"
+
+    def _lease_marker(self, job_id):
+        return self.leased_dir / job_id
+
+    def _lock(self, job_id):
+        return FileLock(self.root / f"{job_id}.lock")
+
+    def _read_record(self, job_id):
+        try:
+            return json.loads((self.root / f"{job_id}.json").read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _write_record(self, job_id, record):
+        (self.root / f"{job_id}.json").write_text(json.dumps(record))
+
+    def _mutate(self, job_id, mutate):
+        with self._lock(job_id):
+            record = self._read_record(job_id)
+            if record is None:
+                return None
+            updated = mutate(record)
+            if updated is None:
+                return None
+            self._write_record(job_id, updated)
+            return updated
+
+    def fail(self, job_id, worker, error):
+        def _fail(record):
+            if record["state"] != "leased" or record["worker"] != worker:
+                return None
+            record["state"] = "failed"
+            record["worker"] = ""
+            record["error"] = error
+            return record
+
+        self._mutate(job_id, _fail)
+        # BUG (the PR 6 shape): the _mutate result is discarded, so the
+        # marker is unlinked even when the transition lost the race --
+        # destroying a lease that now belongs to another worker.
+        try:
+            self._lease_marker(job_id).unlink()
+        except OSError:
+            pass

@@ -1,0 +1,71 @@
+"""Regression fixture: the PR 4 corpus-store manifest race.
+
+A minimal store in which ``_write_manifest`` is called under the
+manifest lock everywhere except ``reindex`` -- the exact shape of the
+bug the PR 4 review caught (a read-modify-write of ``manifest.json``
+outside ``_lock("manifest")``, so a concurrent ``put`` could interleave
+between the read and the write and lose its entry).
+
+The analyzer must flag the unguarded ``self._write_manifest(entries)``
+call in ``reindex`` as CONC001: two sites hold the lock, so the helper
+is lock-protected by convention.
+"""
+
+import json
+import os
+from pathlib import Path
+
+
+class FileLock:
+    def __init__(self, path):
+        self.path = Path(path)
+
+    def __enter__(self):
+        fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(fd)
+        return self
+
+    def __exit__(self, *exc):
+        self.path.unlink()
+
+
+class ManifestStore:
+    def __init__(self, root):
+        self.root = Path(root)
+        self.manifest_path = self.root / "manifest.json"
+
+    def _lock(self, name):
+        return FileLock(self.root / f"{name}.lock")
+
+    def _read_manifest(self):
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def _write_manifest(self, entries):
+        tmp = self.manifest_path.with_name(".manifest.tmp")
+        tmp.write_text(json.dumps(entries))
+        os.replace(tmp, self.manifest_path)
+
+    def put(self, digest, entry):
+        with self._lock("manifest"):
+            entries = self._read_manifest()
+            entries[digest] = entry
+            self._write_manifest(entries)
+
+    def drop(self, digest):
+        with self._lock("manifest"):
+            entries = self._read_manifest()
+            entries.pop(digest, None)
+            self._write_manifest(entries)
+
+    def reindex(self):
+        # BUG (the PR 4 shape): read-modify-write of the manifest with
+        # no lock held -- a concurrent put() between the read and the
+        # write below silently loses its entry.
+        entries = self._read_manifest()
+        for digest in list(entries):
+            if not (self.root / "objects" / digest).exists():
+                entries.pop(digest)
+        self._write_manifest(entries)

@@ -1,0 +1,732 @@
+"""Tests for the concurrency analyzer (``repro analyze --concurrency``).
+
+Covers the statement-level Python CFG builder, each CONC check against
+small synthetic modules (positive and negative), the three checked-in
+regression fixtures (the PR 4 store race and both PR 6 stale-lease
+bugs), the suppression/baseline plumbing, the CLI exit codes, and the
+headline acceptance invariant: the analyzer reports zero active
+findings on the repo's own service/corpus layer.
+"""
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main_analyze
+from repro.analysis.concurrency import (
+    Baseline,
+    Suppressions,
+    build_pycfg,
+    load_module,
+    run,
+)
+from repro.analysis.concurrency.index import lock_token
+
+FIXTURES = Path(__file__).parent / "fixtures" / "concurrency"
+
+
+def _write(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def _run(tmp_path, source, name="mod.py"):
+    return run(paths=[_write(tmp_path, source, name)])
+
+
+def _checks(report):
+    return sorted(finding.check for finding in report.findings)
+
+
+def _cfg(source, func_name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    funcs = [
+        node for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    if func_name is not None:
+        funcs = [node for node in funcs if node.name == func_name]
+    return build_pycfg(funcs[0], lock_token)
+
+
+# ---------------------------------------------------------------------------
+# the CFG builder
+
+
+class TestPyCFG:
+    def test_if_produces_assume_blocks_with_polarity(self):
+        cfg = _cfg("""
+            def f(x):
+                if x > 0:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """)
+        assumes = [b for b in cfg.blocks if b.kind == "assume"]
+        assert sorted(b.polarity for b in assumes) == [False, True]
+        assert all(isinstance(b.test, ast.Compare) for b in assumes)
+
+    def test_while_true_has_no_false_exit(self):
+        cfg = _cfg("""
+            def f():
+                while True:
+                    pass
+        """)
+        false_assumes = [
+            b for b in cfg.blocks if b.kind == "assume" and b.polarity is False
+        ]
+        assert not false_assumes
+
+    def test_return_jumps_to_exit(self):
+        cfg = _cfg("""
+            def f(x):
+                if x:
+                    return 1
+                return 2
+        """)
+        returns = [
+            b for b in cfg.blocks
+            if b.stmt is not None and isinstance(b.stmt, ast.Return)
+        ]
+        assert len(returns) == 2
+        for block in returns:
+            assert block.successors == [cfg.exit_index]
+
+    def test_with_lock_sets_held_and_acquires(self):
+        cfg = _cfg("""
+            def f(self):
+                with self._lock("manifest"):
+                    self.mutate()
+                self.after()
+        """)
+        heads = [b for b in cfg.blocks if b.acquires]
+        assert len(heads) == 1
+        assert heads[0].acquires == ("manifest",)
+        body = [
+            b for b in cfg.blocks
+            if b.stmt is not None
+            and isinstance(b.stmt, ast.Expr)
+            and "mutate" in ast.dump(b.stmt)
+        ]
+        assert body and body[0].held == ("manifest",)
+        after = [
+            b for b in cfg.blocks
+            if b.stmt is not None and "after" in ast.dump(b.stmt)
+        ]
+        assert after and after[0].held == ()
+
+    def test_nested_locks_accumulate_in_order(self):
+        cfg = _cfg("""
+            def f(self):
+                with self._lock("a"):
+                    with self._lock("b"):
+                        self.mutate()
+        """)
+        inner = [
+            b for b in cfg.blocks
+            if b.stmt is not None
+            and isinstance(b.stmt, ast.Expr)
+            and "mutate" in ast.dump(b.stmt)
+        ]
+        assert inner and inner[0].held == ("a", "b")
+
+    def test_try_body_records_caught_exceptions(self):
+        cfg = _cfg("""
+            def f(path):
+                try:
+                    path.unlink()
+                except (OSError, ValueError):
+                    pass
+                path.touch()
+        """)
+        unlink = [
+            b for b in cfg.blocks
+            if b.stmt is not None and "unlink" in ast.dump(b.stmt)
+        ]
+        assert unlink and unlink[0].caught == frozenset({"OSError", "ValueError"})
+        touch = [
+            b for b in cfg.blocks
+            if b.stmt is not None and "touch" in ast.dump(b.stmt)
+        ]
+        assert touch and touch[0].caught == frozenset()
+
+    def test_reverse_postorder_starts_at_entry_and_covers_all(self):
+        cfg = _cfg("""
+            def f(x):
+                while x:
+                    x -= 1
+                return x
+        """)
+        order = cfg.reverse_postorder()
+        assert order[0] == 0
+        assert sorted(order) == list(range(len(cfg.blocks)))
+
+
+# ---------------------------------------------------------------------------
+# CONC001: lock-guarded calls
+
+
+CONC1_BASE = """
+    class Store:
+        def _lock(self, name):
+            return object()
+
+        def _write_manifest(self, entries):
+            self.path.write_text(str(entries))
+
+        def put(self, k, v):
+            with self._lock("manifest"):
+                self._write_manifest({k: v})
+
+        def drop(self, k):
+            with self._lock("manifest"):
+                self._write_manifest({})
+"""
+
+
+class TestLockGuards:
+    def test_unguarded_minority_site_is_flagged(self, tmp_path):
+        report = _run(tmp_path, CONC1_BASE + """\
+        def reindex(self):
+            self._write_manifest({})
+""")
+        assert _checks(report) == ["CONC001"]
+        assert report.findings[0].function == "Store.reindex"
+
+    def test_one_on_one_split_is_not_flagged(self, tmp_path):
+        report = _run(tmp_path, """
+            class Store:
+                def _lock(self, name):
+                    return object()
+
+                def _write_manifest(self, entries):
+                    self.path.write_text(str(entries))
+
+                def put(self, k, v):
+                    with self._lock("manifest"):
+                        self._write_manifest({k: v})
+
+                def reindex(self):
+                    self._write_manifest({})
+        """)
+        assert _checks(report) == []
+
+    def test_internally_locking_helper_is_quiet(self, tmp_path):
+        report = _run(tmp_path, """
+            class Store:
+                def _lock(self, name):
+                    return object()
+
+                def _update(self, entries):
+                    with self._lock("manifest"):
+                        self.path.write_text(str(entries))
+
+                def a(self):
+                    self._update({})
+
+                def b(self):
+                    self._update({})
+
+                def c(self):
+                    self._update({})
+        """)
+        assert _checks(report) == []
+
+
+# ---------------------------------------------------------------------------
+# CONC002: lock ordering
+
+
+class TestLockOrder:
+    def test_inverted_nesting_is_flagged(self, tmp_path):
+        report = _run(tmp_path, """
+            class S:
+                def _lock(self, name):
+                    return object()
+
+                def forward(self):
+                    with self._lock("alpha"):
+                        with self._lock("beta"):
+                            pass
+
+                def backward(self):
+                    with self._lock("beta"):
+                        with self._lock("alpha"):
+                            pass
+        """)
+        assert "CONC002" in _checks(report)
+
+    def test_consistent_nesting_is_clean(self, tmp_path):
+        report = _run(tmp_path, """
+            class S:
+                def _lock(self, name):
+                    return object()
+
+                def one(self):
+                    with self._lock("alpha"):
+                        with self._lock("beta"):
+                            pass
+
+                def two(self):
+                    with self._lock("alpha"):
+                        with self._lock("beta"):
+                            pass
+        """)
+        assert _checks(report) == []
+
+    def test_interprocedural_inversion_is_flagged(self, tmp_path):
+        report = _run(tmp_path, """
+            class S:
+                def _lock(self, name):
+                    return object()
+
+                def inner(self):
+                    with self._lock("alpha"):
+                        pass
+
+                def outer(self):
+                    with self._lock("beta"):
+                        self.inner()
+
+                def direct(self):
+                    with self._lock("alpha"):
+                        with self._lock("beta"):
+                            pass
+        """)
+        assert "CONC002" in _checks(report)
+
+
+# ---------------------------------------------------------------------------
+# CONC003: atomic publish
+
+
+class TestAtomicPublish:
+    def test_unpublished_tmp_is_flagged(self, tmp_path):
+        report = _run(tmp_path, """
+            def publish(path, data):
+                tmp = path.with_name(".data.tmp")
+                tmp.write_text(data)
+        """)
+        assert _checks(report) == ["CONC003"]
+
+    def test_replace_published_tmp_is_clean(self, tmp_path):
+        report = _run(tmp_path, """
+            import os
+
+            def publish(path, data):
+                tmp = path.with_name(".data.tmp")
+                tmp.write_text(data)
+                os.replace(tmp, path)
+        """)
+        assert _checks(report) == []
+
+    def test_tmp_left_dirty_on_one_path_is_flagged(self, tmp_path):
+        report = _run(tmp_path, """
+            import os
+
+            def publish(path, data, ready):
+                tmp = path.with_name(".data.tmp")
+                tmp.write_text(data)
+                if ready:
+                    os.replace(tmp, path)
+        """)
+        assert _checks(report) == ["CONC003"]
+
+    def test_cleanup_unlink_counts_as_settled(self, tmp_path):
+        report = _run(tmp_path, """
+            import os
+
+            def publish(path, data, ready):
+                tmp = path.with_name(".data.tmp")
+                tmp.write_text(data)
+                if ready:
+                    os.replace(tmp, path)
+                else:
+                    tmp.unlink()
+        """)
+        assert _checks(report) == []
+
+
+# ---------------------------------------------------------------------------
+# CONC004: claim via os.link
+
+
+class TestClaimLink:
+    def test_bare_link_is_flagged(self, tmp_path):
+        report = _run(tmp_path, """
+            import os
+
+            def claim(src, dst):
+                os.link(src, dst)
+                return True
+        """)
+        assert _checks(report) == ["CONC004"]
+
+    def test_link_with_file_exists_handler_is_clean(self, tmp_path):
+        report = _run(tmp_path, """
+            import os
+
+            def claim(src, dst):
+                try:
+                    os.link(src, dst)
+                except FileExistsError:
+                    return False
+                return True
+        """)
+        assert _checks(report) == []
+
+
+# ---------------------------------------------------------------------------
+# CONC005: lease ownership
+
+
+class TestLeaseOwnership:
+    def test_result_write_after_ownership_check_is_clean(self, tmp_path):
+        report = _run(tmp_path, """
+            def complete(self, job_id, worker, result):
+                record = self._read_record(job_id)
+                if record is None:
+                    return False
+                if record["worker"] != worker:
+                    return False
+                self.atomic_write_json(self._result_path(job_id), result)
+                return True
+        """)
+        assert _checks(report) == []
+
+    def test_marker_unlink_after_mutate_confirmation_is_clean(self, tmp_path):
+        report = _run(tmp_path, """
+            def fail(self, job_id, worker):
+                updated = self._mutate(job_id)
+                if updated is None:
+                    return False
+                self._lease_marker(job_id).unlink()
+                return True
+        """)
+        assert _checks(report) == []
+
+    def test_unconfirmed_marker_unlink_is_flagged(self, tmp_path):
+        report = _run(tmp_path, """
+            def fail(self, job_id, worker):
+                self._mutate(job_id)
+                self._lease_marker(job_id).unlink()
+                return True
+        """)
+        assert _checks(report) == ["CONC005"]
+
+    def test_expiry_check_justifies_stale_marker_unlink(self, tmp_path):
+        report = _run(tmp_path, """
+            def requeue_expired(self, marker, now):
+                age = self.mtime_age(marker, now)
+                if age > self.lease_ttl:
+                    self._lease_marker(marker.name).unlink()
+        """)
+        assert _checks(report) == []
+
+
+# ---------------------------------------------------------------------------
+# CONC006 / CONC007: cross-process state
+
+
+class TestWorkerGlobals:
+    def test_pool_callback_global_mutation_is_flagged(self, tmp_path):
+        report = _run(tmp_path, """
+            from multiprocessing import Pool
+
+            COUNT = 0
+
+            def worker(item):
+                global COUNT
+                COUNT += 1
+                return item
+
+            def main(items):
+                with Pool() as pool:
+                    return pool.map(worker, items)
+        """)
+        assert _checks(report) == ["CONC006"]
+
+    def test_environ_touching_mutator_is_exempt(self, tmp_path):
+        report = _run(tmp_path, """
+            import os
+            from multiprocessing import Pool
+
+            MODE = None
+
+            def worker(item):
+                global MODE
+                MODE = os.environ.get("REPRO_MODE", "")
+                return item
+
+            def main(items):
+                with Pool() as pool:
+                    return pool.map(worker, items)
+        """)
+        assert _checks(report) == []
+
+    def test_thread_target_is_not_a_worker_root(self, tmp_path):
+        report = _run(tmp_path, """
+            import threading
+
+            COUNT = 0
+
+            def beat():
+                global COUNT
+                COUNT += 1
+
+            def main():
+                thread = threading.Thread(target=beat)
+                thread.start()
+        """)
+        assert _checks(report) == []
+
+    def test_initializer_is_a_worker_root(self, tmp_path):
+        report = _run(tmp_path, """
+            from multiprocessing import Pool
+
+            STATE = None
+
+            def init(value):
+                global STATE
+                STATE = value
+
+            def main(items):
+                with Pool(initializer=init, initargs=(1,)) as pool:
+                    return pool.map(str, items)
+        """)
+        assert _checks(report) == ["CONC006"]
+
+
+class TestToggleMirror:
+    def test_parent_only_toggle_read_by_worker_is_flagged(self, tmp_path):
+        report = _run(tmp_path, """
+            from multiprocessing import Pool
+
+            _FLAG = False
+
+            def set_flag(on):
+                global _FLAG
+                _FLAG = bool(on)
+
+            def worker(item):
+                if _FLAG:
+                    return item * 2
+                return item
+
+            def main(items):
+                with Pool() as pool:
+                    return pool.map(worker, items)
+        """)
+        assert _checks(report) == ["CONC007"]
+
+    def test_environ_mirrored_toggle_is_clean(self, tmp_path):
+        report = _run(tmp_path, """
+            import os
+            from multiprocessing import Pool
+
+            _FLAG = False
+
+            def set_flag(on):
+                global _FLAG
+                _FLAG = bool(on)
+                os.environ["REPRO_FLAG"] = "1" if on else "0"
+
+            def worker(item):
+                if _FLAG:
+                    return item * 2
+                return item
+
+            def main(items):
+                with Pool() as pool:
+                    return pool.map(worker, items)
+        """)
+        assert _checks(report) == []
+
+
+# ---------------------------------------------------------------------------
+# suppressions and baseline
+
+
+SUPPRESSIBLE = """
+    import os
+
+    def claim(src, dst):{comment}
+        os.link(src, dst)
+        return True
+"""
+
+
+class TestSuppressionAndBaseline:
+    def test_inline_suppression_on_def_line(self, tmp_path):
+        source = SUPPRESSIBLE.format(
+            comment="  # conc: ok[CONC004] caller handles the race"
+        )
+        report = _run(tmp_path, source)
+        assert _checks(report) == []
+        assert [f.check for f in report.suppressed] == ["CONC004"]
+
+    def test_suppression_must_name_the_check(self, tmp_path):
+        source = SUPPRESSIBLE.format(
+            comment="  # conc: ok[CONC001] wrong check id"
+        )
+        report = _run(tmp_path, source)
+        assert _checks(report) == ["CONC004"]
+
+    def test_suppressions_parse_ids_and_reason(self):
+        sup = Suppressions("x = 1  # conc: ok[CONC001, CONC004] because\n")
+        assert sup.by_line == {1: {"CONC001", "CONC004"}}
+        assert sup.reasons == {1: "because"}
+
+    def test_baseline_roundtrip(self, tmp_path):
+        source = SUPPRESSIBLE.format(comment="")
+        path = _write(tmp_path, source)
+        report = run(paths=[path])
+        assert _checks(report) == ["CONC004"]
+        baseline = Baseline.from_findings(report.findings)
+        baseline_path = tmp_path / "baseline.json"
+        baseline.save(baseline_path)
+        loaded = Baseline.load(baseline_path)
+        again = run(paths=[path], baseline=loaded)
+        assert _checks(again) == []
+        assert [f.check for f in again.baselined] == ["CONC004"]
+
+    def test_baseline_is_line_insensitive(self, tmp_path):
+        path = _write(tmp_path, SUPPRESSIBLE.format(comment=""))
+        baseline = Baseline.from_findings(run(paths=[path]).findings)
+        shifted = "\n\n\n" + textwrap.dedent(SUPPRESSIBLE.format(comment=""))
+        path.write_text(shifted, encoding="utf-8")
+        report = run(paths=[path], baseline=baseline)
+        assert _checks(report) == []
+
+
+# ---------------------------------------------------------------------------
+# the checked-in regression fixtures
+
+
+class TestRegressionFixtures:
+    def test_fixture_dir_exists(self):
+        assert FIXTURES.is_dir()
+
+    def test_store_race_fixture_flags_conc001(self):
+        report = run(paths=[FIXTURES / "fixture_store_race.py"])
+        assert _checks(report) == ["CONC001"]
+        assert report.findings[0].function == "ManifestStore.reindex"
+
+    def test_stale_complete_fixture_flags_conc005(self):
+        report = run(paths=[FIXTURES / "fixture_stale_complete.py"])
+        assert _checks(report) == ["CONC005"]
+        assert report.findings[0].function == "StaleCompleteQueue.complete"
+
+    def test_stale_fail_fixture_flags_conc005(self):
+        report = run(paths=[FIXTURES / "fixture_stale_fail.py"])
+        assert _checks(report) == ["CONC005"]
+        assert report.findings[0].function == "StaleFailQueue.fail"
+
+    def test_all_fixtures_together(self):
+        report = run(paths=[FIXTURES])
+        assert _checks(report) == ["CONC001", "CONC005", "CONC005"]
+
+
+# ---------------------------------------------------------------------------
+# the repo's own service/corpus layer
+
+
+class TestHeadIsClean:
+    def test_default_targets_have_zero_active_findings(self):
+        report = run()
+        assert report.findings == [], "\n".join(
+            finding.render() for finding in report.findings
+        )
+        assert report.files >= 10
+        assert report.functions >= 100
+
+    def test_known_suppressions_are_the_only_ones(self):
+        report = run()
+        suppressed = sorted(
+            (f.check, f.function) for f in report.suppressed
+        )
+        assert suppressed == [
+            ("CONC006", "set_active_corpus"),
+            ("CONC006", "use_registry"),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# the CLI
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main_analyze(["--concurrency"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_fixture_run_exits_nonzero(self, capsys):
+        assert main_analyze(["--concurrency", str(FIXTURES)]) == 1
+        captured = capsys.readouterr()
+        assert "CONC001" in captured.out
+        assert "CONC005" in captured.out
+
+    def test_list_checks(self, capsys):
+        assert main_analyze(["--list-checks"]) == 0
+        out = capsys.readouterr().out
+        for check_id in ("CONC001", "CONC007"):
+            assert check_id in out
+
+    def test_json_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = main_analyze(
+            ["--concurrency", str(FIXTURES), "--json", str(out_path)]
+        )
+        assert code == 1
+        document = json.loads(out_path.read_text())
+        assert len(document["findings"]) == 3
+        assert document["files"] == 3
+
+    def test_baseline_flow(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        assert main_analyze([
+            "--concurrency", str(FIXTURES),
+            "--write-baseline", str(baseline_path),
+        ]) == 0
+        assert main_analyze([
+            "--concurrency", str(FIXTURES),
+            "--baseline", str(baseline_path),
+        ]) == 0
+
+    def test_baseline_without_concurrency_is_an_error(self, capsys):
+        assert main_analyze(["--baseline", "x.json"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# robustness
+
+
+class TestRobustness:
+    def test_unparsable_file_is_skipped(self, tmp_path):
+        _write(tmp_path, "def broken(:\n", name="broken.py")
+        _write(tmp_path, "x = 1\n", name="fine.py")
+        report = run(paths=[tmp_path])
+        assert report.files == 1
+
+    def test_load_module_indexes_methods_and_nested(self, tmp_path):
+        path = _write(tmp_path, """
+            class C:
+                def method(self):
+                    def inner():
+                        pass
+                    return inner
+
+            def top():
+                pass
+        """)
+        module = load_module(path)
+        names = {func.qualname for func in module.functions}
+        assert "C.method" in names
+        assert "top" in names
+        assert any(".<locals>." in name for name in names)

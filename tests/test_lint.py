@@ -12,6 +12,8 @@ from pathlib import Path
 from repro.analysis.lint import (
     ALL_RULES,
     FloatEqualityRule,
+    MutableDefaultRule,
+    NonAtomicWriteRule,
     OpcodeExhaustivenessRule,
     PerRecordProbeLoopRule,
     PoolCallbackMutationRule,
@@ -263,6 +265,90 @@ class TestPerRecordProbeLoopRule:
         assert _findings(
             source, "src/repro/simulator/hazard.py", PerRecordProbeLoopRule()
         ) == []
+
+
+class TestMutableDefaultRule:
+    def test_catches_literal_dict_default(self):
+        source = "def f(a, cache={}):\n    return cache\n"
+        found = _findings(source, ENGINE, MutableDefaultRule())
+        assert len(found) == 1
+        assert found[0].rule == "REPRO007"
+        assert "mutable default" in found[0].message
+
+    def test_catches_list_and_set_literals(self):
+        source = "def f(a=[], b=set()):\n    return a, b\n"
+        assert len(_findings(source, ENGINE, MutableDefaultRule())) == 2
+
+    def test_catches_keyword_only_default(self):
+        source = "def f(*, acc=[]):\n    return acc\n"
+        assert len(_findings(source, ENGINE, MutableDefaultRule())) == 1
+
+    def test_catches_collection_constructor_calls(self):
+        source = (
+            "from collections import defaultdict\n"
+            "def f(index=defaultdict(list)):\n    return index\n"
+        )
+        assert len(_findings(source, ENGINE, MutableDefaultRule())) == 1
+
+    def test_accepts_none_sentinel(self):
+        source = (
+            "def f(a, cache=None):\n"
+            "    if cache is None:\n"
+            "        cache = {}\n"
+            "    return cache\n"
+        )
+        assert _findings(source, ENGINE, MutableDefaultRule()) == []
+
+    def test_accepts_immutable_defaults(self):
+        source = "def f(a=(), b='x', c=0, d=frozenset()):\n    return a\n"
+        assert _findings(source, ENGINE, MutableDefaultRule()) == []
+
+
+class TestNonAtomicWriteRule:
+    QUEUE = "src/repro/serve/queue.py"
+
+    def test_catches_in_place_write_text(self):
+        source = (
+            "def save(path, payload):\n"
+            "    path.write_text(payload)\n"
+        )
+        found = _findings(source, self.QUEUE, NonAtomicWriteRule())
+        assert len(found) == 1
+        assert found[0].rule == "REPRO008"
+        assert "os.replace" in found[0].message
+
+    def test_catches_in_place_open_w(self):
+        source = (
+            "def save(path, payload):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write(payload)\n"
+        )
+        assert len(_findings(source, self.QUEUE, NonAtomicWriteRule())) == 1
+
+    def test_accepts_tmp_stage_plus_replace(self):
+        source = (
+            "import os\n"
+            "def save(path, payload):\n"
+            "    tmp = path.with_name('.stage.tmp')\n"
+            "    tmp.write_text(payload)\n"
+            "    os.replace(tmp, path)\n"
+        )
+        assert _findings(source, self.QUEUE, NonAtomicWriteRule()) == []
+
+    def test_accepts_read_mode_open(self):
+        source = (
+            "def load(path):\n"
+            "    with open(path) as handle:\n"
+            "        return handle.read()\n"
+        )
+        assert _findings(source, self.QUEUE, NonAtomicWriteRule()) == []
+
+    def test_out_of_scope_layer_ignored(self):
+        source = (
+            "def save(path, payload):\n"
+            "    path.write_text(payload)\n"
+        )
+        assert _findings(source, KERNEL, NonAtomicWriteRule()) == []
 
 
 class TestFullRepoGate:
