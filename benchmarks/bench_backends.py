@@ -1,0 +1,143 @@
+"""Per-backend probe-kernel throughput (records/second).
+
+Times the same column-backed MM trace through every registered
+execution backend (``repro.core.backend``) and writes
+``BENCH_kernel_backends.json`` with each backend's records/sec plus
+every backend's speedup over the ``batched`` baseline.  CI's
+perf-smoke job runs this as a script and fails the build (exit 1) if
+the ``fused`` backend is slower than ``batched`` -- the whole point of
+fused is that the LUT precompute amortizes, so a regression here means
+the dedup machinery stopped paying for itself.
+
+Best-of-N timing: each backend runs ``ROUNDS`` times on a fresh bank
+and the fastest round counts, which filters allocator/GC noise the
+same way the sim benchmarks do.
+
+Also runnable under pytest-benchmark alongside the other benchmarks
+(``make bench``).
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core import backend as execution
+from repro.core.bank import MemoTableBank
+from repro.core.operations import Operation
+from repro.experiments.common import record_mm_trace
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _config import BENCH_SCALE  # noqa: E402
+
+#: Where the perf-smoke numbers land (repo root, next to CHANGES.md).
+REPORT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_kernel_backends.json"
+)
+
+#: Minimum events for a stable records/sec figure.
+MIN_EVENTS = 200_000
+
+#: Timed rounds per backend (best one counts).
+ROUNDS = 3
+
+#: The baseline every backend is compared against, and the one backend
+#: that must not out-run ``fused``.
+BASELINE = "batched"
+
+
+def _bench_trace():
+    """A realistic MM trace, tiled up to ``MIN_EVENTS`` events.
+
+    Column-backed, exactly as the corpus store hands traces to the
+    simulators, so the columnar backends take their fast path while the
+    scalar reference walks the same events."""
+    from repro.isa.columns import ColumnBatch
+    from repro.isa.trace import Trace
+
+    base = record_mm_trace(
+        "vgauss", "Muppet1", scale=BENCH_SCALE, cache=False
+    ).columns()
+    tiled = ColumnBatch()
+    while len(tiled) < MIN_EVENTS:
+        tiled.extend_batch(base)
+    trace = Trace(columns=tiled)
+    trace.events  # materialize both views before anything is timed
+    return trace
+
+
+def _one_round(events, backend):
+    bank = MemoTableBank.paper_baseline(
+        operations=tuple(Operation), latencies=None
+    )
+    started = time.perf_counter()
+    report = execution.dispatch(events, bank.units, backend=backend)
+    elapsed = time.perf_counter() - started
+    return report.instructions / elapsed
+
+
+def _throughput(events, backend, rounds=ROUNDS):
+    return max(_one_round(events, backend) for _ in range(rounds))
+
+
+def measure(events=None):
+    """Measure every registered backend; returns the JSON result dict."""
+    if events is None:
+        events = _bench_trace()
+    from repro.isa.trace import Trace
+
+    warm = Trace(events.events[:2000])
+    for name in execution.names():
+        _one_round(warm, name)
+    # The scalar reference is ~5x slower; one round on the full trace
+    # is plenty for a stable baseline-ratio denominator.
+    rates = {}
+    for name in execution.names():
+        rounds = 1 if name == "scalar" else ROUNDS
+        rates[name] = _throughput(events, name, rounds=rounds)
+    baseline = rates[BASELINE]
+    return {
+        "events": len(events),
+        "backends": {
+            name: {
+                "records_per_sec": round(rate, 1),
+                "speedup_vs_batched": round(rate / baseline, 3),
+            }
+            for name, rate in rates.items()
+        },
+        "fused_vs_batched": round(rates["fused"] / baseline, 3),
+        "target": 1.0,
+    }
+
+
+def test_fused_not_slower_than_batched(benchmark):
+    """pytest-benchmark entry: per-backend throughput, fused >= batched."""
+    events = _bench_trace()
+    result = benchmark.pedantic(
+        lambda: measure(events), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(result)
+    assert result["fused_vs_batched"] >= 1.0, (
+        f"fused backend slower than batched: {result}"
+    )
+
+
+def main():
+    result = measure()
+    REPORT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    if result["fused_vs_batched"] < result["target"]:
+        print(
+            "FAIL: fused backend is slower than the batched baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"fused/batched speedup {result['fused_vs_batched']}x "
+        f"(floor {result['target']}x) -> {REPORT_PATH.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ of them.
 from .rules import (
     ALL_RULES,
     FloatEqualityRule,
+    KernelImportRule,
     LintRule,
     LintViolation,
     MutableDefaultRule,
@@ -38,6 +39,7 @@ __all__ = [
     "PerRecordProbeLoopRule",
     "MutableDefaultRule",
     "NonAtomicWriteRule",
+    "KernelImportRule",
     "default_target",
     "lint_paths",
     "lint_source",

@@ -25,6 +25,9 @@ REPRO007   no mutable default arguments anywhere in the package (a
            pool, cross-copy -- hidden state)
 REPRO008   durable JSON/state files are published atomically (tmp write
            + ``os.replace``), never ``open(path, "w")`` in place
+REPRO009   only ``repro.core`` imports ``repro.core.kernel``; every
+           other layer goes through the execution-backend registry
+           (``repro.core.backend``)
 =========  ==============================================================
 """
 
@@ -47,6 +50,7 @@ __all__ = [
     "PerRecordProbeLoopRule",
     "MutableDefaultRule",
     "NonAtomicWriteRule",
+    "KernelImportRule",
     "ALL_RULES",
     "default_target",
     "lint_source",
@@ -740,6 +744,76 @@ def _strings_of(node: ast.AST) -> str:
     return "\x00".join(parts)
 
 
+# -- REPRO009: kernel imports outside repro.core ---------------------------
+
+class KernelImportRule(LintRule):
+    """Only ``repro.core`` may import the kernel module directly.
+
+    Every other layer selects an execution path through the backend
+    registry (:mod:`repro.core.backend`), which re-exports the kernel
+    helpers front-ends legitimately need (``probe_one``,
+    ``values_match``, ``replay_infinite``, the fault-injection seam).
+    A direct kernel import bypasses backend selection -- the module
+    would keep running the batched path no matter what ``--backend``,
+    ``REPRO_BACKEND`` or a serve job spec asked for, and its runs would
+    escape the per-backend metrics attribution.
+    """
+
+    id = "REPRO009"
+    name = "kernel-import"
+    description = "repro.core.kernel imported outside repro.core"
+    scopes = ("repro/",)
+
+    #: The kernel's own package is the one sanctioned importer.
+    _EXEMPT = ("repro/core/",)
+
+    def applies_to(self, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        if any(exempt in posix for exempt in self._EXEMPT):
+            return False
+        return super().applies_to(posix)
+
+    def check(self, tree: ast.Module, path: str) -> List[LintViolation]:
+        findings: List[LintViolation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if (
+                        alias.name == "repro.core.kernel"
+                        or alias.name.endswith(".core.kernel")
+                    ):
+                        findings.append(self._finding(node, path))
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                # `from repro.core.kernel import x` / `from ..core.kernel
+                # import x` (relative spellings drop the leading dots).
+                if module == "repro.core.kernel" or module.endswith(
+                    "core.kernel"
+                ):
+                    findings.append(self._finding(node, path))
+                    continue
+                # `from repro.core import kernel` / `from ..core import
+                # kernel` -- binding the module through its package.
+                from_core = (
+                    module in ("repro.core", "core")
+                    or module.endswith(".core")
+                )
+                if from_core and any(
+                    alias.name == "kernel" for alias in node.names
+                ):
+                    findings.append(self._finding(node, path))
+        return findings
+
+    def _finding(self, node: ast.AST, path: str) -> LintViolation:
+        return self.violation(
+            node, path,
+            "direct repro.core.kernel import outside repro.core; go "
+            "through the execution-backend registry "
+            "(repro.core.backend dispatches and re-exports the "
+            "sanctioned kernel helpers)",
+        )
+
+
 #: Factory producing one fresh instance of every rule.
 def ALL_RULES() -> List[LintRule]:
     return [
@@ -751,6 +825,7 @@ def ALL_RULES() -> List[LintRule]:
         PerRecordProbeLoopRule(),
         MutableDefaultRule(),
         NonAtomicWriteRule(),
+        KernelImportRule(),
     ]
 
 

@@ -483,7 +483,7 @@ def measure_infinite_hit_ratio(
     the infinite-table reference loop otherwise).
     """
     assert machine.trace is not None, "machine must keep its trace"
-    from ...core.kernel import replay_infinite
+    from ...core.backend import replay_infinite
 
     return replay_infinite(machine.trace)
 

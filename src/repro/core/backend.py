@@ -1,0 +1,418 @@
+"""Named execution backends behind one probe interface.
+
+The kernel module owns *how* a batch is probed; this module owns
+*which* implementation does it.  Every front-end (Shade statistics,
+the cycle model, the sampling estimator, the corpus engine, serve
+workers) funnels through :func:`dispatch`, which resolves a backend by
+name and hands it the batch:
+
+``scalar``
+    The event-at-a-time reference loop
+    (:func:`repro.core.kernel.run_events_scalar`) -- ground truth,
+    roughly 5x slower than ``batched`` on columnar traces.
+
+``batched``
+    The opcode-partitioned columnar kernel
+    (:func:`repro.core.kernel.probe_batch`) -- the default.
+
+``fused``
+    The LUT-fused kernel (:mod:`repro.core.fused`): operand pairs are
+    deduplicated up front with ``np.unique`` so tag compare, value
+    compute and victim selection all run over small dense integer
+    tables instead of per-event tuples (the pLUTo "table as
+    precomputed LUT" move).
+
+Selection precedence (first match wins):
+
+1. an explicit ``backend=`` argument (``--backend NAME`` on the CLIs,
+   the ``backend`` field of a serve job spec);
+2. a process-wide override installed by :func:`set_backend`;
+3. the ``REPRO_BACKEND`` environment variable;
+4. the legacy ``REPRO_SCALAR`` toggle (deprecated alias for
+   ``REPRO_BACKEND=scalar``);
+5. the default, ``batched``.
+
+:func:`set_backend` mirrors the choice into ``REPRO_BACKEND`` so
+fork/spawn worker pools inherit it, exactly as ``REPRO_SCALAR`` used
+to propagate.  Unknown names raise :class:`UnknownBackendError`;
+*registered but unavailable* backends (a compiled backend whose
+toolchain is missing, say) degrade to ``batched`` with a one-time
+warning instead of crashing -- see :meth:`ExecutionBackend.availability`.
+
+This module is also the sanctioned facade over the kernel: lint rule
+REPRO009 forbids importing :mod:`repro.core.kernel` from outside
+``repro.core``, so the kernel helpers front-ends legitimately need
+(:func:`probe_one`, :func:`values_match`, :func:`replay_infinite`,
+the fault-injection seam) are re-exported here.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from .. import obs
+from ..errors import ReproError
+from . import kernel
+from .kernel import (  # noqa: F401  (facade re-exports; see REPRO009)
+    KERNEL_FAULTS,
+    KernelReport,
+    as_batch,
+    probe_one,
+    replay_infinite,
+    values_match,
+)
+
+__all__ = [
+    "BackendError",
+    "UnknownBackendError",
+    "KernelConfig",
+    "KernelResult",
+    "ExecutionBackend",
+    "ScalarBackend",
+    "BatchedBackend",
+    "register",
+    "get",
+    "names",
+    "describe",
+    "selected_name",
+    "set_backend",
+    "use_backend",
+    "resolve",
+    "dispatch",
+    # kernel facade
+    "KERNEL_FAULTS",
+    "KernelReport",
+    "as_batch",
+    "probe_one",
+    "replay_infinite",
+    "values_match",
+    "active_fault",
+    "set_active_fault",
+    "scalar_mode",
+    "set_scalar_mode",
+]
+
+#: Environment variable carrying the selected backend into worker pools.
+ENV_VAR = "REPRO_BACKEND"
+
+#: Legacy boolean toggle, kept as a deprecated alias for ``scalar``.
+LEGACY_ENV_VAR = "REPRO_SCALAR"
+
+DEFAULT_BACKEND = "batched"
+
+#: Where registered-but-unavailable backends degrade to.
+FALLBACK_BACKEND = "batched"
+
+#: Alias: a backend run produces exactly a kernel report.
+KernelResult = KernelReport
+
+
+class BackendError(ReproError):
+    """Backend registration or selection failed."""
+
+
+class UnknownBackendError(BackendError):
+    """A backend name that is not in the registry."""
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Everything a backend needs besides the batch and the units.
+
+    Mirrors the keyword surface of :func:`repro.core.kernel.run_events`:
+    ``machine``/``hierarchy``/``fp_add_latency`` switch on cycle
+    accounting, ``validate`` compares delivered values against traced
+    results, ``start``/``stop`` select an index slice of the trace.
+    """
+
+    machine: Optional[object] = None
+    hierarchy: Optional[object] = None
+    fp_add_latency: int = 3
+    validate: bool = False
+    start: int = 0
+    stop: Optional[int] = None
+
+
+class ExecutionBackend:
+    """One named way of running a batch through the memo units.
+
+    Subclasses implement :meth:`probe_batch` -- the whole contract --
+    and may override :meth:`availability` when they depend on optional
+    machinery.  Correctness bar: bit-identical
+    :class:`~repro.core.stats.MemoStats`, table contents and delivered
+    values to the ``scalar`` reference on any input (the parity suite
+    and ``repro verify fuzz`` enforce this for every registered
+    backend).
+    """
+
+    #: Registry key; also the value ``--backend`` / ``REPRO_BACKEND`` take.
+    name: str = ""
+    description: str = ""
+
+    def availability(self) -> Optional[str]:
+        """None when the backend can run here, else a human-readable
+        reason (missing optional dependency, unsupported platform).
+        Unavailable backends are resolved to ``batched`` with a
+        warning rather than raising."""
+        return None
+
+    def probe_batch(self, batch, units, config: KernelConfig) -> KernelResult:
+        """Run ``batch[config.start:config.stop]`` through ``units``.
+
+        ``batch`` is anything :func:`repro.core.kernel.as_batch`
+        understands (a ColumnBatch, a Trace, or a plain event
+        sequence); ``units`` maps
+        :class:`~repro.core.operations.Operation` to memoized units.
+        Statistics must land on the units/tables exactly as the scalar
+        protocol would put them."""
+        raise NotImplementedError
+
+
+class ScalarBackend(ExecutionBackend):
+    """The retained event-at-a-time reference loop (``unit.execute``)."""
+
+    name = "scalar"
+    description = "event-at-a-time reference loop (ground truth)"
+
+    def probe_batch(self, batch, units, config: KernelConfig) -> KernelResult:
+        events = batch
+        if config.start or config.stop is not None:
+            end = len(events) if config.stop is None else config.stop
+            indexed = events
+            events = (indexed[i] for i in range(config.start, end))
+        return kernel.run_events_scalar(
+            events,
+            units,
+            machine=config.machine,
+            hierarchy=config.hierarchy,
+            fp_add_latency=config.fp_add_latency,
+            validate=config.validate,
+        )
+
+
+class BatchedBackend(ExecutionBackend):
+    """The opcode-partitioned columnar kernel (the default)."""
+
+    name = "batched"
+    description = "opcode-partitioned numpy batch kernel"
+
+    def probe_batch(self, batch, units, config: KernelConfig) -> KernelResult:
+        columns = as_batch(batch)
+        if columns is None:
+            # Plain event iterables have no columnar view; the scalar
+            # loop is the documented degrade (same as before the
+            # registry existed).
+            return _SCALAR.probe_batch(batch, units, config)
+        stop = len(columns) if config.stop is None else config.stop
+        return kernel._run_batch(
+            columns,
+            units,
+            config.machine,
+            config.hierarchy,
+            config.fp_add_latency,
+            config.validate,
+            config.start,
+            stop,
+        )
+
+
+# -- registry ---------------------------------------------------------------
+
+_REGISTRY: Dict[str, ExecutionBackend] = {}
+_override: Optional[str] = None
+_warned_unavailable = set()
+
+
+def register(backend: ExecutionBackend, replace: bool = False) -> ExecutionBackend:
+    """Add a backend to the registry (``replace=True`` to overwrite)."""
+    if not backend.name:
+        raise BackendError("execution backend must declare a non-empty name")
+    if backend.name in _REGISTRY and not replace:
+        raise BackendError(
+            f"execution backend {backend.name!r} is already registered"
+        )
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def names() -> Tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get(name: str) -> ExecutionBackend:
+    """The registered backend called ``name`` (no availability check)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown execution backend {name!r}; registered: "
+            + ", ".join(_REGISTRY)
+        ) from None
+
+
+def describe() -> Dict[str, str]:
+    """``{name: description}`` for every registered backend."""
+    return {name: impl.description for name, impl in _REGISTRY.items()}
+
+
+def selected_name() -> str:
+    """The backend name the precedence chain currently selects.
+
+    This is the *requested* name; :func:`resolve` additionally applies
+    the availability fallback."""
+    if _override is not None:
+        return _override
+    env = os.environ.get(ENV_VAR, "").strip()
+    if env:
+        return env
+    if os.environ.get(LEGACY_ENV_VAR, "") not in ("", "0"):
+        return ScalarBackend.name
+    return DEFAULT_BACKEND
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Force (or, with None, release) a backend process-wide.
+
+    The choice is mirrored into ``REPRO_BACKEND`` so worker processes
+    started after this call inherit it -- the same propagation contract
+    ``REPRO_SCALAR`` had.  Unknown names raise eagerly."""
+    global _override
+    if name is None:
+        _override = None
+        os.environ.pop(ENV_VAR, None)
+        return
+    get(name)  # validate before installing
+    _override = name
+    os.environ[ENV_VAR] = name
+
+
+@contextlib.contextmanager
+def use_backend(name: Optional[str]) -> Iterator[None]:
+    """Temporarily force a backend (serve jobs scope their spec's
+    ``backend`` field with this); restores both the override and the
+    environment variable on exit."""
+    global _override
+    prev_override = _override
+    prev_env = os.environ.get(ENV_VAR)
+    try:
+        if name is not None:
+            set_backend(name)
+        yield
+    finally:
+        _override = prev_override
+        if prev_env is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = prev_env
+
+
+def resolve(name: Optional[str] = None) -> ExecutionBackend:
+    """The backend to actually run: ``name`` (or the precedence-chain
+    selection), degraded to ``batched`` when unavailable."""
+    chosen = name if name is not None else selected_name()
+    backend = get(chosen)
+    reason = backend.availability()
+    if reason is not None:
+        if chosen not in _warned_unavailable:
+            _warned_unavailable.add(chosen)
+            warnings.warn(
+                f"execution backend {chosen!r} is unavailable ({reason}); "
+                f"falling back to {FALLBACK_BACKEND!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        backend = get(FALLBACK_BACKEND)
+    return backend
+
+
+# -- the one entry point front-ends call ------------------------------------
+
+
+def dispatch(
+    events,
+    units,
+    *,
+    backend: Optional[str] = None,
+    machine=None,
+    hierarchy=None,
+    fp_add_latency: int = 3,
+    validate: bool = False,
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> KernelResult:
+    """Resolve a backend and run ``events`` through it.
+
+    Keyword surface matches :func:`repro.core.kernel.run_events` (which
+    is now a thin shim over this).  With metrics enabled, the run is
+    attributed to its backend: a ``backend.selected`` gauge keyed by
+    name, a ``backend.<name>.dispatches`` counter and a
+    ``backend.<name>.run`` span, so ``repro stats`` shows which
+    backend served a run.
+    """
+    impl = resolve(backend)
+    config = KernelConfig(
+        machine=machine,
+        hierarchy=hierarchy,
+        fp_add_latency=fp_add_latency,
+        validate=validate,
+        start=start,
+        stop=stop,
+    )
+    if not obs.enabled():
+        return impl.probe_batch(events, units, config)
+    reg = obs.registry()
+    reg.gauge_set(f"backend.{impl.name}.selected", 1.0)
+    reg.counter_add(f"backend.{impl.name}.dispatches")
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    with obs.span("kernel.run"):
+        report = impl.probe_batch(events, units, config)
+    reg.record_span(
+        f"backend.{impl.name}.run",
+        time.perf_counter() - wall0,
+        time.process_time() - cpu0,
+    )
+    reg.counter_add("kernel.instructions", report.instructions)
+    return report
+
+
+# -- kernel facade (REPRO009: outside repro.core, import *this* module) -----
+
+
+def active_fault() -> Optional[str]:
+    """The currently injected kernel fault name (None in production)."""
+    return kernel._active_fault
+
+
+def set_active_fault(name: Optional[str]) -> None:
+    """Arm (or, with None, disarm) a named kernel fault.  Only
+    :func:`repro.verify.faults.inject` should call this."""
+    kernel._active_fault = name
+
+
+def scalar_mode() -> bool:
+    """True when the precedence chain selects the scalar reference
+    backend (compatibility shim for the old boolean API)."""
+    return selected_name() == ScalarBackend.name
+
+
+def set_scalar_mode(enabled: bool) -> None:
+    """Deprecated alias: force the ``scalar`` backend (True) or restore
+    the default ``batched`` backend (False)."""
+    set_backend(ScalarBackend.name if enabled else DEFAULT_BACKEND)
+
+
+_SCALAR = register(ScalarBackend())
+register(BatchedBackend())
+
+# The fused backend lives in its own module; importing it last keeps the
+# circular edge trivial (fused needs ExecutionBackend, defined above).
+from .fused import FusedBackend  # noqa: E402
+
+register(FusedBackend())

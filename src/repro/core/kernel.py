@@ -16,8 +16,14 @@ implementation, in two forms:
 * :func:`run_events_scalar` -- the retained **scalar reference** path:
   the classic event-at-a-time loop over ``unit.execute``.  CI asserts
   the two produce bit-identical :class:`~repro.core.stats.MemoStats` on
-  every bundled program; ``repro <experiment> --scalar`` (or the
-  ``REPRO_SCALAR`` environment variable) forces it at runtime.
+  every bundled program.
+
+Which form runs is decided by the execution-backend registry
+(:mod:`repro.core.backend`): both paths are registered there (as
+``scalar`` and ``batched``, next to the LUT-fused ``fused`` kernel of
+:mod:`repro.core.fused`), and ``repro <experiment> --backend NAME`` or
+the ``REPRO_BACKEND`` environment variable picks one at runtime
+(``--scalar``/``REPRO_SCALAR`` remain as deprecated aliases).
 
 Batching by opcode is sound because each operation class owns a private
 MEMO-TABLE: per-table outcomes depend only on that operation's
@@ -31,7 +37,6 @@ probe loop; ``repro lint`` rule REPRO006 flags new ones anywhere else.
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -72,14 +77,6 @@ _F_WIDE = 16
 _MANT_MASK = (1 << 52) - 1
 
 
-# -- scalar fallback switch -------------------------------------------------
-#
-# ``repro --scalar`` sets both the module global and REPRO_SCALAR, so the
-# choice survives into fork/spawn worker pools (which re-read the env).
-
-_scalar_override: Optional[bool] = None
-
-
 # -- fault injection seam (mutation smoke) ----------------------------------
 #
 # ``repro verify smoke`` proves the differential harness can catch real
@@ -100,21 +97,23 @@ _active_fault: Optional[str] = None
 
 
 def scalar_mode() -> bool:
-    """True when the scalar reference path is forced process-wide."""
-    if _scalar_override is not None:
-        return _scalar_override
-    return os.environ.get("REPRO_SCALAR", "") not in ("", "0")
+    """True when the selected execution backend is ``scalar``.
+
+    Compatibility shim over :func:`repro.core.backend.selected_name`
+    (which also honours the legacy ``REPRO_SCALAR`` toggle)."""
+    from . import backend
+
+    return backend.scalar_mode()
 
 
 def set_scalar_mode(enabled: bool) -> None:
-    """Force (or release) the scalar reference path for this process
-    and, via ``REPRO_SCALAR``, any worker processes it starts."""
-    global _scalar_override
-    _scalar_override = bool(enabled)
-    if enabled:
-        os.environ["REPRO_SCALAR"] = "1"
-    else:
-        os.environ.pop("REPRO_SCALAR", None)
+    """Deprecated alias for :func:`repro.core.backend.set_backend`:
+    force the ``scalar`` backend (True) or restore the default
+    ``batched`` backend (False); either way the choice is mirrored
+    into ``REPRO_BACKEND`` so worker pools inherit it."""
+    from . import backend
+
+    backend.set_scalar_mode(enabled)
 
 
 def as_batch(events) -> Optional[ColumnBatch]:
@@ -244,13 +243,24 @@ def probe_batch(
         return _probe_batch(
             unit, a_values, b_values, results, validate, _np_a, _np_b
         )
+    return instrument_partition(
+        unit,
+        lambda: _probe_batch(
+            unit, a_values, b_values, results, validate, _np_a, _np_b
+        ),
+    )
+
+
+def instrument_partition(unit, thunk):
+    """Time ``thunk()`` as a ``kernel.partition.<OP>`` span and stream
+    the unit's counter deltas into the metrics registry.  Shared by
+    every backend's partition probe (callers check
+    :func:`repro.obs.enabled` first)."""
     stats = unit.stats
     before = stats.counters()
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
-    out = _probe_batch(
-        unit, a_values, b_values, results, validate, _np_a, _np_b
-    )
+    out = thunk()
     reg = obs.registry()
     name = unit.operation.name
     reg.record_span(
@@ -505,6 +515,7 @@ def run_events(
     fp_add_latency: int = 3,
     validate: bool = False,
     scalar: bool = False,
+    backend: Optional[str] = None,
     start: int = 0,
     stop: Optional[int] = None,
 ) -> KernelReport:
@@ -515,36 +526,25 @@ def run_events(
     the machine latency, loads/stores go through ``hierarchy``, FADD
     costs ``fp_add_latency`` and everything else one cycle -- the
     section 3.3 accounting.  Without it, only statistics accumulate
-    (the Shade-style run).  ``scalar=True`` (or the process-wide
-    :func:`scalar_mode`) forces the reference path.
+    (the Shade-style run).
+
+    Execution strategy is delegated to the backend registry
+    (:func:`repro.core.backend.dispatch`): ``backend=`` pins a named
+    backend, ``scalar=True`` is the legacy spelling of
+    ``backend="scalar"``, and with neither the process-wide selection
+    (``REPRO_BACKEND`` / ``--backend``) applies.
     """
-    with obs.span("kernel.run"):
-        if not scalar and not scalar_mode():
-            batch = as_batch(events)
-            if batch is not None:
-                report = _run_batch(
-                    batch, units, machine, hierarchy, fp_add_latency,
-                    validate, start, len(batch) if stop is None else stop,
-                )
-                if obs.enabled():
-                    obs.registry().counter_add(
-                        "kernel.instructions", report.instructions
-                    )
-                return report
-        if start or stop is not None:
-            end = len(events) if stop is None else stop
-            indexed = events
-            events = (indexed[i] for i in range(start, end))
-        report = run_events_scalar(
-            events, units,
-            machine=machine, hierarchy=hierarchy,
-            fp_add_latency=fp_add_latency, validate=validate,
-        )
-        if obs.enabled():
-            obs.registry().counter_add(
-                "kernel.instructions", report.instructions
-            )
-        return report
+    from . import backend as backend_registry
+
+    if backend is None and scalar:
+        backend = "scalar"
+    return backend_registry.dispatch(
+        events, units,
+        backend=backend,
+        machine=machine, hierarchy=hierarchy,
+        fp_add_latency=fp_add_latency, validate=validate,
+        start=start, stop=stop,
+    )
 
 
 def run_events_scalar(
@@ -654,8 +654,16 @@ def _run_batch(
     validate: bool,
     start: int,
     stop: int,
+    probe: Optional[Callable] = None,
 ) -> KernelReport:
-    """Opcode-partitioned batched execution of ``batch[start:stop]``."""
+    """Opcode-partitioned batched execution of ``batch[start:stop]``.
+
+    ``probe`` swaps the per-partition probe implementation (signature
+    of :func:`probe_batch`); backends reuse the partitioning, memory
+    walk and FADD/IALU accounting while supplying their own probe
+    loop."""
+    if probe is None:
+        probe = probe_batch
     views = batch.views()
     opcode_codes = views.opcode[start:stop]
     count_list = np.bincount(opcode_codes, minlength=len(OPCODE_LIST)).tolist()
@@ -686,7 +694,7 @@ def _run_batch(
         a_values, b_values, results, np_a, np_b = _decode_partition(
             batch, views, idx, validate
         )
-        base, memo, bad = probe_batch(
+        base, memo, bad = probe(
             unit, a_values, b_values,
             results=results, validate=validate, _np_a=np_a, _np_b=np_b,
         )

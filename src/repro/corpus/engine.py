@@ -20,10 +20,11 @@ created) runs serially through the exact same code paths.
 Traces flow through this engine in columnar form end to end: the store
 serializes v3 column blocks and deserializes straight into
 column-backed :class:`~repro.isa.trace.Trace` objects, so every replay
-a worker performs enters the simulators on the batched probe-kernel
-path (:mod:`repro.core.kernel`) without materializing per-event tuples.
-``repro --scalar`` (propagated to workers via ``REPRO_SCALAR``) forces
-the scalar reference loop instead.
+a worker performs enters the simulators through the execution-backend
+registry (:mod:`repro.core.backend`) without materializing per-event
+tuples.  ``repro --backend NAME`` (propagated to workers via
+``REPRO_BACKEND``; ``--scalar``/``REPRO_SCALAR`` are the deprecated
+aliases for the reference loop) selects which kernel serves the run.
 """
 
 from __future__ import annotations

@@ -50,7 +50,7 @@ __all__ = [
 SCHEMA = "repro.obs/v1"
 
 #: Environment switch mirrored by :func:`set_enabled` so worker
-#: processes (fork or spawn) inherit the choice, like ``REPRO_SCALAR``.
+#: processes (fork or spawn) inherit the choice, like ``REPRO_BACKEND``.
 ENV_VAR = "REPRO_METRICS"
 
 

@@ -182,6 +182,8 @@ def _build_spec(args) -> Dict[str, Any]:
                 "max_events": args.max_events}
     if args.timeout is not None:
         spec["timeout"] = args.timeout
+    if getattr(args, "backend", None) is not None:
+        spec["backend"] = args.backend
     return spec
 
 
@@ -210,6 +212,9 @@ def main_submit(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-events", type=int, default=96)
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-job execution timeout in seconds")
+    parser.add_argument("--backend", default=None,
+                        help="execution backend the worker scopes around "
+                             "this job (scalar | batched | fused)")
     parser.add_argument("--wait", action="store_true",
                         help="poll to completion and render the result")
     parser.add_argument("--wait-timeout", type=float, default=600.0)

@@ -107,5 +107,14 @@ def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
     executor = _EXECUTORS.get(spec["type"])
     if executor is None:  # unreachable after normalize_spec
         raise ServeProtocolError(f"no executor for job type {spec['type']!r}")
-    payload = executor(spec)
-    return {"schema": RESULT_SCHEMA, "type": spec["type"], **payload}
+    from ..core import backend as execution
+
+    # A spec's optional ``backend`` field scopes the execution backend
+    # around just this job (and restores the worker's selection after),
+    # the same way REPRO_BACKEND scopes a whole process.
+    with execution.use_backend(spec.get("backend")):
+        payload = executor(spec)
+    result = {"schema": RESULT_SCHEMA, "type": spec["type"], **payload}
+    if "backend" in spec:
+        result["backend"] = spec["backend"]
+    return result

@@ -121,7 +121,7 @@ def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
             f"unknown job type {kind!r}; expected one of: {', '.join(JOB_TYPES)}"
         )
     out: Dict[str, Any] = {"type": kind}
-    allowed = {"type", "delay", "timeout"}
+    allowed = {"type", "delay", "timeout", "backend"}
     delay = _optional_number(spec, "delay", 0.0) or 0.0
     if delay:
         # Pacing/testing hook: the worker sleeps this long before
@@ -130,6 +130,22 @@ def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
     timeout = _optional_number(spec, "timeout")
     if timeout is not None:
         out["timeout"] = timeout
+    backend = spec.get("backend")
+    if backend is not None:
+        # Execution backend the worker scopes around the job (see
+        # repro.core.backend); absent means the worker's default.
+        if not isinstance(backend, str) or not backend:
+            raise ServeProtocolError(
+                "job spec field 'backend' must be a non-empty string"
+            )
+        from ..core import backend as execution
+
+        if backend not in execution.names():
+            raise ServeProtocolError(
+                f"unknown execution backend {backend!r}; registered: "
+                + ", ".join(execution.names())
+            )
+        out["backend"] = backend
 
     if kind == "experiment":
         allowed |= {"experiment", "kwargs"}

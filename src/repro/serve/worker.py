@@ -21,7 +21,11 @@ re-executed elsewhere completes with bit-identical output -- the
 worker-kill test asserts this end to end.
 
 Workers are top-level-function processes (spawn-safe); the server
-starts and supervises them, restarting any that die.
+starts and supervises them, restarting any that die.  Workers inherit
+the service's execution-backend selection through ``REPRO_BACKEND``
+(see :mod:`repro.core.backend`); a spec's optional ``backend`` field
+overrides it for just that job, scoped by ``use_backend`` inside
+:func:`repro.serve.jobs.run_job`.
 """
 
 from __future__ import annotations

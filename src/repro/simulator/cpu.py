@@ -47,6 +47,7 @@ class MemoizedCPU:
         config: Optional[MemoTableConfig] = None,
         hierarchy: Optional[MemoryHierarchy] = None,
         scalar: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         self.machine = machine
         self.memoized = tuple(memoized)
@@ -56,7 +57,11 @@ class MemoizedCPU:
             latencies=machine.latencies(),
         )
         self.model = CycleModel(
-            machine, bank=self.bank, hierarchy=hierarchy, scalar=scalar
+            machine,
+            bank=self.bank,
+            hierarchy=hierarchy,
+            scalar=scalar,
+            backend=backend,
         )
 
     def run(self, events: Iterable[TraceEvent]) -> CycleReport:

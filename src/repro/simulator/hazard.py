@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from ..arch.latency import ProcessorModel
-from ..core import kernel
+from ..core import backend as execution
 from ..core.bank import MemoTableBank
 from ..core.operations import Operation
 from ..isa.opcodes import Opcode
@@ -137,13 +137,13 @@ class HazardModel:
             # lookup happens in parallel with issue, so a hit is known
             # when the operation would enter the unit.  Stall resolution
             # needs each event's outcome before the next issues, so this
-            # model probes one event at a time (kernel.probe_one), not in
+            # model probes one event at a time (execution.probe_one), not in
             # opcode batches.
             hit = False
             if operation is not None and bank is not None and bank.supports(
                 operation
             ):
-                outcome = kernel.probe_one(
+                outcome = execution.probe_one(
                     bank.units[operation], event.a, event.b
                 )
                 latency = outcome.cycles

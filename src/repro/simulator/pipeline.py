@@ -13,10 +13,11 @@ This model therefore charges each dynamic instruction its latency:
   machine -- both accumulated in a single pass, since a miss costs the
   enhanced machine exactly the baseline latency.
 
-The accounting itself is performed by the shared batched probe kernel
-(:mod:`repro.core.kernel`); this module keeps the machine-model wiring
-and the report shape.  ``scalar=True`` forces the event-at-a-time
-reference loop (bit-identical results).
+The accounting itself is performed by whichever execution backend the
+registry (:mod:`repro.core.backend`) selects; this module keeps the
+machine-model wiring and the report shape.  ``backend=`` pins a
+backend by name, ``scalar=True`` is the legacy alias for the
+reference backend -- all backends produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -26,7 +27,7 @@ from typing import Dict, Iterable, Optional
 
 from .. import obs
 from ..arch.latency import ProcessorModel
-from ..core import kernel
+from ..core import backend as execution
 from ..core.bank import MemoTableBank
 from ..core.operations import Operation
 from ..isa.opcodes import Opcode
@@ -82,14 +83,17 @@ class CycleModel:
         hierarchy: Optional[MemoryHierarchy] = None,
         fp_add_latency: int = 3,
         scalar: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         """``bank`` of None means the baseline machine (no MEMO-TABLES);
-        cycle totals are then identical for base and memo columns."""
+        cycle totals are then identical for base and memo columns.
+        ``backend`` pins a registered execution backend by name;
+        ``scalar`` is the legacy alias for ``backend="scalar"``."""
         self.machine = machine
         self.bank = bank
         self.hierarchy = hierarchy if hierarchy is not None else default_hierarchy()
         self.fp_add_latency = fp_add_latency
-        self.scalar = scalar
+        self.backend = "scalar" if scalar and backend is None else backend
         if bank is not None:
             # The machine model owns the latencies; retune the bank's units.
             for op, unit in bank.units.items():
@@ -106,13 +110,13 @@ class CycleModel:
                 else {}
             )
             with obs.span("cycle.run"):
-                result = kernel.run_events(
+                result = execution.dispatch(
                     events,
                     bank.units if bank is not None else None,
                     machine=self.machine,
                     hierarchy=self.hierarchy,
                     fp_add_latency=self.fp_add_latency,
-                    scalar=self.scalar,
+                    backend=self.backend,
                 )
             if bank is not None:
                 obs.emit_unit_counters("cycle", bank.units, before)
@@ -126,13 +130,13 @@ class CycleModel:
                 },
             )
         else:
-            result = kernel.run_events(
+            result = execution.dispatch(
                 events,
                 bank.units if bank is not None else None,
                 machine=self.machine,
                 hierarchy=self.hierarchy,
                 fp_add_latency=self.fp_add_latency,
-                scalar=self.scalar,
+                backend=self.backend,
             )
         report = CycleReport(
             machine=self.machine.name,

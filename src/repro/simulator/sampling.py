@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from ..core import kernel
+from ..core import backend as execution
 from ..core.bank import MemoTableBank
 from ..core.operations import Operation
 from ..core.stats import UnitStats
@@ -92,10 +92,10 @@ def estimate_hit_ratios(
     position = 0
     while position < total:
         # Warm-up slice: update tables, ignore statistics.  Both slices
-        # run through the shared probe kernel (batched for column-backed
-        # traces; the scalar reference loop otherwise).
+        # run through the selected execution backend (batched/fused for
+        # column-backed traces; the scalar reference loop otherwise).
         warm_end = min(position + plan.warmup, total)
-        kernel.run_events(events, units, start=position, stop=warm_end)
+        execution.dispatch(events, units, start=position, stop=warm_end)
         simulated += warm_end - position
 
         # Measurement window: snapshot per-unit counters around it.
@@ -105,7 +105,7 @@ def estimate_hit_ratios(
                  unit.stats.trivial_hits)
             for op, unit in units.items()
         }
-        kernel.run_events(events, units, start=warm_end, stop=window_end)
+        execution.dispatch(events, units, start=warm_end, stop=window_end)
         simulated += window_end - warm_end
         for op, unit in units.items():
             lookups0, hits0, trivial0 = before[op]

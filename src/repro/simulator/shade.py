@@ -6,11 +6,12 @@ pass consumes :class:`~repro.isa.trace.TraceEvent` streams: memoizable
 events are dispatched to a :class:`~repro.core.bank.MemoTableBank`, and
 every event contributes to the instruction frequency breakdown.
 
-This front-end is a thin adapter over the shared batched probe kernel
-(:mod:`repro.core.kernel`): column-backed traces take the vectorized
-opcode-partitioned path, and ``scalar=True`` (or ``repro --scalar``)
-forces the event-at-a-time reference loop.  Both produce bit-identical
-statistics.
+This front-end is a thin consumer of the execution-backend registry
+(:mod:`repro.core.backend`): ``backend="fused"`` (or ``repro
+--backend fused`` / ``REPRO_BACKEND``) picks a registered kernel by
+name, ``scalar=True`` is the legacy alias for the reference backend,
+and with neither the process-wide selection applies.  Every backend
+produces bit-identical statistics.
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from .. import obs
-from ..core import kernel
+from ..core import backend as execution
 from ..core.bank import MemoTableBank
 from ..core.operations import Operation
 from ..core.stats import UnitStats
@@ -62,33 +63,35 @@ class ShadeSimulator:
         bank: Optional[MemoTableBank] = None,
         validate: bool = False,
         scalar: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         """``validate`` cross-checks memoized results against the traced
         results (exact for full-value tags; mantissa-mode hits may differ
         by rounding of the exponent fix-up and are checked loosely).
-        ``scalar`` forces the event-at-a-time reference loop."""
+        ``backend`` pins a registered execution backend by name;
+        ``scalar`` is the legacy alias for ``backend="scalar"``."""
         self.bank = bank if bank is not None else MemoTableBank.paper_baseline()
         self.validate = validate
-        self.scalar = scalar
+        self.backend = "scalar" if scalar and backend is None else backend
 
     def run(self, events: Iterable[TraceEvent]) -> SimulationReport:
         """Consume a trace; returns statistics.  Tables persist across runs."""
         if obs.enabled():
             before = obs.unit_counter_snapshot(self.bank.units)
             with obs.span("shade.run"):
-                report = kernel.run_events(
+                report = execution.dispatch(
                     events,
                     self.bank.units,
                     validate=self.validate,
-                    scalar=self.scalar,
+                    backend=self.backend,
                 )
             obs.emit_unit_counters("sim", self.bank.units, before)
         else:
-            report = kernel.run_events(
+            report = execution.dispatch(
                 events,
                 self.bank.units,
                 validate=self.validate,
-                scalar=self.scalar,
+                backend=self.backend,
             )
         return SimulationReport(
             instructions=report.instructions,
@@ -98,5 +101,6 @@ class ShadeSimulator:
         )
 
 
-#: Retained name: the validation comparison now lives in the kernel.
-_values_match = kernel.values_match
+#: Retained name: the validation comparison now lives in the kernel
+#: (re-exported through the backend facade).
+_values_match = execution.values_match

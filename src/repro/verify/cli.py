@@ -17,11 +17,12 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
 
-from ..core import kernel
+from ..core import backend as execution
 from .differential import run_case
 from .faults import KERNEL_FAULTS, inject
 from .fuzz import fuzz_run
@@ -151,11 +152,13 @@ def _submit_fuzz(args) -> int:
 def _run_fuzz(args) -> int:
     if args.submit:
         return _submit_fuzz(args)
-    if kernel.scalar_mode():
-        # Faults and most divergences live in the batched fast path;
-        # forcing scalar everywhere would fuzz a path against itself.
-        kernel.set_scalar_mode(False)
-        print("note: REPRO_SCALAR ignored under `repro verify`")
+    if execution.selected_name() != execution.DEFAULT_BACKEND:
+        # Faults and most divergences live in the batched fast path, and
+        # the differential legs pin their backends explicitly; forcing a
+        # process-wide backend would fuzz a path against itself.
+        execution.set_backend(None)
+        os.environ.pop(execution.LEGACY_ENV_VAR, None)
+        print("note: REPRO_BACKEND/REPRO_SCALAR ignored under `repro verify`")
 
     if args.inject:
         with inject(args.inject):
@@ -220,9 +223,10 @@ def _run_fuzz(args) -> int:
 
 
 def _run_smoke(args) -> int:
-    if kernel.scalar_mode():
-        kernel.set_scalar_mode(False)
-        print("note: REPRO_SCALAR ignored under `repro verify`")
+    if execution.selected_name() != execution.DEFAULT_BACKEND:
+        execution.set_backend(None)
+        os.environ.pop(execution.LEGACY_ENV_VAR, None)
+        print("note: REPRO_BACKEND/REPRO_SCALAR ignored under `repro verify`")
     failures = []
 
     clean = fuzz_run(args.budget, seed=args.seed, stop_after=1)

@@ -1,25 +1,28 @@
-"""Differential driver: oracle vs. batched kernel vs. scalar reference.
+"""Differential driver: oracle vs. scalar vs. batched vs. fused.
 
 One fuzz case is a (trace, table configuration, trivial policy) triple.
-:func:`run_case` executes it three ways --
+:func:`run_case` executes it four ways --
 
 * the pure-Python golden oracle (:mod:`repro.verify.oracle`),
-* the batched columnar kernel (:func:`repro.core.kernel.run_events` over
-  a :class:`~repro.isa.columns.ColumnBatch`),
 * the scalar reference path (event-at-a-time
-  :func:`repro.core.kernel.probe_one`, which is ``unit.execute``),
+  :func:`repro.core.backend.probe_one`, which is ``unit.execute``),
+* the batched columnar kernel (the ``batched`` execution backend over
+  a :class:`~repro.isa.columns.ColumnBatch`),
+* the LUT-fused kernel (the ``fused`` execution backend),
 
+each backend pinned explicitly through the registry so a process-wide
+``REPRO_BACKEND`` can never alias two parties onto the same code path
 -- and demands bit-exact agreement on every unit/table counter, the
 final table contents (tags, values, stored operands, recency), and the
 per-event delivered values (oracle vs. scalar).  It additionally checks
 two sound cross-invariants: the batched report's opcode accounting
 matches the column breakdown, and no finite full-tag table ever hits
 more often than the infinite-table replay upper bound
-(:func:`repro.core.kernel.replay_infinite` -- the same quantity the
+(:func:`repro.core.backend.replay_infinite` -- the same quantity the
 static analyzer's bounds are validated against).
 
 Any violated comparison becomes a human-readable divergence string; an
-empty list means the three implementations agree exactly.
+empty list means the four implementations agree exactly.
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from ..core import kernel
+from ..core import backend as execution
 from ..core.bank import MemoTableBank
 from ..core.config import MemoTableConfig, TagMode, TrivialPolicy
 from ..core.operations import Operation
@@ -220,7 +223,7 @@ def _features(case: FuzzCase, oracle: OracleBank) -> frozenset:
 
 
 def run_case(case: FuzzCase) -> CaseResult:
-    """Execute one case three ways and cross-check everything.
+    """Execute one case four ways and cross-check everything.
 
     A crash in any path is itself a divergence (reported, not raised),
     so the campaign survives it and the shrinker can minimize it.
@@ -257,18 +260,31 @@ def run_case(case: FuzzCase) -> CaseResult:
         for event in memoizable:
             unit = scalar_bank.units[event.opcode.operation]
             scalar_values.append(
-                kernel.probe_one(unit, event.a, event.b).value
+                execution.probe_one(unit, event.a, event.b).value
             )
     except Exception as exc:
         diverge(f"crash: scalar path raised {exc!r}")
         return result
 
-    # Path 3: batched kernel over the columnar view.
+    # Path 3: batched kernel over the columnar view (pinned by name so
+    # the environment cannot redirect this leg onto another backend).
     batched_bank = make_bank(case)
     try:
-        report = kernel.run_events(batch, batched_bank.units)
+        report = execution.get("batched").probe_batch(
+            batch, batched_bank.units, execution.KernelConfig()
+        )
     except Exception as exc:
         diverge(f"crash: batched kernel raised {exc!r}")
+        return result
+
+    # Path 4: LUT-fused kernel, likewise pinned.
+    fused_bank = make_bank(case)
+    try:
+        fused_report = execution.get("fused").probe_batch(
+            batch, fused_bank.units, execution.KernelConfig()
+        )
+    except Exception as exc:
+        diverge(f"crash: fused kernel raised {exc!r}")
         return result
 
     # -- comparisons ------------------------------------------------------
@@ -276,10 +292,16 @@ def run_case(case: FuzzCase) -> CaseResult:
     oracle_fp = oracle.fingerprint()
     scalar_fp = _bank_fingerprint(scalar_bank)
     batched_fp = _bank_fingerprint(batched_bank)
+    fused_fp = _bank_fingerprint(fused_bank)
     if batched_fp != scalar_fp:
         diverge(
             "stats: batched != scalar for unit "
             f"{_first_diff(batched_fp, scalar_fp)}"
+        )
+    if fused_fp != scalar_fp:
+        diverge(
+            "stats: fused != scalar for unit "
+            f"{_first_diff(fused_fp, scalar_fp)}"
         )
     if oracle_fp != scalar_fp:
         diverge(
@@ -289,11 +311,17 @@ def run_case(case: FuzzCase) -> CaseResult:
 
     scalar_contents = _bank_contents(scalar_bank)
     batched_contents = _bank_contents(batched_bank)
+    fused_contents = _bank_contents(fused_bank)
     oracle_contents = _oracle_contents(oracle)
     if batched_contents != scalar_contents:
         diverge(
             "table contents: batched != scalar for unit "
             f"{_first_diff(batched_contents, scalar_contents)}"
+        )
+    if fused_contents != scalar_contents:
+        diverge(
+            "table contents: fused != scalar for unit "
+            f"{_first_diff(fused_contents, scalar_contents)}"
         )
     if oracle_contents != scalar_contents:
         diverge(
@@ -317,12 +345,19 @@ def run_case(case: FuzzCase) -> CaseResult:
         )
     if report.counts != batch.breakdown():
         diverge("report: batched opcode counts != column breakdown")
+    if fused_report.instructions != report.instructions:
+        diverge(
+            f"report: fused saw {fused_report.instructions} instructions, "
+            f"batched saw {report.instructions}"
+        )
+    if fused_report.counts != report.counts:
+        diverge("report: fused opcode counts != batched opcode counts")
 
     # Sound reuse bound: a finite full-tag table can never out-hit the
     # infinite-table replay of the same trace (mantissa tags can, by
     # matching across exponents, so they are exempt).
     if case.config.tag_mode is TagMode.FULL or case.infinite:
-        _, infinite_hits, _ = kernel.replay_infinite(batch)
+        _, infinite_hits, _ = execution.replay_infinite(batch)
         finite_hits = sum(
             unit.stats.table.hits for unit in scalar_bank.units.values()
         )

@@ -5,9 +5,10 @@ A verification harness that has never caught a bug proves nothing, so
 one decision inside the batched kernel's fast path
 (:func:`repro.core.kernel._probe_fast`) the way a plausible regression
 would, and the differential fuzzer must detect the divergence within
-its budget.  The seam is ``repro.core.kernel._active_fault``; it is
-only ever set through the :func:`inject` context manager and therefore
-never leaks into production runs.
+its budget.  The seam is the kernel's active-fault latch, reached
+through the backend facade (:func:`repro.core.backend.set_active_fault`);
+it is only ever set through the :func:`inject` context manager and
+therefore never leaks into production runs.
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ from __future__ import annotations
 import contextlib
 from typing import Dict, Iterator
 
-from ..core import kernel
+from ..core import backend as execution
 
 __all__ = ["KERNEL_FAULTS", "inject"]
 
@@ -38,7 +39,7 @@ KERNEL_FAULTS: Dict[str, str] = {
     ),
 }
 
-assert tuple(KERNEL_FAULTS) == kernel.KERNEL_FAULTS
+assert tuple(KERNEL_FAULTS) == execution.KERNEL_FAULTS
 
 
 @contextlib.contextmanager
@@ -48,9 +49,9 @@ def inject(name: str) -> Iterator[None]:
         raise ValueError(
             f"unknown fault {name!r}; known: {', '.join(KERNEL_FAULTS)}"
         )
-    previous = kernel._active_fault
-    kernel._active_fault = name
+    previous = execution.active_fault()
+    execution.set_active_fault(name)
     try:
         yield
     finally:
-        kernel._active_fault = previous
+        execution.set_active_fault(previous)

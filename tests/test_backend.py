@@ -1,0 +1,327 @@
+"""Unit tests for the execution-backend registry (repro.core.backend).
+
+Covers the registry proper (registration, lookup, selection precedence,
+availability fallback), the legacy ``--scalar``/``REPRO_SCALAR``
+aliases, the serve job-spec ``backend`` field, the per-backend metrics
+attribution, and a handful of targeted fused-kernel parity cases
+(persistent tables across runs, pre-existing commutative twins) that
+the broad parity suite only hits statistically.
+"""
+
+import os
+import struct
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.core import backend as execution
+from repro.core.bank import MemoTableBank
+from repro.core.config import MemoTableConfig
+from repro.core.operations import Operation
+from repro.isa.opcodes import Opcode
+from repro.isa.trace import TraceEvent
+from repro.serve.protocol import JobSpec, ServeProtocolError, normalize_spec
+
+ALL_OPERATIONS = tuple(Operation)
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection():
+    """Every test starts and ends with no backend forced."""
+    saved_backend = os.environ.pop(execution.ENV_VAR, None)
+    saved_scalar = os.environ.pop(execution.LEGACY_ENV_VAR, None)
+    execution.set_backend(None)
+    try:
+        yield
+    finally:
+        execution.set_backend(None)
+        for key, value in ((execution.ENV_VAR, saved_backend),
+                           (execution.LEGACY_ENV_VAR, saved_scalar)):
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _bits(value):
+    if isinstance(value, int) and not isinstance(value, bool):
+        return ("i", value)
+    return ("f", struct.unpack("<Q", struct.pack("<d", float(value)))[0])
+
+
+def _fingerprint(bank):
+    out = {}
+    for op, unit in bank.units.items():
+        t = unit.stats.table
+        entries = None
+        table = unit.table
+        if hasattr(table, "_sets"):
+            entries = [
+                [
+                    (e.tag, _bits(e.value), tuple(map(_bits, e.operands)),
+                     e.last_used, e.inserted)
+                    for e in ways
+                ]
+                for ways in table._sets
+            ]
+        out[op] = (
+            unit.stats.operations, unit.stats.trivial,
+            t.lookups, t.hits, t.insertions, t.evictions,
+            t.commutative_hits, entries,
+        )
+    return out
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        names = execution.names()
+        assert "scalar" in names
+        assert "batched" in names
+        assert "fused" in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(execution.UnknownBackendError) as excinfo:
+            execution.get("warp-drive")
+        message = str(excinfo.value)
+        assert "warp-drive" in message
+        assert "batched" in message  # lists what IS registered
+
+    def test_set_backend_rejects_unknown_eagerly(self):
+        with pytest.raises(execution.UnknownBackendError):
+            execution.set_backend("warp-drive")
+        assert execution.ENV_VAR not in os.environ
+
+    def test_describe_covers_every_backend(self):
+        described = execution.describe()
+        assert set(described) == set(execution.names())
+        assert all(described.values())
+
+    def test_unavailable_backend_falls_back_to_batched(self):
+        class BrokenBackend(execution.ExecutionBackend):
+            name = "broken-for-test"
+            description = "always unavailable"
+
+            def availability(self):
+                return "test toolchain missing"
+
+        execution.register(BrokenBackend())
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                resolved = execution.resolve("broken-for-test")
+                again = execution.resolve("broken-for-test")
+            assert resolved.name == execution.FALLBACK_BACKEND
+            assert again.name == execution.FALLBACK_BACKEND
+            relevant = [
+                w for w in caught
+                if "broken-for-test" in str(w.message)
+            ]
+            assert len(relevant) == 1  # warn-once
+            assert issubclass(relevant[0].category, RuntimeWarning)
+        finally:
+            execution._REGISTRY.pop("broken-for-test", None)
+            execution._warned_unavailable.discard("broken-for-test")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(execution.BackendError):
+            execution.register(execution.BatchedBackend())
+
+
+class TestSelectionPrecedence:
+    def test_default_is_batched(self):
+        assert execution.selected_name() == "batched"
+
+    def test_env_var_selects(self):
+        os.environ[execution.ENV_VAR] = "fused"
+        assert execution.selected_name() == "fused"
+
+    def test_legacy_scalar_env_selects_scalar(self):
+        os.environ[execution.LEGACY_ENV_VAR] = "1"
+        assert execution.selected_name() == "scalar"
+
+    def test_legacy_zero_means_off(self):
+        os.environ[execution.LEGACY_ENV_VAR] = "0"
+        assert execution.selected_name() == "batched"
+
+    def test_new_env_beats_legacy_env(self):
+        os.environ[execution.LEGACY_ENV_VAR] = "1"
+        os.environ[execution.ENV_VAR] = "fused"
+        assert execution.selected_name() == "fused"
+
+    def test_set_backend_beats_env(self):
+        os.environ[execution.ENV_VAR] = "fused"
+        execution.set_backend("scalar")
+        assert execution.selected_name() == "scalar"
+
+    def test_explicit_argument_beats_everything(self):
+        execution.set_backend("scalar")
+        assert execution.resolve("fused").name == "fused"
+
+    def test_set_backend_mirrors_into_env(self):
+        execution.set_backend("fused")
+        assert os.environ[execution.ENV_VAR] == "fused"
+        execution.set_backend(None)
+        assert execution.ENV_VAR not in os.environ
+
+    def test_use_backend_restores_override_and_env(self):
+        os.environ[execution.ENV_VAR] = "batched"
+        with execution.use_backend("fused"):
+            assert execution.selected_name() == "fused"
+            assert os.environ[execution.ENV_VAR] == "fused"
+        assert execution.selected_name() == "batched"
+        assert os.environ[execution.ENV_VAR] == "batched"
+
+    def test_use_backend_none_is_a_no_op(self):
+        execution.set_backend("scalar")
+        with execution.use_backend(None):
+            assert execution.selected_name() == "scalar"
+        assert execution.selected_name() == "scalar"
+
+    def test_scalar_mode_shims(self):
+        assert not execution.scalar_mode()
+        execution.set_scalar_mode(True)
+        assert execution.scalar_mode()
+        assert os.environ[execution.ENV_VAR] == "scalar"
+        execution.set_scalar_mode(False)
+        assert not execution.scalar_mode()
+        assert execution.selected_name() == "batched"
+
+
+class TestCliAliases:
+    def test_scalar_flag_selects_scalar_backend(self, capsys):
+        from repro.cli import main
+
+        assert main(["list", "--scalar"]) == 0
+        assert execution.selected_name() == "scalar"
+
+    def test_backend_flag_selects_named_backend(self, capsys):
+        from repro.cli import main
+
+        assert main(["list", "--backend", "fused"]) == 0
+        assert execution.selected_name() == "fused"
+
+    def test_scalar_and_conflicting_backend_exit_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["list", "--scalar", "--backend", "fused"]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_scalar_with_backend_scalar_is_allowed(self, capsys):
+        from repro.cli import main
+
+        assert main(["list", "--scalar", "--backend", "scalar"]) == 0
+        assert execution.selected_name() == "scalar"
+
+    def test_unknown_backend_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["list", "--backend", "warp-drive"]) == 2
+        assert "warp-drive" in capsys.readouterr().err
+
+
+class TestServeSpecBackend:
+    def test_backend_field_accepted_and_canonical(self):
+        spec = normalize_spec(
+            {"type": "program", "program": "saxpy", "backend": "fused"}
+        )
+        assert spec["backend"] == "fused"
+
+    def test_backend_field_validated_against_registry(self):
+        with pytest.raises(ServeProtocolError):
+            normalize_spec(
+                {"type": "program", "program": "saxpy",
+                 "backend": "warp-drive"}
+            )
+
+    def test_backend_field_changes_job_identity(self):
+        base = {"type": "program", "program": "saxpy"}
+        plain = JobSpec(dict(base))
+        pinned = JobSpec(dict(base, backend="fused"))
+        assert plain.id != pinned.id
+
+    def test_backend_allowed_on_every_job_type(self):
+        for spec in (
+            {"type": "experiment", "experiment": "table7",
+             "backend": "batched"},
+            {"type": "fuzz", "backend": "scalar"},
+        ):
+            assert normalize_spec(spec)["backend"] == spec["backend"]
+
+    def test_run_job_scopes_backend_and_restores(self):
+        from repro.serve.jobs import run_job
+
+        result = run_job(
+            {"type": "program", "program": "saxpy", "n": 8,
+             "backend": "fused"}
+        )
+        assert result["backend"] == "fused"
+        assert result["instructions"] > 0
+        # The job-scoped selection must not leak into the worker.
+        assert execution.selected_name() == "batched"
+
+
+class TestMetricsAttribution:
+    def test_dispatch_records_backend_metrics(self):
+        events = [TraceEvent(Opcode.FMUL, 2.0, 3.0, 6.0)] * 4
+        bank = MemoTableBank.paper_baseline(operations=ALL_OPERATIONS)
+        obs.set_enabled(True)
+        obs.registry().clear()
+        try:
+            execution.dispatch(events, bank.units, backend="fused")
+            snapshot = obs.registry().as_dict()
+        finally:
+            obs.set_enabled(None)
+        assert snapshot["counters"]["backend.fused.dispatches"] == 1
+        assert snapshot["gauges"]["backend.fused.selected"] == 1.0
+        assert "backend.fused.run" in snapshot["spans"]
+        assert snapshot["counters"]["kernel.instructions"] == 4
+
+
+class TestFusedTargetedParity:
+    """Cases the fused kernel's dedup/LUT structure makes delicate."""
+
+    def _run(self, backend, runs, config=None):
+        bank = MemoTableBank.paper_baseline(
+            config=config, operations=ALL_OPERATIONS
+        )
+        for events in runs:
+            execution.dispatch(events, bank.units, backend=backend)
+        return _fingerprint(bank)
+
+    def test_table_state_persists_across_runs(self):
+        first = [
+            TraceEvent(Opcode.FMUL, 2.5, 3.5, 8.75),
+            TraceEvent(Opcode.FMUL, 1.5, 4.0, 6.0),
+            TraceEvent(Opcode.FDIV, 9.0, 3.0, 3.0),
+        ]
+        second = [
+            TraceEvent(Opcode.FMUL, 2.5, 3.5, 8.75),  # hit from run 1
+            TraceEvent(Opcode.FMUL, 7.0, 2.0, 14.0),
+            TraceEvent(Opcode.FDIV, 9.0, 3.0, 3.0),   # hit from run 1
+        ]
+        config = MemoTableConfig(entries=8, associativity=2)
+        assert self._run("fused", [first, second], config) == (
+            self._run("scalar", [first, second], config)
+        )
+
+    def test_commutative_twin_from_previous_run(self):
+        # Run 1 inserts (2.5, 3.5); run 2 probes (3.5, 2.5) and must
+        # take the commutative hit against the *pre-existing* entry.
+        first = [TraceEvent(Opcode.FMUL, 2.5, 3.5, 8.75)]
+        second = [TraceEvent(Opcode.FMUL, 3.5, 2.5, 8.75)]
+        fused = self._run("fused", [first, second])
+        scalar = self._run("scalar", [first, second])
+        assert fused == scalar
+        assert fused[Operation.FP_MUL][6] == 1  # commutative_hits
+
+    def test_duplicate_heavy_trace_bit_exact(self):
+        events = []
+        for i in range(6):
+            a, b = float(i % 3) + 0.5, float(i % 2) + 1.5
+            events.append(TraceEvent(Opcode.FMUL, a, b, a * b))
+            events.append(TraceEvent(Opcode.FMUL, b, a, a * b))
+        config = MemoTableConfig(entries=4, associativity=1)
+        assert self._run("fused", [events], config) == (
+            self._run("scalar", [events], config)
+        )

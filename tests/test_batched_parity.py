@@ -1,14 +1,16 @@
-"""Batched-vs-scalar parity gate for the columnar probe kernel.
+"""Backend-vs-scalar parity gate for the columnar probe kernels.
 
-The columnar pipeline (``repro.core.kernel``) replaces four scalar
-probe loops; its one contract is *bit-identical* statistics.  These
+The execution backends (``repro.core.backend``) replace four scalar
+probe loops; their one contract is *bit-identical* statistics.  These
 tests run every bundled ISA program -- and synthetic edge-value traces
--- through both tiers and require exactly equal ``MemoStats`` /
-``UnitStats`` counters, opcode breakdowns, and cycle totals.  NaN-
-carrying values are compared by bit pattern, never by ``==``.
+-- through every registered non-scalar backend (``batched``, ``fused``,
+and whatever else the registry carries) against the scalar reference,
+requiring exactly equal ``MemoStats`` / ``UnitStats`` counters, opcode
+breakdowns, cycle totals and final table contents.  NaN-carrying
+values are compared by bit pattern, never by ``==``.
 
-CI runs this module as the batched-equality gate required by the
-columnar-pipeline acceptance criteria.
+CI runs this module once per backend (the backend-matrix job) as the
+parity gate required by the columnar-pipeline acceptance criteria.
 """
 
 import math
@@ -18,6 +20,7 @@ import pytest
 
 from repro.analysis.static.memo import reference_machine
 from repro.arch.latency import FAST_DESIGN
+from repro.core import backend as execution
 from repro.core import kernel
 from repro.core.bank import MemoTableBank
 from repro.core.config import MemoTableConfig, TagMode, TrivialPolicy
@@ -31,6 +34,11 @@ from repro.simulator.sampling import SamplingPlan, estimate_hit_ratios
 from repro.simulator.shade import ShadeSimulator
 
 ALL_OPERATIONS = tuple(Operation)
+
+#: Every registered backend that must match the scalar reference.
+NON_SCALAR_BACKENDS = tuple(
+    name for name in execution.names() if name != "scalar"
+)
 
 
 def _bits(value):
@@ -99,37 +107,42 @@ def traces():
     return out
 
 
-def _run_both(events, make_bank, **kwargs):
-    batched_bank = make_bank()
+def _run_both(events, make_bank, backend="batched", **kwargs):
+    backend_bank = make_bank()
     scalar_bank = make_bank()
-    batched = ShadeSimulator(bank=batched_bank, **kwargs).run(events)
+    report = ShadeSimulator(
+        bank=backend_bank, backend=backend, **kwargs
+    ).run(events)
     scalar = ShadeSimulator(bank=scalar_bank, scalar=True, **kwargs).run(
         events
     )
-    return batched, scalar, batched_bank, scalar_bank
+    return report, scalar, backend_bank, scalar_bank
 
 
 class TestProgramParity:
     """Every bundled ISA program: identical stats AND table contents."""
 
+    @pytest.mark.parametrize("backend", NON_SCALAR_BACKENDS)
     @pytest.mark.parametrize("name", sorted(PROGRAMS))
-    def test_shade_stats_identical(self, traces, name):
+    def test_shade_stats_identical(self, traces, name, backend):
         events = traces[name]
-        batched, scalar, b_bank, s_bank = _run_both(
+        report, scalar, b_bank, s_bank = _run_both(
             events, lambda: MemoTableBank.paper_baseline(
                 operations=ALL_OPERATIONS
             ),
+            backend=backend,
         )
-        assert batched.instructions == scalar.instructions
-        assert batched.breakdown == scalar.breakdown
+        assert report.instructions == scalar.instructions
+        assert report.breakdown == scalar.breakdown
         assert _bank_fingerprint(b_bank) == _bank_fingerprint(s_bank)
         assert _table_entries(b_bank) == _table_entries(s_bank)
 
+    @pytest.mark.parametrize("backend", NON_SCALAR_BACKENDS)
     @pytest.mark.parametrize("name", sorted(PROGRAMS))
-    def test_cycle_model_identical(self, traces, name):
+    def test_cycle_model_identical(self, traces, name, backend):
         events = traces[name]
         reports = []
-        for scalar in (False, True):
+        for chosen in (backend, "scalar"):
             bank = MemoTableBank.paper_baseline(
                 operations=ALL_OPERATIONS,
                 latencies=FAST_DESIGN.latencies(),
@@ -138,21 +151,23 @@ class TestProgramParity:
                 FAST_DESIGN,
                 bank=bank,
                 hierarchy=MemoryHierarchy(),
-                scalar=scalar,
+                backend=chosen,
             )
             reports.append(model.run(events))
-        batched, scalar_report = reports
-        assert batched.base_cycles == scalar_report.base_cycles
-        assert batched.memo_cycles == scalar_report.memo_cycles
-        assert batched.cycles_by_opcode == scalar_report.cycles_by_opcode
-        assert batched.counts_by_opcode == scalar_report.counts_by_opcode
-        assert batched.hit_ratios == scalar_report.hit_ratios
+        report, scalar_report = reports
+        assert report.base_cycles == scalar_report.base_cycles
+        assert report.memo_cycles == scalar_report.memo_cycles
+        assert report.cycles_by_opcode == scalar_report.cycles_by_opcode
+        assert report.counts_by_opcode == scalar_report.counts_by_opcode
+        assert report.hit_ratios == scalar_report.hit_ratios
 
+    @pytest.mark.parametrize("backend", NON_SCALAR_BACKENDS)
     @pytest.mark.parametrize("name", sorted(PROGRAMS))
-    def test_infinite_bank_identical(self, traces, name):
+    def test_infinite_bank_identical(self, traces, name, backend):
         events = traces[name]
-        batched, scalar, b_bank, s_bank = _run_both(
+        report, scalar, b_bank, s_bank = _run_both(
             events, lambda: MemoTableBank.infinite(operations=ALL_OPERATIONS),
+            backend=backend,
         )
         assert _bank_fingerprint(b_bank) == _bank_fingerprint(s_bank)
         assert _table_entries(b_bank) == _table_entries(s_bank)
@@ -192,48 +207,55 @@ def _edge_trace():
 
 
 class TestEdgeValueParity:
+    @pytest.mark.parametrize("backend", NON_SCALAR_BACKENDS)
     @pytest.mark.parametrize(
         "policy",
         [TrivialPolicy.EXCLUDE, TrivialPolicy.INTEGRATED,
          TrivialPolicy.CACHE_ALL],
     )
-    def test_trivial_policies(self, policy):
+    def test_trivial_policies(self, policy, backend):
         events = _edge_trace()
-        batched, scalar, b_bank, s_bank = _run_both(
+        report, scalar, b_bank, s_bank = _run_both(
             events,
             lambda: MemoTableBank.paper_baseline(
                 operations=ALL_OPERATIONS, trivial_policy=policy
             ),
+            backend=backend,
         )
         assert _bank_fingerprint(b_bank) == _bank_fingerprint(s_bank)
         assert _table_entries(b_bank) == _table_entries(s_bank)
 
-    def test_mantissa_tag_mode(self):
+    @pytest.mark.parametrize("backend", NON_SCALAR_BACKENDS)
+    def test_mantissa_tag_mode(self, backend):
         events = _edge_trace()
         config = MemoTableConfig(tag_mode=TagMode.MANTISSA)
-        batched, scalar, b_bank, s_bank = _run_both(
+        report, scalar, b_bank, s_bank = _run_both(
             events,
             lambda: MemoTableBank.paper_baseline(
                 config=config, operations=ALL_OPERATIONS
             ),
+            backend=backend,
         )
         assert _bank_fingerprint(b_bank) == _bank_fingerprint(s_bank)
 
-    def test_tiny_geometry_evictions(self):
+    @pytest.mark.parametrize("backend", NON_SCALAR_BACKENDS)
+    def test_tiny_geometry_evictions(self, backend):
         # A 4-entry direct-mapped table forces constant evictions; the
         # victim choice (hence final contents) must match exactly.
         events = _edge_trace()
         config = MemoTableConfig(entries=4, associativity=1)
-        batched, scalar, b_bank, s_bank = _run_both(
+        report, scalar, b_bank, s_bank = _run_both(
             events,
             lambda: MemoTableBank.paper_baseline(
                 config=config, operations=ALL_OPERATIONS
             ),
+            backend=backend,
         )
         assert _bank_fingerprint(b_bank) == _bank_fingerprint(s_bank)
         assert _table_entries(b_bank) == _table_entries(s_bank)
 
-    def test_validation_mismatch_counts(self):
+    @pytest.mark.parametrize("backend", NON_SCALAR_BACKENDS)
+    def test_validation_mismatch_counts(self, backend):
         # Traced results are wrong on purpose: both tiers must flag the
         # same number of mismatches.
         events = [
@@ -241,47 +263,47 @@ class TestEdgeValueParity:
             TraceEvent(Opcode.FMUL, 2.0, 3.0, 999.0),
             TraceEvent(Opcode.FMUL, 4.0, 5.0, 20.0),
         ]
-        batched, scalar, _, _ = _run_both(
+        report, scalar, _, _ = _run_both(
             events,
             lambda: MemoTableBank.paper_baseline(operations=ALL_OPERATIONS),
             validate=True,
+            backend=backend,
         )
-        assert batched.mismatches == scalar.mismatches > 0
+        assert report.mismatches == scalar.mismatches > 0
 
 
 class TestSliceParity:
     """``run_events(start=, stop=)`` is the sampling front-end's path."""
 
+    @pytest.mark.parametrize("backend", NON_SCALAR_BACKENDS)
     @pytest.mark.parametrize("window", [(0, 7), (3, 60), (100, 101),
                                         (40, None)])
-    def test_arbitrary_windows(self, traces, window):
+    def test_arbitrary_windows(self, traces, window, backend):
         events = traces["memo_showcase"]
         start, stop = window
         results = []
-        for scalar in (False, True):
+        for chosen in (backend, "scalar"):
             bank = MemoTableBank.paper_baseline(operations=ALL_OPERATIONS)
-            report = kernel.run_events(
-                events, bank.units, start=start, stop=stop, scalar=scalar
+            report = execution.dispatch(
+                events, bank.units, start=start, stop=stop, backend=chosen
             )
             results.append((report.instructions, dict(report.counts),
                             _bank_fingerprint(bank)))
         assert results[0] == results[1]
 
-    def test_sampling_estimator(self, traces):
+    @pytest.mark.parametrize("backend", NON_SCALAR_BACKENDS)
+    def test_sampling_estimator(self, traces, backend):
         events = traces["memo_showcase"]
         plan = SamplingPlan(window=40, interval=150, warmup=10)
         estimates = []
-        for scalar in (False, True):
-            kernel.set_scalar_mode(scalar)
-            try:
+        for chosen in (backend, "scalar"):
+            with execution.use_backend(chosen):
                 bank = MemoTableBank.paper_baseline(
                     operations=ALL_OPERATIONS
                 )
                 estimates.append(
                     estimate_hit_ratios(events, bank=bank, plan=plan)
                 )
-            finally:
-                kernel.set_scalar_mode(False)
         assert estimates[0].hit_ratios == estimates[1].hit_ratios
         assert estimates[0].events_measured == estimates[1].events_measured
 

@@ -12,6 +12,7 @@ from pathlib import Path
 from repro.analysis.lint import (
     ALL_RULES,
     FloatEqualityRule,
+    KernelImportRule,
     MutableDefaultRule,
     NonAtomicWriteRule,
     OpcodeExhaustivenessRule,
@@ -349,6 +350,48 @@ class TestNonAtomicWriteRule:
             "    path.write_text(payload)\n"
         )
         assert _findings(source, KERNEL, NonAtomicWriteRule()) == []
+
+
+class TestKernelImportRule:
+    SHADE = "src/repro/simulator/shade.py"
+    BACKEND = "src/repro/core/backend.py"
+
+    def test_catches_from_package_import_kernel(self):
+        source = "from ..core import kernel\n"
+        found = _findings(source, self.SHADE, KernelImportRule())
+        assert len(found) == 1
+        assert found[0].rule == "REPRO009"
+        assert "repro.core.backend" in found[0].message
+
+    def test_catches_absolute_from_import(self):
+        source = "from repro.core.kernel import run_events\n"
+        assert len(_findings(source, self.SHADE, KernelImportRule())) == 1
+
+    def test_catches_relative_submodule_from_import(self):
+        source = "from ..core.kernel import probe_one\n"
+        assert len(_findings(source, self.SHADE, KernelImportRule())) == 1
+
+    def test_catches_plain_import(self):
+        source = "import repro.core.kernel\n"
+        assert len(_findings(source, self.SHADE, KernelImportRule())) == 1
+
+    def test_core_package_is_exempt(self):
+        source = "from . import kernel\nfrom .kernel import probe_batch\n"
+        assert _findings(source, self.BACKEND, KernelImportRule()) == []
+
+    def test_backend_facade_import_allowed(self):
+        source = (
+            "from ..core import backend as execution\n"
+            "from ..core.backend import dispatch\n"
+        )
+        assert _findings(source, self.SHADE, KernelImportRule()) == []
+
+    def test_other_core_modules_allowed(self):
+        source = (
+            "from ..core import bank\n"
+            "from ..core.config import MemoTableConfig\n"
+        )
+        assert _findings(source, self.SHADE, KernelImportRule()) == []
 
 
 class TestFullRepoGate:
