@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-batched bench-backends bench-serve reproduce compare corpus examples lint analyze analyze-concurrency verify verify-fuzz metrics-smoke serve-smoke clean
+.PHONY: install test bench bench-batched bench-backends bench-speculate bench-serve reproduce compare corpus examples lint analyze analyze-concurrency verify verify-fuzz metrics-smoke serve-smoke clean
 
 # Differential fuzz campaign size for `make verify-fuzz`.
 FUZZ_BUDGET ?= 10000
@@ -22,6 +22,7 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_batched_sim.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backends.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_speculate.py
 
 # Batched-vs-scalar kernel throughput only (writes BENCH_batched_sim.json;
 # exits non-zero if the batched tier is not faster than scalar).
@@ -32,6 +33,12 @@ bench-batched:
 # exits non-zero if the fused backend is slower than batched).
 bench-backends:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backends.py
+
+# Hot-loop speculation throughput (writes BENCH_speculate.json; exits
+# non-zero if speculative is not >=1.2x fused on hot loops, or if it is
+# slower than batched at a 100% commit rate).
+bench-speculate:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_speculate.py
 
 # Service load test: 1000 jobs through a live `repro serve` instance
 # (writes BENCH_serve.json with jobs/sec and p50/p99 latency).

@@ -10,8 +10,8 @@ Regenerates any table or figure of the paper on the terminal::
 ``--jobs N`` fans the experiments (and the traces they need) out across
 a worker pool; ``--corpus-dir`` persists recorded traces so later runs
 replay them from disk.  ``--backend NAME`` pins the execution backend
-(``scalar`` | ``batched`` | ``fused``, see :mod:`repro.core.backend`)
-for the whole run including workers; ``--scalar`` is the deprecated
+(``scalar`` | ``batched`` | ``fused`` | ``speculative``, see
+:mod:`repro.core.backend`) for the whole run including workers; ``--scalar`` is the deprecated
 alias for ``--backend scalar``.  ``repro corpus record|ls|verify|gc`` maintains
 the store (see :mod:`repro.corpus.cli`).  ``repro analyze`` runs the
 static dataflow passes that bound memo-table hit ratios, and ``repro
@@ -113,8 +113,8 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "execution backend for every simulation in this run "
-            "(scalar | batched | fused; default batched, or "
-            "REPRO_BACKEND; propagates to worker processes)"
+            "(scalar | batched | fused | speculative; default batched, "
+            "or REPRO_BACKEND; propagates to worker processes)"
         ),
     )
     parser.add_argument(

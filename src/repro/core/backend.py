@@ -22,6 +22,13 @@ name and hands it the batch:
     tables instead of per-event tuples (the pLUTo "table as
     precomputed LUT" move).
 
+``speculative``
+    Hot-trace speculation (:mod:`repro.core.speculate`): hot pc
+    regions detected by a seeded rolling-window hash are trained into
+    per-region operand-tag plans and re-executed as single guarded
+    bulk probes; any guard failure aborts the region to the fused
+    loop with bit-exact state handoff.
+
 Selection precedence (first match wins):
 
 1. an explicit ``backend=`` argument (``--backend NAME`` on the CLIs,
@@ -86,6 +93,7 @@ __all__ = [
     "dispatch",
     # kernel facade
     "KERNEL_FAULTS",
+    "SPECULATE_FAULTS",
     "KernelReport",
     "as_batch",
     "probe_one",
@@ -411,8 +419,16 @@ def set_scalar_mode(enabled: bool) -> None:
 _SCALAR = register(ScalarBackend())
 register(BatchedBackend())
 
-# The fused backend lives in its own module; importing it last keeps the
-# circular edge trivial (fused needs ExecutionBackend, defined above).
+# The fused and speculative backends live in their own modules;
+# importing them last keeps the circular edge trivial (they need
+# ExecutionBackend, defined above).
 from .fused import FusedBackend  # noqa: E402
 
 register(FusedBackend())
+
+from .speculate import (  # noqa: E402,F401  (facade re-export)
+    SPECULATE_FAULTS,
+    SpeculativeBackend,
+)
+
+register(SpeculativeBackend())

@@ -101,6 +101,7 @@ def fused_probe(
     validate: bool = False,
     _np_a=None,
     _np_b=None,
+    _idx=None,
 ) -> Tuple[int, int, int]:
     """Drop-in replacement for :func:`repro.core.kernel.probe_batch`
     (same signature, same ``(base, memo, mismatches)`` contract)."""

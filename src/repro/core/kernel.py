@@ -157,6 +157,10 @@ class KernelReport:
     base_cycles: int = 0
     memo_cycles: int = 0
     cycles_by_opcode: Dict[Opcode, int] = field(default_factory=dict)
+    #: Region-speculation accounting, attached by the ``speculative``
+    #: backend (a :class:`repro.core.speculate.SpeculationStats`); None
+    #: from every other probe path.
+    speculation: Optional[object] = None
 
 
 # -- single-event adapters --------------------------------------------------
@@ -221,6 +225,7 @@ def probe_batch(
     validate: bool = False,
     _np_a=None,
     _np_b=None,
+    _idx=None,
 ) -> Tuple[int, int, int]:
     """Present a same-operation operand batch to one memoized unit.
 
@@ -284,6 +289,7 @@ def _probe_batch(
     validate: bool = False,
     _np_a=None,
     _np_b=None,
+    _idx=None,
 ) -> Tuple[int, int, int]:
     """The uninstrumented :func:`probe_batch` body (tier dispatch)."""
     n = len(a_values)
@@ -697,6 +703,7 @@ def _run_batch(
         base, memo, bad = probe(
             unit, a_values, b_values,
             results=results, validate=validate, _np_a=np_a, _np_b=np_b,
+            _idx=idx,
         )
         mismatches += bad
         if cycle_mode:

@@ -1,0 +1,836 @@
+"""Hot-trace speculation: region plans with guarded bulk commits.
+
+The paper's insight -- multiply/divide results recur, so cache them --
+extends from single operations to whole *traces*: hot loops present the
+same pc sequence, the same operand pairs and therefore the same memo
+outcomes over and over.  This module is the trace-JIT move (the
+lesson12 harness of SNIPPETS.md: record a hot linear trace, inject a
+guarded fast path, commit or abort):
+
+1. :func:`detect_regions` finds hot regions in a
+   :class:`~repro.isa.columns.ColumnBatch` by rolling-hash windows over
+   the pc column: every length-``window`` pc window is hashed (a
+   seeded polynomial hash mod 2**64, fully vectorized, no wall clock),
+   windows whose hash recurs at least ``threshold`` times are *hot*,
+   maximal hot spans are chopped into period-aligned regions, and
+   regions are grouped by hashed pc content into *signatures* (a
+   signature collision costs an abort, never correctness).  Events
+   without a recorded pc are salted with position-unique values so no
+   window containing one can ever look hot.
+2. The speculative probe (installed into
+   :func:`repro.core.kernel._run_batch` exactly like the fused probe)
+   builds, per (signature, operation), a **region plan** on the first
+   occurrence: the dense operand-pair-id sequence of the region, its
+   trivial mask, and per-distinct-pair probe counts and final recency
+   ordinals.  Every later occurrence is one *guarded* probe: the guard
+   demands the occurrence's operand-tag (pair-id) sequence match the
+   plan bit for bit and the table generation (geometry) be unchanged;
+   if additionally every planned pair is resident, the whole region
+   **commits** in O(distinct pairs) -- bulk recency/clock/counter
+   updates, no per-event loop.  Any guard failure or non-resident pair
+   **aborts** the region to the general fused loop over the same live
+   table mirror, which is a bit-exact state handoff by construction
+   (the abort path *is* the general path).
+3. :class:`SpeculativeBackend` registers all of this as the
+   ``speculative`` execution backend (full precedence/env/serve
+   plumbing of :mod:`repro.core.backend`), attaches a
+   :class:`SpeculationStats` record to the returned report
+   (lesson12-style dynamic-instruction and commit-rate accounting) and
+   mirrors commit/abort/guard-failure counters plus per-region spans
+   into :mod:`repro.obs` when metrics are on.
+
+Bit-exactness argument: a commit happens only when the occurrence's
+pair-id sequence equals the trained plan's (ids are dense over operand
+bit patterns, so this *is* an operand-tag match) and every planned pair
+is resident.  Hits never insert, so the occurrence performs exactly
+``kept`` lookups that all hit; the table clock advances once per
+lookup; each entry's final recency equals the clock at its last probe
+-- all of which the bulk update replays exactly, including commutative
+twin resolution (a pair resident only in swapped order counts every
+probe as a commutative hit, as the scalar protocol does).  Everything
+else -- training, aborts, gap segments between regions, ineligible
+configurations -- runs the general fused loop.  The five-way
+differential fuzzer (``repro verify fuzz``) and the backend parity
+suite enforce the claim.
+
+Tuning knobs (all also readable from the environment so worker pools
+inherit them): see :class:`SpeculationConfig`.  Detection and plans are
+per-dispatch -- no region state is cached across calls or pool workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from . import kernel
+from .backend import ExecutionBackend, KernelConfig, KernelResult
+from .config import OperandKind, TagMode, TrivialPolicy
+from .fused import fused_probe
+from .memo_table import MemoTable, _Entry
+from .operations import compute_function
+from .replacement import LRUPolicy
+
+__all__ = [
+    "SPECULATE_FAULTS",
+    "Region",
+    "SpeculationConfig",
+    "SpeculationStats",
+    "SpeculativeBackend",
+    "detect_regions",
+]
+
+_F_PC = 4
+_MANT_MASK = (1 << 52) - 1
+_U64 = (1 << 64) - 1
+
+#: Planted speculation bugs for the mutation smoke (``repro verify
+#: smoke``); armed through the same single latch as the kernel faults
+#: (:func:`repro.core.backend.set_active_fault`), never in production.
+SPECULATE_FAULTS = (
+    "speculate_guard_false_pass",
+    "speculate_abort_drops_stats",
+)
+
+#: Rolling-hash multiplier (odd, so it is invertible mod 2**64).
+_HASH_M = 0xB5AD4ECEDA1CE2A9
+_HASH_M_INV = pow(_HASH_M, -1, 1 << 64)
+
+
+# -- configuration -----------------------------------------------------------
+
+#: Environment prefix for the tuning knobs (``REPRO_SPECULATE_WINDOW``,
+#: ``_THRESHOLD``, ``_MIN_REGION``, ``_MAX_REGION``, ``_OCCURRENCES``,
+#: ``_SEED``).
+ENV_PREFIX = "REPRO_SPECULATE_"
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Detector tuning knobs (deterministic: no wall clock, seeded hash).
+
+    ``window``
+        pc-window length the rolling hash slides over.
+    ``threshold``
+        a window hash must recur at least this many times to be hot.
+    ``min_region`` / ``max_region``
+        bounds on the record length of one region; hot spans are
+        chopped into period-aligned chunks no longer than
+        ``max_region``.
+    ``target_occurrences``
+        chop so a hot span yields roughly this many occurrences of the
+        same signature (more occurrences amortize training; longer
+        regions amortize the per-occurrence guard).
+    ``seed``
+        mixed into the pc hash -- same seed, same regions, always.
+    """
+
+    window: int = 4
+    threshold: int = 3
+    min_region: int = 2
+    max_region: int = 4096
+    target_occurrences: int = 8
+    seed: int = 0
+
+    @classmethod
+    def from_env(cls) -> "SpeculationConfig":
+        def _get(name: str, default: int) -> int:
+            raw = os.environ.get(ENV_PREFIX + name, "").strip()
+            if not raw:
+                return default
+            try:
+                return int(raw)
+            except ValueError:
+                return default
+
+        return cls(
+            window=max(1, _get("WINDOW", cls.window)),
+            threshold=max(1, _get("THRESHOLD", cls.threshold)),
+            min_region=max(1, _get("MIN_REGION", cls.min_region)),
+            max_region=max(1, _get("MAX_REGION", cls.max_region)),
+            target_occurrences=max(1, _get("OCCURRENCES", cls.target_occurrences)),
+            seed=_get("SEED", cls.seed),
+        )
+
+
+@dataclass(frozen=True)
+class Region:
+    """One detected hot-region occurrence: records ``[start, end)`` of
+    the batch, grouped with identical-pc occurrences by ``sig``."""
+
+    start: int
+    end: int
+    sig: int
+
+
+@dataclass
+class SpeculationStats:
+    """Lesson12-style speculation accounting for one dispatch.
+
+    ``commits``/``aborts``/``guard_failures``/``trained`` count region
+    *legs* -- one (region occurrence, memo unit) pair each.  A leg
+    commits when its guarded bulk probe applied, aborts when the guard
+    failed (counted in ``guard_failures`` too) or a planned pair was
+    not resident, and trains when it built the signature's plan.
+    ``committed_events`` is the number of dynamic instructions retired
+    through commits; against ``dynamic_instructions`` (the whole
+    dispatch) it gives the speculative coverage.
+    """
+
+    regions: int = 0
+    signatures: int = 0
+    trained: int = 0
+    commits: int = 0
+    aborts: int = 0
+    guard_failures: int = 0
+    committed_events: int = 0
+    dynamic_instructions: int = 0
+
+    @property
+    def commit_rate(self) -> float:
+        """Committed fraction of guarded (post-training) region legs."""
+        total = self.commits + self.aborts
+        return self.commits / total if total else 0.0
+
+    @property
+    def speculative_fraction(self) -> float:
+        """Dynamic instructions retired speculatively / all retired."""
+        if not self.dynamic_instructions:
+            return 0.0
+        return self.committed_events / self.dynamic_instructions
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "regions": self.regions,
+            "signatures": self.signatures,
+            "trained": self.trained,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "guard_failures": self.guard_failures,
+            "committed_events": self.committed_events,
+            "dynamic_instructions": self.dynamic_instructions,
+            "commit_rate": self.commit_rate,
+            "speculative_fraction": self.speculative_fraction,
+        }
+
+
+# -- hot-region detection ----------------------------------------------------
+
+
+def _mixed_pcs(views, start: int, stop: int, seed: int):
+    """Per-record 64-bit keys: mixed pcs, position-unique salts where
+    no pc was recorded (so those windows can never recur)."""
+    pcs = views.pc[start:stop].view(np.uint64)
+    present = np.bitwise_and(views.flags[start:stop], _F_PC) != 0
+    x = (pcs + np.uint64((2 * seed + 1) & _U64)) * np.uint64(0x9E3779B97F4A7C15)
+    x ^= x >> np.uint64(29)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(32)
+    absent = np.nonzero(~present)[0]
+    if absent.size:
+        x[absent] = (
+            np.uint64(0xD6E8FEB86659FD93)
+            + absent.view(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+        )
+    return x, present
+
+
+def _window_hashes(x, window: int):
+    """Vectorized polynomial rolling hash mod 2**64 of every
+    length-``window`` slice of ``x`` (exact uint64 wraparound).
+
+    Small windows -- the common case -- take the direct Horner form
+    (``window - 1`` fused multiply-add passes); wide windows amortize
+    through the prefix-sum form, whose per-position weights use the
+    modular inverse of the odd multiplier."""
+    n = len(x)
+    nw = n - window + 1
+    if window <= 8:
+        h = x[window - 1 : n].copy()
+        m = 1
+        for j in range(window - 2, -1, -1):
+            m = (m * _HASH_M) & _U64
+            h += x[j : j + nw] * np.uint64(m)
+        return h
+    inv_pow = np.empty(n, dtype=np.uint64)
+    inv_pow[0] = 1
+    pos_pow = np.empty(n, dtype=np.uint64)
+    pos_pow[0] = 1
+    if n > 1:
+        np.cumprod(
+            np.full(n - 1, _HASH_M_INV, dtype=np.uint64), out=inv_pow[1:]
+        )
+        np.cumprod(np.full(n - 1, _HASH_M, dtype=np.uint64), out=pos_pow[1:])
+    sums = np.concatenate(
+        (np.zeros(1, dtype=np.uint64), np.cumsum(x * inv_pow, dtype=np.uint64))
+    )
+    return (sums[window:] - sums[:nw]) * pos_pow[window - 1:]
+
+
+def detect_regions(
+    batch,
+    config: Optional[SpeculationConfig] = None,
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> List[Region]:
+    """Hot-region occurrences of ``batch[start:stop]``, in trace order.
+
+    A pure function of the pc/flags columns and the config -- same
+    inputs, same regions (the determinism the property suite pins).
+    Returned regions are non-overlapping, sorted, at least
+    ``min_region`` records long, and never cover a record without a
+    recorded pc.
+    """
+    cfg = config if config is not None else SpeculationConfig()
+    views = batch.views()
+    if stop is None:
+        stop = len(batch)
+    n = stop - start
+    window = cfg.window
+    # A window must recur, so anything shorter than window+1 records
+    # (or the region floor) can never produce a region.
+    if n < max(window + 1, cfg.min_region):
+        return []
+    x, present = _mixed_pcs(views, start, stop, cfg.seed)
+    if not present.any():
+        return []
+    hashes = _window_hashes(x, window)
+    # Hot windows: hash values recurring >= threshold times.  A sorted
+    # copy + run lengths + binary-search membership beats np.unique
+    # here (no argsort, no inverse reconstruction).
+    sorted_h = np.sort(hashes)
+    boundary = np.empty(len(sorted_h), dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_h[1:], sorted_h[:-1], out=boundary[1:])
+    starts = np.nonzero(boundary)[0]
+    counts = np.diff(np.append(starts, len(sorted_h)))
+    hot_vals = sorted_h[starts[counts >= cfg.threshold]]
+    if not hot_vals.size:
+        return []
+    slot = np.searchsorted(hot_vals, hashes)
+    slot[slot == hot_vals.size] = 0
+    hot = hot_vals[slot] == hashes
+    hot_idx = np.nonzero(hot)[0]
+    if not hot_idx.size:
+        return []
+    # Maximal runs of consecutive hot window starts.
+    cut = np.nonzero(np.diff(hot_idx) > 1)[0]
+    run_starts = np.concatenate((hot_idx[:1], hot_idx[cut + 1]))
+    run_ends = np.concatenate((hot_idx[cut], hot_idx[-1:]))
+
+    regions: List[Region] = []
+    sig_of: Dict[tuple, int] = {}
+    prev_end = 0
+    for s, e in zip(run_starts.tolist(), run_ends.tolist()):
+        span_start = max(s, prev_end)  # runs < window apart may touch
+        span_end = e + window
+        if span_end - span_start < max(cfg.min_region, window):
+            continue
+        # The span's period: distance to the first recurrence of its
+        # leading window hash (a loop's body length); aperiodic spans
+        # count as one period.
+        repeat = np.nonzero(hashes[s + 1 : e + 1] == hashes[s])[0]
+        period = int(repeat[0]) + 1 if repeat.size else span_end - span_start
+        reps = (span_end - span_start) // period
+        if reps < 1:
+            continue
+        # Chop into period-aligned chunks: long enough to amortize the
+        # per-occurrence guard (never shorter than a window, so the
+        # signature windows below stay inside the region), short enough
+        # to recur ~target times.
+        floor_len = max(cfg.min_region, window)
+        k = max(1, reps // cfg.target_occurrences)
+        cap = max(1, cfg.max_region // period)
+        if k > cap:
+            k = cap
+        length = period * k
+        if length < floor_len:
+            need = -(-floor_len // period)  # ceil
+            if need > reps or need > cap:
+                continue
+            length = period * need
+        q = span_start
+        while q + length <= span_end:
+            # Signature: leading + trailing window hash + length (both
+            # windows lie inside the region because length >= window).
+            # A collision merges two different-content signatures,
+            # which only costs guard aborts, never correctness -- the
+            # guard compares the actual operand-id sequence.
+            key = (
+                int(hashes[q]),
+                int(hashes[q + length - window]),
+                length,
+            )
+            sig = sig_of.setdefault(key, len(sig_of))
+            regions.append(Region(start + q, start + q + length, sig))
+            q += length
+        prev_end = q
+    return regions
+
+
+# -- region plans ------------------------------------------------------------
+
+
+class _RegionPlan:
+    """Per-(signature, operation) specialization, trained on the first
+    occurrence: the guard's operand-bit sequence plus
+    per-distinct-pair bulk facts."""
+
+    __slots__ = (
+        "m", "keys_a", "keys_b", "kept_n", "d_pairs", "d_counts", "d_last",
+    )
+
+    def __init__(
+        self, keys_a, keys_b, keep_arr, n_trivial: int, lo: int, hi: int
+    ) -> None:
+        self.m = hi - lo
+        self.keys_a = keys_a[lo:hi].copy()
+        self.keys_b = keys_b[lo:hi].copy()
+        ta = self.keys_a.tolist()
+        tb = self.keys_b.tolist()
+        if n_trivial:
+            keep = keep_arr[lo:hi].tolist()
+            pairs = [
+                (ta[i], tb[i]) for i in range(len(ta)) if keep[i]
+            ]
+        else:
+            pairs = list(zip(ta, tb))
+        self.kept_n = len(pairs)
+        order: Dict[tuple, List[int]] = {}
+        for ordinal, pair in enumerate(pairs):
+            rec = order.get(pair)
+            if rec is None:
+                order[pair] = [1, ordinal]
+            else:
+                rec[0] += 1
+                rec[1] = ordinal
+        self.d_pairs = list(order.keys())
+        self.d_counts = [rec[0] for rec in order.values()]
+        self.d_last = [rec[1] for rec in order.values()]
+
+
+# -- the speculative probe ---------------------------------------------------
+
+
+def _make_probe(regions: Tuple[Region, ...], stats: SpeculationStats):
+    """A drop-in :func:`repro.core.kernel.probe_batch` replacement that
+    speculates over ``regions``; plans live for this dispatch only."""
+    plans: Dict[Tuple[int, object], _RegionPlan] = {}
+
+    def speculative_probe(
+        unit,
+        a_values,
+        b_values,
+        results=None,
+        validate: bool = False,
+        _np_a=None,
+        _np_b=None,
+        _idx=None,
+    ) -> Tuple[int, int, int]:
+        n = len(a_values)
+        if not n:
+            return 0, 0, 0
+        table = unit.table
+        if (
+            _idx is None
+            or validate
+            or unit.trivial_policy is not TrivialPolicy.EXCLUDE
+            or type(table) is not MemoTable
+            or table.config.tag_mode is not TagMode.FULL
+            or type(table._policy) is not LRUPolicy
+        ):
+            # Same degrade contract as the fused backend: anything the
+            # dense-id trick does not model takes the general tier.
+            return fused_probe(
+                unit, a_values, b_values,
+                results=results, validate=validate, _np_a=_np_a, _np_b=_np_b,
+            )
+        int_kind = table.config.operand_kind is OperandKind.INT
+        if _np_a is None:
+            _np_a, _np_b = kernel._coerce_operands(a_values, b_values, int_kind)
+        if _np_a is None or int_kind != (_np_a.dtype.kind == "i"):
+            return kernel.probe_batch(
+                unit, a_values, b_values, results=results, validate=validate,
+            )
+        if not obs.enabled():
+            return _probe_speculative(
+                unit, table, a_values, b_values, _np_a, _np_b,
+                _idx, regions, plans, stats, False,
+            )
+        return kernel.instrument_partition(
+            unit,
+            lambda: _probe_speculative(
+                unit, table, a_values, b_values, _np_a, _np_b,
+                _idx, regions, plans, stats, True,
+            ),
+        )
+
+    return speculative_probe
+
+
+def _probe_speculative(
+    unit, table, a_values, b_values, np_a, np_b,
+    idx, regions, plans, stats, obs_on,
+):
+    """The region-aware inner kernel.
+
+    Bit-for-bit the same protocol as :func:`repro.core.fused._probe_fused`
+    outside regions; inside, trained signatures execute as one guarded
+    bulk probe.  Unlike fused there is NO dense-id precompute: the guard
+    compares raw operand-bit columns (vectorized), and only the slow
+    spans -- gaps, training, aborts -- intern pairs through a dict.  On
+    high-commit traces that skips the sort-based pair dedup entirely,
+    which is where the speedup over fused comes from.
+    """
+    operation = unit.operation
+    config = table.config
+    fault = kernel._active_fault
+    guard_always_passes = fault == "speculate_guard_false_pass"
+    drop_abort_stats = fault == "speculate_abort_drops_stats"
+
+    trivial_arr = kernel._trivial_mask(operation, np_a, np_b)
+    n = len(a_values)
+    n_trivial = int(trivial_arr.sum())
+    int_kind = config.operand_kind is OperandKind.INT
+
+    # Raw operand bit columns: the tag halves the scalar table stores.
+    if int_kind:
+        keys_a, keys_b = np_a, np_b
+    else:
+        keys_a = np_a.view(np.uint64)
+        keys_b = np_b.view(np.uint64)
+    keep_arr = ~trivial_arr
+
+    # Per-pair set index (same formula as the scalar table and fused),
+    # computed on demand for the pairs the slow path actually inserts.
+    mask = config.n_sets - 1
+    if int_kind:
+        def set_of(ta: int, tb: int) -> int:
+            return (ta ^ tb) & mask
+    else:
+        shift = 52 - mask.bit_length()
+
+        def set_of(ta: int, tb: int) -> int:
+            return (
+                ((ta & _MANT_MASK) >> shift) ^ ((tb & _MANT_MASK) >> shift)
+            ) & mask
+
+    # Mirror the live table into flat slot arrays (see fused.py),
+    # keyed directly by entry tags (operand-bit pairs).
+    sets_ = table._sets
+    n_sets = config.n_sets
+    assoc = config.associativity
+    size = n_sets * assoc
+    pair_flat: List[Optional[tuple]] = [None] * size
+    used_flat = [0] * size
+    ins_flat = [0] * size
+    ent_flat: List[Optional[_Entry]] = [None] * size
+    fill = [0] * n_sets
+    where: dict = {}
+    for s in range(n_sets):
+        ways = sets_[s]
+        if not ways:
+            continue
+        fill[s] = len(ways)
+        base = s * assoc
+        for w, entry in enumerate(ways):
+            pos = base + w
+            pair_flat[pos] = entry.tag
+            used_flat[pos] = entry.last_used
+            ins_flat[pos] = entry.inserted
+            ent_flat[pos] = entry
+            where[entry.tag] = pos
+
+    commutative = config.commutative
+    a_list = a_values if isinstance(a_values, list) else list(a_values)
+    b_list = b_values if isinstance(b_values, list) else list(b_values)
+    compute_op = compute_function(operation)
+    #: pair -> (memoized value, first event index that carried it).
+    value_of: Dict[tuple, tuple] = {}
+
+    # Partition-local bounds of every region occurrence.
+    r_lo = np.searchsorted(idx, [r.start for r in regions]).tolist()
+    r_hi = np.searchsorted(idx, [r.end for r in regions]).tolist()
+
+    clock = table._clock
+    lookups = hits = commutative_hits = insertions = evictions = 0
+    where_get = where.get
+    value_get = value_of.get
+
+    def run_span(lo: int, hi: int) -> None:
+        """The general fused loop over events [lo, hi) -- gaps,
+        training and the abort path all run through here.  Tags are
+        materialized per span, so committed regions never pay for it."""
+        if hi <= lo:
+            return
+        nonlocal clock, lookups, hits, commutative_hits
+        nonlocal insertions, evictions
+        _clock = clock
+        _lookups, _hits = lookups, hits
+        _comm, _ins, _evi = commutative_hits, insertions, evictions
+        ta_s = keys_a[lo:hi].tolist()
+        tb_s = keys_b[lo:hi].tolist()
+        keep_s = keep_arr[lo:hi].tolist() if n_trivial else None
+        for i in range(hi - lo):
+            if keep_s is not None and not keep_s[i]:
+                continue
+            ta = ta_s[i]
+            tb = tb_s[i]
+            pair = (ta, tb)
+            _clock += 1
+            _lookups += 1
+            pos = where_get(pair)
+            if pos is None and commutative:
+                pos = where_get((tb, ta))
+                if pos is not None:
+                    _comm += 1
+            if pos is not None:
+                used_flat[pos] = _clock
+                _hits += 1
+                continue
+            rec = value_get(pair)
+            if rec is None:
+                j = lo + i
+                rec = (compute_op(a_list[j], b_list[j]), j)
+                value_of[pair] = rec
+            _clock += 1
+            _ins += 1
+            s = set_of(ta, tb)
+            base = s * assoc
+            f = fill[s]
+            if f < assoc:
+                pos = base + f
+                fill[s] = f + 1
+            else:
+                end = base + assoc
+                pos = used_flat.index(min(used_flat[base:end]), base, end)
+                del where[pair_flat[pos]]
+                _evi += 1
+            pair_flat[pos] = pair
+            used_flat[pos] = _clock
+            ins_flat[pos] = _clock
+            ent_flat[pos] = None
+            where[pair] = pos
+        clock = _clock
+        lookups, hits = _lookups, _hits
+        commutative_hits, insertions, evictions = _comm, _ins, _evi
+
+    def run_abort(lo: int, hi: int) -> None:
+        """Abort handoff: re-execute through the general loop.  The
+        planted ``speculate_abort_drops_stats`` fault loses the
+        occurrence's in-flight counters (table state still mutates)."""
+        if not drop_abort_stats:
+            run_span(lo, hi)
+            return
+        nonlocal lookups, hits, commutative_hits, insertions, evictions
+        snap = (lookups, hits, commutative_hits, insertions, evictions)
+        run_span(lo, hi)
+        lookups, hits, commutative_hits, insertions, evictions = snap
+
+    ev_cursor = 0
+    for r_i, region in enumerate(regions):
+        lo = r_lo[r_i]
+        hi = r_hi[r_i]
+        if hi <= lo:
+            continue
+        if lo > ev_cursor:
+            run_span(ev_cursor, lo)
+        if obs_on:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+        m = hi - lo
+        plan_key = (region.sig, operation)
+        plan = plans.get(plan_key)
+        if plan is None:
+            run_span(lo, hi)
+            plans[plan_key] = _RegionPlan(
+                keys_a, keys_b, keep_arr, n_trivial, lo, hi
+            )
+            stats.trained += 1
+        else:
+            # Guard 1: table generation (geometry cannot change inside a
+            # dispatch, but the contract is checked, not assumed).
+            # Guard 2: the operand-tag sequence matches the plan bit
+            # for bit (raw operand bit columns against the trained copy).
+            guard_ok = (
+                m == plan.m
+                and bool(np.array_equal(keys_a[lo:hi], plan.keys_a))
+                and bool(np.array_equal(keys_b[lo:hi], plan.keys_b))
+            )
+            if guard_always_passes:  # planted fault
+                guard_ok = True
+            if not guard_ok:
+                stats.guard_failures += 1
+                stats.aborts += 1
+                run_abort(lo, hi)
+            else:
+                # Residency: every planned pair must be present (exactly
+                # or as its commutative twin); otherwise abort.
+                d_pairs = plan.d_pairs
+                d_counts = plan.d_counts
+                d_last = plan.d_last
+                pos_last: Dict[int, int] = {}
+                comm = 0
+                resident = True
+                for t in range(len(d_pairs)):
+                    pair = d_pairs[t]
+                    pos = where_get(pair)
+                    if pos is None:
+                        if commutative:
+                            pos = where_get((pair[1], pair[0]))
+                        if pos is None:
+                            resident = False
+                            break
+                        comm += d_counts[t]
+                    last = d_last[t]
+                    prev = pos_last.get(pos)
+                    if prev is None or last > prev:
+                        pos_last[pos] = last
+                if not resident:
+                    stats.aborts += 1
+                    run_abort(lo, hi)
+                else:
+                    # Commit: the whole region as one fused probe.
+                    for pos, last in pos_last.items():
+                        used_flat[pos] = clock + last + 1
+                    kept_n = plan.kept_n
+                    clock += kept_n
+                    lookups += kept_n
+                    hits += kept_n
+                    commutative_hits += comm
+                    stats.commits += 1
+                    stats.committed_events += m
+        if obs_on:
+            obs.registry().record_span(
+                f"speculate.region.{region.sig}",
+                time.perf_counter() - wall0,
+                time.process_time() - cpu0,
+            )
+        ev_cursor = hi
+    if ev_cursor < n:
+        run_span(ev_cursor, n)
+    table._clock = clock
+
+    # Materialize surviving slots back into real entries (see fused.py).
+    if lookups or insertions:
+        for s in range(n_sets):
+            f = fill[s]
+            if not f:
+                continue
+            base = s * assoc
+            new_ways: List[_Entry] = []
+            for pos in range(base, base + f):
+                entry = ent_flat[pos]
+                if entry is None:
+                    pair = pair_flat[pos]
+                    value, j = value_of[pair]
+                    entry = _Entry(
+                        pair,
+                        value,
+                        (a_list[j], b_list[j]),
+                        used_flat[pos],
+                    )
+                    entry.inserted = ins_flat[pos]
+                else:
+                    entry.last_used = used_flat[pos]
+                new_ways.append(entry)
+            sets_[s] = new_ways
+
+    trivial_cycles = min(unit.trivial_latency, unit.latency)
+    trivial_total = n_trivial * trivial_cycles
+    latency = unit.latency
+    base = trivial_total + lookups * latency
+    memo = (
+        trivial_total + hits * unit.hit_latency + (lookups - hits) * latency
+    )
+
+    table_stats = table.stats
+    table_stats.lookups += lookups
+    table_stats.hits += hits
+    table_stats.commutative_hits += commutative_hits
+    table_stats.insertions += insertions
+    table_stats.evictions += evictions
+    unit_stats = unit.stats
+    unit_stats.operations += n
+    unit_stats.trivial += n_trivial
+    unit_stats.cycles_base += base
+    unit_stats.cycles_memo += memo
+    return base, memo, 0
+
+
+# -- the backend -------------------------------------------------------------
+
+
+def _emit_stats(stats: SpeculationStats) -> None:
+    """Stream one dispatch's speculation accounting into the metrics
+    registry (zero-delta counters are skipped by the registry)."""
+    reg = obs.registry()
+    reg.add_counters(
+        "speculate",
+        {
+            "regions": stats.regions,
+            "trained": stats.trained,
+            "commits": stats.commits,
+            "aborts": stats.aborts,
+            "guard_failures": stats.guard_failures,
+            "committed_events": stats.committed_events,
+        },
+    )
+    reg.gauge_set("speculate.commit_rate", stats.commit_rate)
+    reg.gauge_set(
+        "speculate.speculative_fraction", stats.speculative_fraction
+    )
+
+
+class SpeculativeBackend(ExecutionBackend):
+    """Register-name ``speculative``: hot-trace region speculation."""
+
+    name = "speculative"
+    description = (
+        "hot-trace speculation (pc-region plans, guarded bulk commits, "
+        "fused fallback)"
+    )
+
+    def availability(self) -> Optional[str]:
+        return None
+
+    def probe_batch(self, batch, units, config: KernelConfig) -> KernelResult:
+        columns = kernel.as_batch(batch)
+        if columns is None:
+            from .backend import get
+
+            return get("batched").probe_batch(batch, units, config)
+        stop = len(columns) if config.stop is None else config.stop
+        spec_cfg = SpeculationConfig.from_env()
+        regions = detect_regions(columns, spec_cfg, config.start, stop)
+        stats = SpeculationStats(
+            regions=len(regions),
+            signatures=len({r.sig for r in regions}),
+        )
+        if regions and not config.validate:
+            probe = _make_probe(tuple(regions), stats)
+        else:
+            # Nothing hot (or a validation run): the fused tier is the
+            # documented degrade, exactly as fused degrades to batched.
+            probe = fused_probe
+        report = kernel._run_batch(
+            columns,
+            units,
+            config.machine,
+            config.hierarchy,
+            config.fp_add_latency,
+            config.validate,
+            config.start,
+            stop,
+            probe=probe,
+        )
+        stats.dynamic_instructions = report.instructions
+        report.speculation = stats
+        if obs.enabled():
+            _emit_stats(stats)
+        return report

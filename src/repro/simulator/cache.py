@@ -4,8 +4,10 @@ Section 3.3: "the simulator was enhanced to incorporate a memory
 hierarchy of two caches" so that application cycle counts (the
 denominator of Fraction Enhanced) include realistic memory stalls.
 
-The model is a classic write-allocate, LRU, set-associative cache pair;
-addresses come from the workload recorders.
+The model is a classic write-allocate set-associative cache pair
+(LRU by default, FIFO selectable per level -- DEW-style streaming
+access patterns distinguish the two); addresses come from the workload
+recorders.
 """
 
 from __future__ import annotations
@@ -17,8 +19,12 @@ from ..errors import ConfigurationError
 __all__ = ["Cache", "MemoryHierarchy", "default_hierarchy"]
 
 
+#: Replacement disciplines a cache level understands.
+REPLACEMENTS = ("lru", "fifo")
+
+
 class Cache:
-    """One level of set-associative cache with LRU replacement."""
+    """One level of set-associative cache (LRU or FIFO replacement)."""
 
     def __init__(
         self,
@@ -27,6 +33,7 @@ class Cache:
         line_bytes: int = 32,
         associativity: int = 1,
         hit_latency: int = 1,
+        replacement: str = "lru",
     ) -> None:
         if size_bytes <= 0 or size_bytes % (line_bytes * associativity):
             raise ConfigurationError(
@@ -35,7 +42,13 @@ class Cache:
             )
         if line_bytes & (line_bytes - 1):
             raise ConfigurationError(f"{name}: line size must be a power of two")
+        if replacement not in REPLACEMENTS:
+            raise ConfigurationError(
+                f"{name}: unknown replacement {replacement!r} "
+                f"(one of {', '.join(REPLACEMENTS)})"
+            )
         self.name = name
+        self.replacement = replacement
         self.size_bytes = size_bytes
         self.line_bytes = line_bytes
         self.associativity = associativity
@@ -44,7 +57,9 @@ class Cache:
         if self.n_sets & (self.n_sets - 1):
             raise ConfigurationError(f"{name}: set count must be a power of two")
         self._offset_bits = line_bytes.bit_length() - 1
-        # Each set is a recency-ordered list of line tags (front = MRU).
+        # Each set is an ordered list of line tags: recency order under
+        # LRU (front = MRU), insertion order under FIFO (front =
+        # newest); either way ``pop()`` takes the victim.
         self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
         self.accesses = 0
         self.hits = 0
@@ -67,8 +82,11 @@ class Cache:
         set_index, tag = self._locate(address)
         ways = self._sets[set_index]
         if tag in ways:
-            ways.remove(tag)
-            ways.insert(0, tag)
+            if self.replacement == "lru":
+                # FIFO leaves the order alone: a hit must not extend a
+                # resident line's lifetime.
+                ways.remove(tag)
+                ways.insert(0, tag)
             self.hits += 1
             return True
         ways.insert(0, tag)

@@ -48,6 +48,10 @@ class CycleReport:
     cycles_by_opcode: Dict[Opcode, int] = field(default_factory=dict)
     counts_by_opcode: Dict[Opcode, int] = field(default_factory=dict)
     hit_ratios: Dict[Operation, float] = field(default_factory=dict)
+    #: Region-speculation accounting (see
+    #: :class:`repro.core.speculate.SpeculationStats`); only present
+    #: when the run used the ``speculative`` backend.
+    speculation: Optional[Dict[str, float]] = None
 
     @property
     def speedup(self) -> float:
@@ -138,6 +142,7 @@ class CycleModel:
                 fp_add_latency=self.fp_add_latency,
                 backend=self.backend,
             )
+        speculation = getattr(result, "speculation", None)
         report = CycleReport(
             machine=self.machine.name,
             instructions=result.instructions,
@@ -145,6 +150,9 @@ class CycleModel:
             memo_cycles=result.memo_cycles,
             cycles_by_opcode=result.cycles_by_opcode,
             counts_by_opcode=result.counts,
+            speculation=(
+                speculation.as_dict() if speculation is not None else None
+            ),
         )
         if bank is not None:
             report.hit_ratios = {

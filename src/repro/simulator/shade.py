@@ -38,6 +38,10 @@ class SimulationReport:
     breakdown: Dict[Opcode, int] = field(default_factory=dict)
     unit_stats: Dict[Operation, UnitStats] = field(default_factory=dict)
     mismatches: int = 0  # memo result differed from traced result (validation)
+    #: Region-speculation accounting (commit/abort/guard counters and
+    #: rates, see :class:`repro.core.speculate.SpeculationStats`); only
+    #: present when the run used the ``speculative`` backend.
+    speculation: Optional[Dict[str, float]] = None
 
     def hit_ratio(self, op: Operation) -> float:
         """MEMO-TABLE hit ratio for one operation class."""
@@ -93,11 +97,15 @@ class ShadeSimulator:
                 validate=self.validate,
                 backend=self.backend,
             )
+        speculation = getattr(report, "speculation", None)
         return SimulationReport(
             instructions=report.instructions,
             breakdown=report.counts,
             unit_stats={op: unit.stats for op, unit in self.bank.units.items()},
             mismatches=report.mismatches,
+            speculation=(
+                speculation.as_dict() if speculation is not None else None
+            ),
         )
 
 

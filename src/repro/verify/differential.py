@@ -1,7 +1,8 @@
-"""Differential driver: oracle vs. scalar vs. batched vs. fused.
+"""Differential driver: oracle vs. scalar vs. batched vs. fused vs.
+speculative.
 
 One fuzz case is a (trace, table configuration, trivial policy) triple.
-:func:`run_case` executes it four ways --
+:func:`run_case` executes it five ways --
 
 * the pure-Python golden oracle (:mod:`repro.verify.oracle`),
 * the scalar reference path (event-at-a-time
@@ -9,6 +10,8 @@ One fuzz case is a (trace, table configuration, trivial policy) triple.
 * the batched columnar kernel (the ``batched`` execution backend over
   a :class:`~repro.isa.columns.ColumnBatch`),
 * the LUT-fused kernel (the ``fused`` execution backend),
+* the hot-trace speculation layer (the ``speculative`` execution
+  backend: region plans, guarded bulk commits, fused abort path),
 
 each backend pinned explicitly through the registry so a process-wide
 ``REPRO_BACKEND`` can never alias two parties onto the same code path
@@ -22,7 +25,7 @@ more often than the infinite-table replay upper bound
 static analyzer's bounds are validated against).
 
 Any violated comparison becomes a human-readable divergence string; an
-empty list means the four implementations agree exactly.
+empty list means the five implementations agree exactly.
 """
 
 from __future__ import annotations
@@ -223,7 +226,7 @@ def _features(case: FuzzCase, oracle: OracleBank) -> frozenset:
 
 
 def run_case(case: FuzzCase) -> CaseResult:
-    """Execute one case four ways and cross-check everything.
+    """Execute one case five ways and cross-check everything.
 
     A crash in any path is itself a divergence (reported, not raised),
     so the campaign survives it and the shrinker can minimize it.
@@ -287,6 +290,18 @@ def run_case(case: FuzzCase) -> CaseResult:
         diverge(f"crash: fused kernel raised {exc!r}")
         return result
 
+    # Path 5: hot-trace speculation layer, likewise pinned (traces
+    # without recurring pcs simply detect no regions and degrade to
+    # the fused tier, which is itself under test above).
+    spec_bank = make_bank(case)
+    try:
+        spec_report = execution.get("speculative").probe_batch(
+            batch, spec_bank.units, execution.KernelConfig()
+        )
+    except Exception as exc:
+        diverge(f"crash: speculative kernel raised {exc!r}")
+        return result
+
     # -- comparisons ------------------------------------------------------
 
     oracle_fp = oracle.fingerprint()
@@ -302,6 +317,12 @@ def run_case(case: FuzzCase) -> CaseResult:
         diverge(
             "stats: fused != scalar for unit "
             f"{_first_diff(fused_fp, scalar_fp)}"
+        )
+    spec_fp = _bank_fingerprint(spec_bank)
+    if spec_fp != scalar_fp:
+        diverge(
+            "stats: speculative != scalar for unit "
+            f"{_first_diff(spec_fp, scalar_fp)}"
         )
     if oracle_fp != scalar_fp:
         diverge(
@@ -322,6 +343,12 @@ def run_case(case: FuzzCase) -> CaseResult:
         diverge(
             "table contents: fused != scalar for unit "
             f"{_first_diff(fused_contents, scalar_contents)}"
+        )
+    spec_contents = _bank_contents(spec_bank)
+    if spec_contents != scalar_contents:
+        diverge(
+            "table contents: speculative != scalar for unit "
+            f"{_first_diff(spec_contents, scalar_contents)}"
         )
     if oracle_contents != scalar_contents:
         diverge(
@@ -352,6 +379,13 @@ def run_case(case: FuzzCase) -> CaseResult:
         )
     if fused_report.counts != report.counts:
         diverge("report: fused opcode counts != batched opcode counts")
+    if spec_report.instructions != report.instructions:
+        diverge(
+            f"report: speculative saw {spec_report.instructions} "
+            f"instructions, batched saw {report.instructions}"
+        )
+    if spec_report.counts != report.counts:
+        diverge("report: speculative opcode counts != batched opcode counts")
 
     # Sound reuse bound: a finite full-tag table can never out-hit the
     # infinite-table replay of the same trace (mantissa tags can, by

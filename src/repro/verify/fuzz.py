@@ -12,7 +12,11 @@ objects biased toward the places memo-table implementations break:
   ``INT_MAX``, values differing only in masked-out bits;
 * table geometry -- tiny tables (4/8 entries) that evict constantly,
   every replacement policy and trivial policy, mantissa tags, and the
-  infinite reference table.
+  infinite reference table;
+* hot-loop traces -- small op bodies replayed under recurring pcs
+  (loop-invariant or per-iteration-redrawn operands), so the
+  speculative backend's region detector, guard and abort paths are all
+  on the differential hook.
 
 Coverage guidance is behavioural: each executed case reports a feature
 signature (per-operation hit/eviction/commutative/trivial activity under
@@ -206,6 +210,38 @@ class TraceFuzzer:
                 del recent[0]
         return events
 
+    def _loop_events(self) -> List[TraceEvent]:
+        """A hot loop: one small body of memo ops replayed under
+        recurring pcs -- the trace shape the speculative backend's
+        region detector engages on.  Loop-invariant operand streams
+        drive the commit path; redrawn operands drive guard failures
+        and the abort handoff."""
+        rng = self.rng
+        body_n = rng.randint(2, 6)
+        iters = rng.randint(4, max(4, min(14, self.max_events // body_n)))
+        pc_base = rng.randrange(1 << 16) * 4
+        stable = rng.random() < 0.5
+        recent_i: List[int] = []
+        recent_f: List[float] = []
+        body = []
+        for _ in range(body_n):
+            opcode = rng.choice(MEMO_OPCODES)
+            a = self._operand(opcode, recent_i, recent_f)
+            if opcode in _UNARY_OPCODES and rng.random() < 0.85:
+                b = 0.0
+            else:
+                b = self._operand(opcode, recent_i, recent_f)
+            body.append((opcode, a, b))
+        events = []
+        for _ in range(iters):
+            for slot, (opcode, a, b) in enumerate(body):
+                if not stable and rng.random() < 0.4:
+                    a = self._operand(opcode, recent_i, recent_f)
+                events.append(self._sanitize(
+                    TraceEvent(opcode, a, b, 0.0, pc=pc_base + 4 * slot)
+                ))
+        return events
+
     def _fresh_config(self) -> MemoTableConfig:
         rng = self.rng
         entries = rng.choice(_ENTRY_CHOICES)
@@ -249,6 +285,34 @@ class TraceFuzzer:
             self._fresh_policy(),
             self.rng.random() < 0.1,
             f"gen-{self.cases_made}",
+        )
+
+    def _generate_loop(self) -> FuzzCase:
+        """A hot-loop case.  The speculation tier only engages on the
+        stock configuration (EXCLUDE, full tags, LRU, finite), so bias
+        -- not pin -- the config there; the unbiased tail still
+        exercises the degrade path under loop traces."""
+        rng = self.rng
+        config = self._fresh_config()
+        if rng.random() < 0.8:
+            config = MemoTableConfig(
+                entries=config.entries,
+                associativity=config.associativity,
+                tag_mode=TagMode.FULL,
+                replacement=ReplacementKind.LRU,
+                seed=config.seed,
+            )
+        policy = (
+            TrivialPolicy.EXCLUDE
+            if rng.random() < 0.8
+            else self._fresh_policy()
+        )
+        return self._build(
+            self._loop_events(),
+            config,
+            policy,
+            rng.random() < 0.05,
+            f"loop-{self.cases_made}",
         )
 
     # -- mutation ---------------------------------------------------------
@@ -357,6 +421,15 @@ class TraceFuzzer:
     # -- the fuzz loop ----------------------------------------------------
 
     def next_case(self) -> FuzzCase:
+        # Every third case is a hot-loop case, independently of the
+        # corpus: the speculation tier's guard/abort bugs (both planted
+        # ones live there) only manifest on recurring-pc traces, which
+        # mutation of an arbitrary corpus parent essentially never
+        # produces -- and a fixed cadence (rather than a coin flip)
+        # keeps the first loop cases inside the small smoke budgets for
+        # every seed.
+        if self.cases_made % 3 == 1:
+            return self._generate_loop()
         if self.corpus and self.rng.random() < 0.6:
             return self._mutate(self.rng.choice(self.corpus))
         return self._generate()

@@ -236,6 +236,33 @@ def _seed_trivial_shortcircuit() -> Tuple[str, str, FuzzCase]:
     )
 
 
+def _seed_speculation_abort() -> Tuple[str, str, FuzzCase]:
+    # A hot two-op loop (recurring pcs) that trains the speculative
+    # backend's region plans, commits several stable iterations, then
+    # changes one operand on the final iteration: the region guard must
+    # fail and the abort handoff must re-execute the iteration through
+    # the general path bit-exactly (stats, recency and the new entry's
+    # insertion all land as the scalar protocol would).
+    events = []
+    for _ in range(5):
+        events.append(TraceEvent(Opcode.FMUL, 2.5, 3.0, 7.5, pc=64))
+        events.append(TraceEvent(Opcode.FDIV, 9.0, 2.0, 4.5, pc=68))
+    events.append(TraceEvent(Opcode.FMUL, 2.5, 4.0, 10.0, pc=64))
+    events.append(TraceEvent(Opcode.FDIV, 9.0, 2.0, 4.5, pc=68))
+    config = MemoTableConfig(entries=8, associativity=2)
+    return (
+        "seed-speculation-abort",
+        "A trained hot region whose last iteration changes an operand: "
+        "the speculative guard must fail and the abort path must hand "
+        "state to the general loop bit-exactly on every counter.",
+        FuzzCase(
+            events=canonicalize(events),
+            config=config,
+            label="seed-speculation-abort",
+        ),
+    )
+
+
 #: name -> (description, case) for the hand-minimized seeds.
 SEED_CASES = {
     name: (description, case)
@@ -243,6 +270,7 @@ SEED_CASES = {
         _seed_mantissa_collision(),
         _seed_replacement_tiebreak(),
         _seed_trivial_shortcircuit(),
+        _seed_speculation_abort(),
     )
 }
 

@@ -79,6 +79,7 @@ class TestRegistry:
         assert "scalar" in names
         assert "batched" in names
         assert "fused" in names
+        assert "speculative" in names
 
     def test_unknown_name_raises(self):
         with pytest.raises(execution.UnknownBackendError) as excinfo:

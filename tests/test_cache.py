@@ -2,8 +2,16 @@
 
 import pytest
 
+from repro.arch.latency import FAST_DESIGN
+from repro.core import backend as execution
+from repro.core.bank import MemoTableBank
 from repro.errors import ConfigurationError
+from repro.isa.columns import ColumnBatch
+from repro.isa.opcodes import Opcode
+from repro.isa.trace import TraceEvent
 from repro.simulator.cache import Cache, MemoryHierarchy, default_hierarchy
+from repro.simulator.pipeline import CycleModel
+from repro.verify.differential import ALL_OPERATIONS
 
 
 class TestCacheGeometry:
@@ -12,6 +20,8 @@ class TestCacheGeometry:
             Cache("bad", size_bytes=1000, line_bytes=32, associativity=1)
         with pytest.raises(ConfigurationError):
             Cache("bad", size_bytes=8192, line_bytes=33, associativity=1)
+        with pytest.raises(ConfigurationError):
+            Cache("bad", 1024, 32, 1, replacement="plru")
 
     def test_set_count(self):
         cache = Cache("L1", 8 * 1024, 32, 1)
@@ -64,6 +74,89 @@ class TestCacheBehaviour:
         cache.access(0)
         cache.flush()
         assert not cache.access(0)
+
+
+class TestFifoReplacement:
+    """Regression: FIFO must evict by insertion age, not recency.
+
+    The DEW-style pattern -- re-reference a resident line, then force
+    an eviction -- distinguishes the two policies in one set: LRU's hit
+    renews the line's lifetime, FIFO's does not.
+    """
+
+    def _dew_pattern(self, replacement):
+        # 64B / 32B lines / 2-way = one set.  Tags 0 (addr 0),
+        # 2 (addr 64), 4 (addr 128) all collide there.
+        cache = Cache("T", 64, 32, 2, replacement=replacement)
+        assert not cache.access(0)     # insert 0
+        assert not cache.access(64)    # insert 64
+        assert cache.access(0)         # re-reference 0 (LRU renews it)
+        assert not cache.access(128)   # overflow: someone is evicted
+        return cache
+
+    def test_lru_keeps_the_rereferenced_line(self):
+        cache = self._dew_pattern("lru")
+        assert cache.access(0)         # renewed -> survived
+        assert not cache.access(64)    # the stale line was the victim
+
+    def test_fifo_evicts_the_oldest_insertion(self):
+        cache = self._dew_pattern("fifo")
+        # 0 was inserted first, so FIFO evicts it despite the re-reference.
+        assert cache.access(64)
+        assert not cache.access(0)
+
+    def test_fifo_hit_does_not_reorder(self):
+        # Heavy re-reference cannot save the oldest line under FIFO.
+        cache = Cache("T", 64, 32, 2, replacement="fifo")
+        cache.access(0)
+        cache.access(64)
+        for _ in range(5):
+            assert cache.access(0)
+        cache.access(128)              # evicts 0: oldest insertion
+        assert not cache.access(0)
+
+
+class TestBackendAwareProbeAdapter:
+    """The hierarchy walk is stateful and interleaved with memo probes;
+    every registered backend must drive it identically (same cache
+    stats, same cycle totals) or the registry story drifts from the
+    cache path."""
+
+    def _memory_trace(self):
+        events = []
+        for i in range(48):
+            events.append(TraceEvent(Opcode.LOAD, address=(i * 40) % 4096))
+            events.append(TraceEvent(Opcode.FMUL, 2.5, 3.0 + (i % 4), 0.0))
+            events.append(TraceEvent(Opcode.STORE, address=(i * 72) % 4096))
+        batch = ColumnBatch.from_events(
+            e if e.opcode.operation is None else e._replace(result=e.a * e.b)
+            for e in events
+        )
+        return batch
+
+    @pytest.mark.parametrize("backend", execution.names())
+    def test_hierarchy_stats_identical_across_backends(self, backend):
+        batch = self._memory_trace()
+        runs = []
+        for chosen in (backend, "scalar"):
+            hierarchy = MemoryHierarchy(
+                Cache("L1", 1024, 32, 1, hit_latency=1),
+                Cache("L2", 4096, 32, 2, hit_latency=6, replacement="fifo"),
+                memory_latency=30,
+            )
+            bank = MemoTableBank.paper_baseline(
+                operations=ALL_OPERATIONS, latencies=FAST_DESIGN.latencies()
+            )
+            model = CycleModel(
+                FAST_DESIGN, bank=bank, hierarchy=hierarchy, backend=chosen
+            )
+            report = model.run(batch)
+            runs.append((hierarchy.stats(), report))
+        (stats, report), (ref_stats, ref_report) = runs
+        assert stats == ref_stats
+        assert report.base_cycles == ref_report.base_cycles
+        assert report.memo_cycles == ref_report.memo_cycles
+        assert report.cycles_by_opcode == ref_report.cycles_by_opcode
 
 
 class TestHierarchy:

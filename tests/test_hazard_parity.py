@@ -1,18 +1,19 @@
-"""Parity: hazard model's per-event probes vs. the batched kernel.
+"""Parity: hazard model's per-event probes vs. every batch backend.
 
 The hazard-aware pipeline model must resolve each event's hit/miss
 before the next issues, so it probes through ``kernel.probe_one`` one
-event at a time.  The batched kernel reorders work into per-opcode
-columns.  Both must leave a bank in the identical state -- same
-statistics, same table contents -- for the same trace, or the hazard
-model's hit ratios (and therefore its stall accounting) silently drift
-from the headline results.
+event at a time.  The batch backends reorder work into per-opcode
+columns (and the speculative one additionally bulk-commits hot
+regions).  All of them must leave a bank in the identical state --
+same statistics, same table contents -- for the same trace, or the
+hazard model's hit ratios (and therefore its stall accounting)
+silently drift from the headline results.
 """
 
 import pytest
 
 from repro.arch.latency import FAST_DESIGN, SLOW_DESIGN
-from repro.core import kernel
+from repro.core import backend as execution
 from repro.core.bank import MemoTableBank
 from repro.core.config import MemoTableConfig, ReplacementKind, TagMode
 from repro.core.operations import Operation
@@ -25,6 +26,8 @@ from repro.verify.differential import (
     canonicalize,
 )
 from repro.verify.fuzz import TraceFuzzer
+
+BACKENDS = execution.names()
 
 
 def _fuzzed_events(seed, n_cases=6):
@@ -44,21 +47,24 @@ def _bank(machine, config):
     )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("machine", [FAST_DESIGN, SLOW_DESIGN],
                          ids=lambda m: m.name)
 @pytest.mark.parametrize("seed", [3, 11])
-def test_hazard_probe_sequence_matches_batched_kernel(machine, seed):
+def test_hazard_probe_sequence_matches_every_backend(machine, seed, backend):
     events = _fuzzed_events(seed)
     config = MemoTableConfig(entries=16, associativity=4)
 
     hazard_bank = _bank(machine, config)
     HazardModel(machine, bank=hazard_bank).run(events)
 
-    batched_bank = _bank(machine, config)
-    kernel.run_events(ColumnBatch.from_events(events), batched_bank.units)
+    backend_bank = _bank(machine, config)
+    execution.dispatch(
+        ColumnBatch.from_events(events), backend_bank.units, backend=backend
+    )
 
-    assert _bank_fingerprint(hazard_bank) == _bank_fingerprint(batched_bank)
-    assert _bank_contents(hazard_bank) == _bank_contents(batched_bank)
+    assert _bank_fingerprint(hazard_bank) == _bank_fingerprint(backend_bank)
+    assert _bank_contents(hazard_bank) == _bank_contents(backend_bank)
 
 
 @pytest.mark.parametrize(
@@ -74,16 +80,19 @@ def test_hazard_probe_sequence_matches_batched_kernel(machine, seed):
     ],
     ids=["lru-tiny", "fifo-full-assoc", "random", "mantissa"],
 )
-def test_hazard_parity_across_table_shapes(config):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_hazard_parity_across_table_shapes(config, backend):
     events = _fuzzed_events(seed=5)
     hazard_bank = _bank(FAST_DESIGN, config)
     HazardModel(FAST_DESIGN, bank=hazard_bank).run(events)
 
-    batched_bank = _bank(FAST_DESIGN, config)
-    kernel.run_events(ColumnBatch.from_events(events), batched_bank.units)
+    backend_bank = _bank(FAST_DESIGN, config)
+    execution.dispatch(
+        ColumnBatch.from_events(events), backend_bank.units, backend=backend
+    )
 
-    assert _bank_fingerprint(hazard_bank) == _bank_fingerprint(batched_bank)
-    assert _bank_contents(hazard_bank) == _bank_contents(batched_bank)
+    assert _bank_fingerprint(hazard_bank) == _bank_fingerprint(backend_bank)
+    assert _bank_contents(hazard_bank) == _bank_contents(backend_bank)
 
 
 def test_hazard_report_hit_ratios_come_from_the_shared_stats():
