@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-batched bench-backends bench-speculate bench-serve reproduce compare corpus examples lint analyze analyze-concurrency verify verify-fuzz metrics-smoke serve-smoke clean
+.PHONY: install test bench bench-batched bench-backends bench-speculate bench-serve bench-sampling reproduce compare corpus examples lint analyze analyze-concurrency verify verify-fuzz metrics-smoke serve-smoke clean
 
 # Differential fuzz campaign size for `make verify-fuzz`.
 FUZZ_BUDGET ?= 10000
@@ -23,6 +23,7 @@ bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_batched_sim.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backends.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_speculate.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sampling.py
 
 # Batched-vs-scalar kernel throughput only (writes BENCH_batched_sim.json;
 # exits non-zero if the batched tier is not faster than scalar).
@@ -44,6 +45,12 @@ bench-speculate:
 # (writes BENCH_serve.json with jobs/sec and p50/p99 latency).
 bench-serve:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py
+
+# Phase-aware sampling accuracy gate (writes BENCH_sampling.json; exits
+# non-zero unless every bundled program's sampled estimate lands within
+# 2% absolute hit ratio of the full run at >10x fewer touched events).
+bench-sampling:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sampling.py
 
 # Regenerate every table and figure of the paper (plus extensions).
 reproduce:

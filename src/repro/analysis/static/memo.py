@@ -452,7 +452,11 @@ def reference_machine(name: str, n: int = REFERENCE_N) -> Machine:
     """
     source = PROGRAMS.get(name)
     if source is None:
-        raise KeyError(
+        from ...errors import ConfigurationError
+
+        # A ReproError, so CLI entry points report it as a clean usage
+        # failure instead of a traceback (it used to be a KeyError).
+        raise ConfigurationError(
             f"unknown program {name!r}; try: {', '.join(PROGRAMS)}"
         )
     machine = Machine(assemble(source))

@@ -19,6 +19,9 @@ lint`` checks the repo's determinism invariants (see
 :mod:`repro.analysis.cli`).  ``repro stats`` renders/validates metrics
 snapshots (see :mod:`repro.obs.cli`); ``--metrics-out PATH`` on an
 experiment run enables the observability layer and writes its snapshot.
+``repro sample`` estimates memo hit ratios from phase-representative
+trace intervals instead of full simulation (see
+:mod:`repro.simulator.sampling.cli`).
 ``repro serve`` runs the long-lived experiment service (durable leased
 job queue + worker pool + HTTP API), and ``repro submit`` / ``repro
 jobs`` / ``repro result`` are its client commands (see
@@ -179,6 +182,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.cli import main as stats_main
 
         return stats_main(argv[1:])
+    if argv and argv[0] == "sample":
+        from .simulator.sampling.cli import main_sample
+
+        return main_sample(argv[1:])
     if argv and argv[0] == "serve":
         from .serve.cli import main_serve
 

@@ -98,6 +98,8 @@ __all__ = [
     "as_batch",
     "probe_one",
     "replay_infinite",
+    "trivial_mask",
+    "set_indices",
     "values_match",
     "active_fault",
     "set_active_fault",
@@ -402,6 +404,29 @@ def set_active_fault(name: Optional[str]) -> None:
     """Arm (or, with None, disarm) a named kernel fault.  Only
     :func:`repro.verify.faults.inject` should call this."""
     kernel._active_fault = name
+
+
+def trivial_mask(operation, a, b):
+    """Public face of the kernel's vectorized trivial-operand detector.
+
+    Value comparisons, exactly like :mod:`repro.core.trivial`: ``-0.0``
+    is zero, ``NaN`` is never trivial.  Analysis layers (sampling,
+    verification) use this instead of importing the kernel directly
+    (REPRO009)."""
+    return kernel._trivial_mask(operation, a, b)
+
+
+def set_indices(config, a, b):
+    """Public face of the kernel's vectorized set-index computation.
+
+    ``config`` is a :class:`~repro.core.config.MemoTableConfig`; ``a``
+    and ``b`` are operand arrays of the config's kind (int64 values for
+    INT units, float64 values for FLOAT units).  Returns each pair's
+    table set index under the production mapping -- the same formula
+    the probe fast path uses, so placement models in analysis layers
+    (sampling residency screens, conflict studies) can never drift from
+    the simulator (REPRO009)."""
+    return kernel._set_indices(config, a, b)
 
 
 def scalar_mode() -> bool:

@@ -217,6 +217,30 @@ def _trivial_mask(operation: Operation, a, b):
     return np.zeros(len(a), dtype=bool)  # pragma: no cover - exhaustive
 
 
+def _set_indices(config, np_a, np_b, mask: Optional[int] = None):
+    """Vectorized table set index for each operand pair.
+
+    The single source of truth for the set-mapping formula: the probe
+    fast path and any analysis layer that models table placement both
+    call this, so they can never drift apart.  INT operands xor their
+    values; FLOAT operands xor the top bits of their mantissas (the
+    exponent is deliberately excluded -- see the table design notes).
+    ``mask`` overrides ``config.n_sets - 1`` (the fault-injection seam
+    narrows it to model a set-indexing bug).
+    """
+    if mask is None:
+        mask = config.n_sets - 1
+    if config.operand_kind is OperandKind.INT:
+        return np.bitwise_and(np.bitwise_xor(np_a, np_b), mask)
+    shift = np.uint64(52 - mask.bit_length())
+    mant_a = np.bitwise_and(np_a.view(np.uint64), np.uint64(_MANT_MASK))
+    mant_b = np.bitwise_and(np_b.view(np.uint64), np.uint64(_MANT_MASK))
+    return np.bitwise_and(
+        np.bitwise_xor(mant_a >> shift, mant_b >> shift),
+        np.uint64(mask),
+    )
+
+
 def probe_batch(
     unit,
     a_values: Sequence,
@@ -388,18 +412,7 @@ def _probe_fast(unit, table, a_values, b_values, np_a, np_b):
         mask = config.n_sets - 1
         if fault == "wrong_set_index_mask":
             mask >>= 1
-        if int_kind:
-            index_list = (
-                np.bitwise_and(np.bitwise_xor(np_a, np_b), mask).tolist()
-            )
-        else:
-            shift = np.uint64(52 - mask.bit_length())
-            mant_a = np.bitwise_and(np_a.view(np.uint64), np.uint64(_MANT_MASK))
-            mant_b = np.bitwise_and(np_b.view(np.uint64), np.uint64(_MANT_MASK))
-            index_list = np.bitwise_and(
-                np.bitwise_xor(mant_a >> shift, mant_b >> shift),
-                np.uint64(mask),
-            ).tolist()
+        index_list = _set_indices(config, np_a, np_b, mask=mask).tolist()
         sets_ = table._sets
         associativity = config.associativity
         policy = table._policy

@@ -83,6 +83,7 @@ __all__ = [
     "SpeculationStats",
     "SpeculativeBackend",
     "detect_regions",
+    "pc_signature_keys",
 ]
 
 _F_PC = 4
@@ -238,6 +239,19 @@ def _mixed_pcs(views, start: int, stop: int, seed: int):
             + absent.view(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
         )
     return x, present
+
+
+def pc_signature_keys(views, start: int, stop: int, seed: int = 0):
+    """Public face of the detector's pc mixing: ``(keys, present)``.
+
+    ``keys`` is one seeded 64-bit mix per record of ``views[start:stop]``
+    (position-unique salts where no pc was recorded), ``present`` the
+    recorded-pc mask.  The phase-aware sampling layer reuses this
+    hashing for its per-interval pc-region signatures so feature
+    extraction and hot-region detection agree on what "the same static
+    code" means.
+    """
+    return _mixed_pcs(views, start, stop, seed)
 
 
 def _window_hashes(x, window: int):

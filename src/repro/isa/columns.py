@@ -228,6 +228,17 @@ class ColumnBatch:
         lo, hi = self.src_offsets[index], self.src_offsets[index + 1]
         return tuple(self.srcs_col[lo:hi])
 
+    def __getitem__(self, index: int) -> TraceEvent:
+        # Indexing parity with list-backed traces: the scalar backend's
+        # sliced dispatch (and anything else that windows a trace by
+        # position) does events[i], which used to TypeError on a
+        # ColumnBatch even though event(i) existed.
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("ColumnBatch index out of range")
+        return self.event(index)
+
     def event(self, index: int) -> TraceEvent:
         flags = self.flags_col[index]
         a, b, result = self.operand_triple(index)

@@ -87,10 +87,33 @@ def _run_fuzz_job(spec: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _run_sample_job(spec: Dict[str, Any]) -> Dict[str, Any]:
+    from ..analysis.static.memo import reference_machine
+    from ..simulator.sampling import PhasePlan, estimate_phases
+
+    machine = reference_machine(spec["program"], spec["n"])
+    machine.run(max_steps=8_000_000)
+    plan = PhasePlan(
+        phases=spec["phases"],
+        interval=spec["interval"],
+        warmup=spec["warmup"],
+        seed=spec["seed"],
+        samples_per_phase=spec["samples_per_phase"],
+    )
+    estimate = estimate_phases(
+        machine.trace, plan=plan, bound_warmup=spec["bound"]
+    )
+    document = estimate.as_dict()
+    document["program"] = spec["program"]
+    document["n"] = spec["n"]
+    return document
+
+
 _EXECUTORS = {
     "experiment": _run_experiment_job,
     "program": _run_program_job,
     "fuzz": _run_fuzz_job,
+    "sample": _run_sample_job,
 }
 
 

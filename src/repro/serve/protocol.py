@@ -21,6 +21,14 @@ job types cover every workload the repository already knows how to run:
     the result document reports cases/coverage/divergences, so the
     nightly fuzz workflow can run through the service path.
 
+``sample``
+    One phase-aware sampled estimation
+    (:func:`repro.simulator.sampling.estimate_phases`) of a bundled
+    program's memo hit ratios: feature extraction, k-means phase
+    clustering, and simulation of representative intervals only.  The
+    result document is the estimate's ``as_dict()`` -- per-unit
+    ratios, oracle warm-up bounds, and the achieved work reduction.
+
 Jobs are **content-hash keyed**: :func:`job_id_for` digests the
 canonicalized spec, so submitting the same spec twice yields the same
 job id and the queue deduplicates it (idempotent submission).  Specs are
@@ -56,7 +64,7 @@ __all__ = [
 JOB_STATES = ("queued", "leased", "done", "failed", "cancelled")
 
 #: Known job types and their required/allowed parameters.
-JOB_TYPES = ("experiment", "program", "fuzz")
+JOB_TYPES = ("experiment", "program", "fuzz", "sample")
 
 #: Default lease duration: a worker must heartbeat within this window or
 #: the reaper hands the job to someone else.
@@ -176,13 +184,35 @@ def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
         out["entries"] = _int_field(spec, "entries", 32, floor=1)
         out["ways"] = _int_field(spec, "ways", 4, floor=1)
         out["mantissa"] = bool(spec.get("mantissa", False))
-    else:  # fuzz
+    elif kind == "fuzz":
         allowed |= {"budget", "seed", "max_events"}
         out["budget"] = _int_field(spec, "budget", 200, floor=1)
         out["seed"] = _int_field(spec, "seed", 0)
         # The fuzzer's fresh-trace generator draws at least 48 events
         # per case; smaller caps would fault mid-campaign.
         out["max_events"] = _int_field(spec, "max_events", 96, floor=48)
+    else:  # sample
+        allowed |= {
+            "program", "n", "phases", "interval", "warmup",
+            "samples_per_phase", "seed", "bound",
+        }
+        name = _require_str(spec, "program")
+        from ..isa.programs import PROGRAMS
+
+        if name not in PROGRAMS:
+            raise ServeProtocolError(
+                f"unknown program {name!r}; available: " + ", ".join(PROGRAMS)
+            )
+        out["program"] = name
+        out["n"] = _int_field(spec, "n", 16384, floor=1)
+        out["phases"] = _int_field(spec, "phases", 16, floor=1)
+        out["interval"] = _int_field(spec, "interval", 250, floor=1)
+        out["warmup"] = _int_field(spec, "warmup", 500, floor=0)
+        out["samples_per_phase"] = _int_field(
+            spec, "samples_per_phase", 4, floor=1
+        )
+        out["seed"] = _int_field(spec, "seed", 0)
+        out["bound"] = bool(spec.get("bound", True))
 
     unknown = set(spec) - allowed
     if unknown:
@@ -216,6 +246,11 @@ class JobSpec:
             return f"experiment:{self.spec['experiment']}"
         if kind == "program":
             return f"program:{self.spec['program']}(n={self.spec['n']})"
+        if kind == "sample":
+            return (
+                f"sample:{self.spec['program']}"
+                f"(n={self.spec['n']},phases={self.spec['phases']})"
+            )
         return f"fuzz(budget={self.spec['budget']},seed={self.spec['seed']})"
 
 

@@ -1,0 +1,61 @@
+"""``repro.simulator.sampling`` -- the sampling layer.
+
+Two estimators over one idea: simulate a carefully chosen fraction of
+the trace and report whole-trace MEMO-TABLE statistics with a bounded
+error.
+
+:mod:`.systematic`
+    SMARTS-style periodic windows -- every ``interval`` events, a
+    warm-up slice then a measured window (:func:`estimate_hit_ratios`).
+
+:mod:`.features` / :mod:`.phases` / :mod:`.estimator`
+    SimPoint-style phase-aware sampling -- per-interval feature
+    vectors (opcode mix, operand-bit entropy, pc-region signature),
+    seeded k-means phase clustering, and a weighted estimate from one
+    representative interval per phase whose warm-up error is bounded
+    against the oracle's infinite-table replay
+    (:func:`estimate_phases`).
+
+The old module path (``repro.simulator.sampling``) keeps working: the
+systematic API is re-exported here unchanged.
+"""
+
+from .estimator import (
+    PhaseEstimate,
+    PhasePlan,
+    RepresentativeWindow,
+    estimate_phases,
+)
+from .features import (
+    FeatureConfig,
+    IntervalFeatures,
+    interval_features,
+    likely_resident,
+    prior_lookup_index,
+)
+from .phases import (
+    PhaseClustering,
+    cluster_phases,
+    representative_intervals,
+    sample_intervals,
+)
+from .systematic import SampledEstimate, SamplingPlan, estimate_hit_ratios
+
+__all__ = [
+    "SamplingPlan",
+    "SampledEstimate",
+    "estimate_hit_ratios",
+    "FeatureConfig",
+    "IntervalFeatures",
+    "interval_features",
+    "likely_resident",
+    "prior_lookup_index",
+    "PhaseClustering",
+    "cluster_phases",
+    "representative_intervals",
+    "sample_intervals",
+    "PhasePlan",
+    "PhaseEstimate",
+    "RepresentativeWindow",
+    "estimate_phases",
+]

@@ -76,6 +76,68 @@ class TestCacheBehaviour:
         assert not cache.access(0)
 
 
+class TestCacheEdgeCases:
+    """Audit edge cases: untouched caches, flush semantics, stats."""
+
+    def test_zero_access_hit_ratio(self):
+        # Division-by-zero guard: an untouched cache reports 0.0, not
+        # NaN and not an exception.
+        cache = Cache("L1", 1024, 32, 1)
+        assert cache.hit_ratio == 0.0
+        assert cache.misses == 0
+        assert cache.accesses == 0
+
+    def test_flush_preserves_counters(self):
+        # Flush invalidates *contents* only; accesses/hits keep
+        # accumulating across flushes (a flush is not a stats reset).
+        cache = Cache("L1", 1024, 32, 1)
+        cache.access(0)
+        cache.access(0)
+        cache.flush()
+        assert cache.accesses == 2
+        assert cache.hits == 1
+        assert not cache.access(0)  # cold again after flush
+        assert cache.accesses == 3
+
+    def test_fifo_insertion_order_restarts_after_flush(self):
+        # One 2-way set; post-flush the insertion clock starts over, so
+        # the pre-flush age of a line must not leak into victim choice.
+        cache = Cache("T", 64, 32, 2, replacement="fifo")
+        cache.access(0)
+        cache.access(64)
+        cache.flush()
+        cache.access(64)   # re-inserted first -> now the oldest
+        cache.access(0)
+        cache.access(128)  # evicts 64 (oldest insertion *since flush*)
+        assert cache.access(0)
+        assert not cache.access(64)
+
+    def test_untouched_l2_stats(self):
+        # All hits in L1 -> L2 never referenced; its ratio must stay a
+        # well-defined 0.0 in the stats document.
+        hierarchy = default_hierarchy()
+        hierarchy.access(0)            # cold: touches both levels
+        for _ in range(3):
+            hierarchy.access(0)        # L1 hits: L2 untouched
+        stats = hierarchy.stats()
+        assert stats["l1_accesses"] == 4
+        assert stats["l2_accesses"] == 1
+        assert stats["l1_hit_ratio"] == 0.75
+        fresh = default_hierarchy().stats()
+        assert fresh == {
+            "l1_accesses": 0, "l1_hit_ratio": 0.0,
+            "l2_accesses": 0, "l2_hit_ratio": 0.0,
+        }
+
+    def test_hierarchy_flush_preserves_counters(self):
+        hierarchy = default_hierarchy()
+        hierarchy.access(0)
+        hierarchy.flush()
+        stats = hierarchy.stats()
+        assert stats["l1_accesses"] == 1
+        assert stats["l2_accesses"] == 1
+
+
 class TestFifoReplacement:
     """Regression: FIFO must evict by insertion age, not recency.
 

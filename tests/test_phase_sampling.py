@@ -1,0 +1,364 @@
+"""Tests for the phase-aware sampling package (repro.simulator.sampling).
+
+Covers the three layers the estimator composes -- interval features,
+seeded k-means phase clustering, representative selection -- plus the
+end-to-end phase-weighted estimate, its oracle warm-up bound, the CLI
+entry point and the `sample` serve job type.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.static.memo import reference_machine
+from repro.core import backend as execution
+from repro.core.bank import MemoTableBank
+from repro.core.operations import Operation
+from repro.errors import ConfigurationError
+from repro.isa.columns import ColumnBatch
+from repro.isa.opcodes import Opcode
+from repro.isa.trace import TraceEvent
+from repro.simulator.sampling import (
+    FeatureConfig,
+    PhaseClustering,
+    PhasePlan,
+    cluster_phases,
+    estimate_phases,
+    interval_features,
+    likely_resident,
+    prior_lookup_index,
+    sample_intervals,
+)
+
+
+@pytest.fixture(scope="module")
+def saxpy_trace():
+    machine = reference_machine("saxpy", 4096)
+    machine.run(max_steps=2_000_000)
+    return machine.trace
+
+
+def _full_ratios(events):
+    bank = MemoTableBank.paper_baseline()
+    execution.dispatch(events, bank.units)
+    return {
+        op: unit.stats.hit_ratio
+        for op, unit in bank.units.items()
+        if unit.stats.table.lookups + unit.stats.trivial_hits
+    }
+
+
+class TestIntervalFeatures:
+    def test_deterministic(self, saxpy_trace):
+        config = FeatureConfig(interval=256, seed=3)
+        one = interval_features(saxpy_trace, config)
+        two = interval_features(saxpy_trace, config)
+        assert np.array_equal(one.matrix, two.matrix)
+        assert one.bounds == two.bounds
+
+    def test_bounds_tile_the_trace(self, saxpy_trace):
+        features = interval_features(saxpy_trace, FeatureConfig(interval=256))
+        batch = execution.as_batch(saxpy_trace)
+        assert features.bounds[0][0] == 0
+        assert features.bounds[-1][1] == len(batch)
+        for (_, stop), (start, _) in zip(features.bounds, features.bounds[1:]):
+            assert stop == start
+
+    def test_bank_adds_residency_columns(self, saxpy_trace):
+        config = FeatureConfig(interval=256)
+        plain = interval_features(saxpy_trace, config)
+        with_bank = interval_features(
+            saxpy_trace, config, bank=MemoTableBank.paper_baseline()
+        )
+        lo, hi = plain.reuse_columns
+        lo2, hi2 = with_bank.reuse_columns
+        # Without a bank: every memoizable op, 2 reuse columns each.
+        # With one: only the bank's units, plus the residency column.
+        assert hi - lo == 2 * len(plain.ops)
+        assert hi2 - lo2 == 3 * len(with_bank.ops)
+        assert len(with_bank.ops) < len(plain.ops)
+        assert plain.resident is None
+        assert with_bank.resident is not None
+
+    def test_normalized_scales_reuse_block(self, saxpy_trace):
+        config = FeatureConfig(interval=256, reuse_weight=5.0)
+        features = interval_features(saxpy_trace, config)
+        base = interval_features(
+            saxpy_trace, FeatureConfig(interval=256, reuse_weight=1.0)
+        )
+        lo, hi = features.reuse_columns
+        assert np.allclose(
+            features.normalized()[:, lo:hi],
+            5.0 * base.normalized()[:, lo:hi],
+        )
+
+
+class TestResidencyModel:
+    def test_first_occurrence_never_resident(self):
+        events = [
+            TraceEvent(Opcode.FDIV, float(i) + 2.5, 2.0, (float(i) + 2.5) / 2)
+            for i in range(64)
+        ]
+        batch = ColumnBatch.from_events(events)
+        bank = MemoTableBank.paper_baseline()
+        prev, unit_of, ops = prior_lookup_index(batch, operations=bank.units)
+        resident = likely_resident(batch, prev, unit_of, ops, bank)
+        assert not resident.any()  # 64 distinct pairs, no reuse at all
+
+    def test_steady_reuse_is_resident(self):
+        events = [TraceEvent(Opcode.FDIV, 3.0, 2.0, 1.5)] * 50
+        batch = ColumnBatch.from_events(events)
+        bank = MemoTableBank.paper_baseline()
+        prev, unit_of, ops = prior_lookup_index(batch, operations=bank.units)
+        resident = likely_resident(batch, prev, unit_of, ops, bank)
+        assert not resident[0]
+        assert resident[1:].all()
+
+    def test_model_tracks_full_run_on_reference_programs(self, saxpy_trace):
+        # The analytic sweep replays the real geometry, so its hit
+        # counts should essentially reproduce the simulated full run
+        # under default table semantics.
+        batch = execution.as_batch(saxpy_trace)
+        bank = MemoTableBank.paper_baseline()
+        prev, unit_of, ops = prior_lookup_index(batch, operations=bank.units)
+        resident = likely_resident(batch, prev, unit_of, ops, bank)
+        full = _full_ratios(saxpy_trace)
+        for index, op in enumerate(ops):
+            mine = unit_of == index
+            if not mine.any() or op not in full:
+                continue
+            model_ratio = resident[mine].mean()
+            # Trivial events are excluded from both sides; the model
+            # may only diverge through replacement-order corner cases.
+            assert model_ratio == pytest.approx(full[op], abs=0.02)
+
+
+class TestPhaseClustering:
+    def _blobs(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(0.0, 0.05, size=(40, 3))
+        b = rng.normal(4.0, 0.05, size=(40, 3))
+        c = rng.normal(-3.0, 0.05, size=(8, 3))
+        return np.vstack([a, b, c])
+
+    def test_deterministic_and_separates_blobs(self):
+        points = self._blobs()
+        one = cluster_phases(points, 3, seed=11)
+        two = cluster_phases(points, 3, seed=11)
+        assert np.array_equal(one.labels, two.labels)
+        assert one.inertia == two.inertia
+        # Each blob lands in exactly one phase.
+        for lo, hi in ((0, 40), (40, 80), (80, 88)):
+            assert len(set(one.labels[lo:hi].tolist())) == 1
+        assert len(set(one.labels.tolist())) == 3
+
+    def test_k_clamped_to_interval_count(self):
+        points = np.arange(6, dtype=np.float64).reshape(3, 2)
+        clustering = cluster_phases(points, 10, seed=0)
+        assert clustering.k == 3
+
+    def test_restarts_validated(self):
+        with pytest.raises(ConfigurationError):
+            cluster_phases(np.zeros((4, 2)), 2, restarts=0)
+
+    def test_weights_sum_to_one(self):
+        clustering = cluster_phases(self._blobs(), 3, seed=0)
+        assert clustering.weights().sum() == pytest.approx(1.0)
+
+    def test_restarts_keep_lowest_inertia(self):
+        points = self._blobs()
+        best = cluster_phases(points, 3, seed=5, restarts=6)
+        singles = [
+            cluster_phases(points, 3, seed=5 + i, restarts=1)
+            for i in range(6)
+        ]
+        assert best.inertia == min(s.inertia for s in singles)
+
+
+class TestSampleIntervals:
+    def test_leads_with_representative_and_is_deterministic(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(60, 4))
+        clustering = cluster_phases(points, 4, seed=0)
+        one = sample_intervals(clustering, points, 3, seed=1)
+        two = sample_intervals(clustering, points, 3, seed=1)
+        assert len(one) == clustering.k
+        for got, again, phase in zip(one, two, range(clustering.k)):
+            assert np.array_equal(got, again)
+            members = set(np.nonzero(clustering.labels == phase)[0].tolist())
+            assert set(got.tolist()) <= members
+            assert len(set(got.tolist())) == len(got)  # no replacement
+            assert len(got) <= 3
+
+    def test_samples_validated(self):
+        clustering = PhaseClustering(
+            labels=np.zeros(4, dtype=np.int64),
+            centroids=np.zeros((1, 2)),
+            inertia=0.0,
+            iterations=1,
+        )
+        with pytest.raises(ConfigurationError):
+            sample_intervals(clustering, None, 0)
+
+
+class TestEstimatePhases:
+    PLAN = PhasePlan(phases=8, interval=250, warmup=250, samples_per_phase=2)
+
+    def test_tracks_full_simulation(self, saxpy_trace):
+        full = _full_ratios(saxpy_trace)
+        estimate = estimate_phases(saxpy_trace, plan=self.PLAN)
+        for op, ratio in full.items():
+            assert estimate.hit_ratios[op] == pytest.approx(ratio, abs=0.02)
+        assert estimate.events_simulated < estimate.events_total / 2
+
+    def test_deterministic(self, saxpy_trace):
+        one = estimate_phases(saxpy_trace, plan=self.PLAN)
+        two = estimate_phases(saxpy_trace, plan=self.PLAN)
+        assert one.hit_ratios == two.hit_ratios
+        assert one.warmup_error_bound == two.warmup_error_bound
+        assert [
+            (r.phase, r.start, r.stop, r.weight) for r in one.representatives
+        ] == [
+            (r.phase, r.start, r.stop, r.weight) for r in two.representatives
+        ]
+
+    def test_bound_warmup_off_skips_oracle(self, saxpy_trace):
+        estimate = estimate_phases(
+            saxpy_trace, plan=self.PLAN, bound_warmup=False
+        )
+        assert estimate.oracle_events == 0
+        assert estimate.max_warmup_error_bound == 0.0
+        assert estimate.work_reduction == estimate.speedup_factor
+
+    def test_control_variate_off_still_tracks(self, saxpy_trace):
+        plan = PhasePlan(
+            phases=8, interval=250, warmup=250, samples_per_phase=2,
+            control_variate=False,
+        )
+        estimate = estimate_phases(saxpy_trace, plan=plan)
+        assert estimate.model_hit_ratios == {}
+        full = _full_ratios(saxpy_trace)
+        for op, ratio in full.items():
+            assert estimate.hit_ratios[op] == pytest.approx(ratio, abs=0.05)
+
+    @pytest.mark.parametrize("backend", execution.names())
+    def test_backend_parity(self, saxpy_trace, backend):
+        reference = estimate_phases(
+            saxpy_trace, plan=self.PLAN, backend="scalar"
+        )
+        estimate = estimate_phases(
+            saxpy_trace, plan=self.PLAN, backend=backend
+        )
+        assert estimate.hit_ratios == reference.hit_ratios
+        assert estimate.events_simulated == reference.events_simulated
+        assert estimate.backend == backend
+
+    def test_representative_weights_sum_to_one(self, saxpy_trace):
+        estimate = estimate_phases(saxpy_trace, plan=self.PLAN)
+        assert sum(r.weight for r in estimate.representatives) == (
+            pytest.approx(1.0)
+        )
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_phases([])
+
+    def test_plan_validation(self):
+        with pytest.raises(ConfigurationError):
+            PhasePlan(phases=0)
+        with pytest.raises(ConfigurationError):
+            PhasePlan(interval=0)
+        with pytest.raises(ConfigurationError):
+            PhasePlan(warmup=-1)
+        with pytest.raises(ConfigurationError):
+            PhasePlan(samples_per_phase=0)
+
+    def test_as_dict_round_trips_through_json(self, saxpy_trace):
+        estimate = estimate_phases(saxpy_trace, plan=self.PLAN)
+        document = json.loads(json.dumps(estimate.as_dict()))
+        assert document["plan"]["phases"] == 8
+        assert document["plan"]["control_variate"] is True
+        assert document["events_total"] == estimate.events_total
+        assert set(document["hit_ratios"]) == {
+            op.name for op in estimate.hit_ratios
+        }
+        assert document["work_reduction"] == pytest.approx(
+            estimate.work_reduction
+        )
+        assert len(document["representatives"]) == len(
+            estimate.representatives
+        )
+
+
+class TestSampleCli:
+    def test_json_output(self, capsys, tmp_path):
+        from repro.simulator.sampling.cli import main_sample
+
+        metrics = tmp_path / "metrics.json"
+        report = tmp_path / "estimate.json"
+        code = main_sample([
+            "--program", "saxpy", "--n", "2048", "--phases", "6",
+            "--interval", "200", "--warmup", "200",
+            "--compare-full", "--json", str(report),
+            "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        assert "worst abs error" in capsys.readouterr().out
+        document = json.loads(report.read_text())
+        assert document["program"] == "saxpy"
+        assert document["full_hit_ratios"]
+        for name, ratio in document["full_hit_ratios"].items():
+            assert document["hit_ratios"][name] == pytest.approx(
+                ratio, abs=0.05
+            )
+        snapshot = json.loads(metrics.read_text())
+        assert any(
+            name.startswith("sampling.") for name in snapshot["counters"]
+        )
+
+    def test_unknown_program_rejected(self, capsys):
+        from repro.simulator.sampling.cli import main_sample
+
+        assert main_sample(["--program", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+
+class TestSampleServeJob:
+    def test_normalize_fills_defaults(self):
+        from repro.serve.protocol import normalize_spec
+
+        spec = normalize_spec({"type": "sample", "program": "saxpy"})
+        assert spec["n"] == 16384
+        assert spec["phases"] == 16
+        assert spec["interval"] == 250
+        assert spec["warmup"] == 500
+        assert spec["samples_per_phase"] == 4
+        assert spec["seed"] == 0
+        assert spec["bound"] is True
+
+    def test_normalize_rejects_unknown_program(self):
+        from repro.errors import ReproError
+        from repro.serve.protocol import normalize_spec
+
+        with pytest.raises(ReproError):
+            normalize_spec({"type": "sample", "program": "not-a-program"})
+
+    def test_describe(self):
+        from repro.serve.protocol import JobSpec
+
+        spec = JobSpec({"type": "sample", "program": "saxpy", "n": 4096})
+        assert spec.describe() == "sample:saxpy(n=4096,phases=16)"
+
+    def test_run_job_returns_estimate_document(self):
+        from repro.serve.jobs import run_job
+
+        result = run_job({
+            "type": "sample", "program": "saxpy", "n": 2048,
+            "phases": 6, "interval": 200, "warmup": 200,
+        })
+        assert result["type"] == "sample"
+        assert result["program"] == "saxpy"
+        assert result["n"] == 2048
+        assert result["hit_ratios"]
+        assert 0.0 <= result["max_warmup_error_bound"] <= 1.0
